@@ -1,0 +1,133 @@
+// Command autolayout is the data layout assistant tool: it reads a
+// program in the restricted Fortran dialect and prints the
+// automatically selected HPF data layout (alignments, distribution,
+// and profitable dynamic remappings), plus optionally the candidate
+// layout search spaces with their estimated execution times.
+//
+// Usage:
+//
+//	autolayout -procs 16 [-machine ipsc860|paragon] [-spaces] [file.f]
+//
+// With no file argument the program is read from standard input.  The
+// -spaces flag dumps each phase's explicit candidate search space —
+// the browsing interface §2 envisions for the assistant tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+
+	alignpkg "repro/internal/align"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "number of processors")
+	machineName := flag.String("machine", "ipsc860", "target machine: ipsc860, paragon or cluster2020")
+	machineFile := flag.String("machine-file", "", "load a custom machine table (see machine.WriteTable format)")
+	spaces := flag.Bool("spaces", false, "dump candidate layout search spaces")
+	explain := flag.Bool("explain", false, "explain every phase's candidate costs (events, schedules)")
+	cyclic := flag.Bool("cyclic", false, "add CYCLIC distribution candidates (extension)")
+	multiDim := flag.Bool("multidim", false, "add multi-dimensional mesh candidates (extension)")
+	useDP := flag.Bool("dp", false, "use the chain DP instead of 0-1 selection where possible")
+	greedy := flag.Bool("greedy-align", false, "use greedy alignment conflict resolution instead of 0-1")
+	guess := flag.Bool("guess-probs", false, "ignore !prob annotations (always guess 50%)")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.Options{
+		Procs:    *procs,
+		Cyclic:   *cyclic,
+		MultiDim: *multiDim,
+		UseDP:    *useDP,
+		Align:    alignpkg.Options{Greedy: *greedy},
+	}
+	opt.PCFG.IgnoreProbHints = *guess
+	switch {
+	case *machineFile != "":
+		f, err := os.Open(*machineFile)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Machine, err = machine.ReadTable(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *machineName == "ipsc860":
+		opt.Machine = machine.IPSC860()
+	case *machineName == "paragon":
+		opt.Machine = machine.Paragon()
+	case *machineName == "cluster2020":
+		opt.Machine = machine.Cluster2020()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+
+	res, err := core.AutoLayout(src, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.EmitHPF())
+	fmt.Printf("! tool time: %v (alignment 0-1 solves: %d, selection 0-1: %d vars / %d constraints in %v)\n",
+		res.Elapsed.Round(1e6), len(res.AlignStats),
+		res.Selection.Vars, res.Selection.Constraints, res.Selection.Duration.Round(1e5))
+	if *spaces {
+		dumpSpaces(res)
+	}
+	if *explain {
+		fmt.Println("!\n! cost derivation per phase:")
+		for _, line := range strings.Split(strings.TrimRight(res.Explain(), "\n"), "\n") {
+			fmt.Println("!", line)
+		}
+	}
+}
+
+func dumpSpaces(res *core.Result) {
+	fmt.Println("!\n! candidate layout search spaces:")
+	for _, pr := range res.Phases {
+		fmt.Printf("! phase %d (%s, freq %.3g, arrays %v):\n",
+			pr.Phase.ID, pr.Phase.Label, pr.Phase.Freq, pr.Phase.Arrays)
+		type row struct {
+			i    int
+			cost float64
+		}
+		rows := make([]row, len(pr.Candidates))
+		for i, c := range pr.Candidates {
+			rows[i] = row{i, c.Estimate.Time}
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].cost < rows[b].cost })
+		for _, r := range rows {
+			c := pr.Candidates[r.i]
+			mark := " "
+			if r.i == pr.Chosen {
+				mark = "*"
+			}
+			fmt.Printf("!  %s %-60s %-22s %12.3f ms\n",
+				mark, c.Layout.Key(), c.Estimate.Schedule, c.Estimate.Time/1e3)
+		}
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autolayout:", err)
+	os.Exit(1)
+}

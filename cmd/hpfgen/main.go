@@ -1,0 +1,46 @@
+// Command hpfgen prints the source of one of the built-in benchmark
+// programs (adi, erlebacher, tomcatv, shallow) at a chosen problem
+// size and element type — handy as input for the autolayout tool:
+//
+//	hpfgen -program adi -n 512 -type double | autolayout -procs 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fortran"
+	"repro/internal/programs"
+)
+
+func main() {
+	name := flag.String("program", "adi", "benchmark: adi, erlebacher, tomcatv or shallow")
+	n := flag.Int("n", 0, "problem size (0 = the program's headline size)")
+	typ := flag.String("type", "double", "element type: real or double")
+	list := flag.Bool("list", false, "list available programs")
+	flag.Parse()
+
+	if *list {
+		for _, s := range programs.All() {
+			fmt.Printf("%-12s rank %d, headline size %d, conflicts=%v\n",
+				s.Name, s.Rank, s.DefaultN, s.Conflicts)
+		}
+		return
+	}
+	spec, ok := programs.ByName(strings.ToLower(*name))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hpfgen: unknown program %q\n", *name)
+		os.Exit(1)
+	}
+	size := *n
+	if size == 0 {
+		size = spec.DefaultN
+	}
+	dt := fortran.Double
+	if strings.HasPrefix(strings.ToLower(*typ), "r") {
+		dt = fortran.Real
+	}
+	fmt.Print(spec.Source(size, dt))
+}

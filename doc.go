@@ -1,0 +1,18 @@
+// Package repro is a reproduction of Kennedy & Kremer, "Automatic Data
+// Layout for High Performance Fortran" (CRPC-TR94498-S, Rice
+// University, 1995): a data layout assistant tool that automatically
+// selects HPF alignments, distributions and dynamic remappings for
+// regular Fortran programs, using explicit candidate search spaces,
+// compiler/execution/machine performance models, and optimal 0-1
+// integer programming for the two NP-complete subproblems.
+//
+// The library lives under internal/ (see DESIGN.md for the module
+// inventory); the executables are:
+//
+//	cmd/autolayout  the assistant tool (Fortran in, HPF layout out)
+//	cmd/hpfexp      regenerates every figure/table of the paper
+//	cmd/hpfgen      prints the built-in benchmark programs
+//
+// The benchmarks in bench_test.go regenerate each of the paper's
+// evaluation artifacts; EXPERIMENTS.md records paper-versus-measured.
+package repro

@@ -1,0 +1,57 @@
+// ADI example: the static-versus-dynamic layout trade-off.
+//
+//	go run ./examples/adi [-n 128] [-procs 16]
+//
+// The ADI integration kernel sweeps the grid first along one dimension
+// and then along the other.  Any static layout serializes or pipelines
+// one sweep direction; a dynamic layout transposes the data between
+// sweep groups instead.  Which wins depends on the problem size and
+// the processor count — this example sweeps the processor count and
+// prints the estimated and simulated ("measured") times of the row,
+// column and remapped layouts, together with the tool's choice,
+// reproducing the trade-off behind the paper's Figures 3 and 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/fortran"
+)
+
+func main() {
+	n := flag.Int("n", 128, "problem size")
+	flag.Parse()
+
+	fmt.Printf("ADI %dx%d, double precision (times in ms)\n\n", *n, *n)
+	fmt.Printf("%-6s %22s %22s %22s   %s\n", "procs",
+		"row est/meas", "col est/meas", "remapped est/meas", "tool picks")
+	for _, procs := range []int{2, 4, 8, 16, 32} {
+		cr, err := experiments.Run(experiments.Case{
+			Program: "adi", N: *n, Type: fortran.Double, Procs: procs,
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cell := func(name string) string {
+			for _, l := range cr.Layouts {
+				if l.Name == name {
+					return fmt.Sprintf("%9.1f /%9.1f", l.Estimated/1e3, l.Measured/1e3)
+				}
+			}
+			return "          -/-"
+		}
+		verdict := cr.ToolPickName
+		if !cr.OptimalPicked {
+			verdict += fmt.Sprintf(" (suboptimal +%.1f%%)", cr.LossPct)
+		}
+		fmt.Printf("%-6d %22s %22s %22s   %s\n", procs,
+			cell("row (BLOCK,*)"), cell("col (*,BLOCK)"), cell("remapped"), verdict)
+	}
+	fmt.Println("\nThe column layout sequentializes the row sweeps (always worst).")
+	fmt.Println("The remapped layout transposes x between sweep groups; it overtakes")
+	fmt.Println("the static row layout when the per-iteration pipeline overhead")
+	fmt.Println("exceeds the transpose cost — small problems on many processors.")
+}

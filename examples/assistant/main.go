@@ -1,0 +1,78 @@
+// Assistant example: the interactive workflow §2 envisions — browse
+// the explicit candidate search spaces, inspect why layouts cost what
+// they cost, insert a hand-written candidate, delete one, and re-solve
+// the selection.
+//
+//	go run ./examples/assistant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fortran"
+	"repro/internal/layout"
+	"repro/internal/programs"
+)
+
+func main() {
+	src := programs.Adi(128, fortran.Double)
+	res, err := core.AutoLayout(src, core.Options{Procs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial selection: %.1f ms estimated\n\n", res.TotalCost/1e3)
+
+	// 1. Browse: explain the first pipelined phase.
+	for p, pr := range res.Phases {
+		if len(pr.Info.FlowDeps()) == 0 {
+			continue
+		}
+		text, _ := res.ExplainPhase(p)
+		fmt.Println("--- why does the sweep phase cost what it costs?")
+		fmt.Print(text)
+		break
+	}
+
+	// 2. Insert: a user suspects a CYCLIC layout might balance better
+	// and adds it to phase 0's search space.
+	a := layout.NewAlignment()
+	a.Set("x", []int{0, 1})
+	cyclic := layout.NewLayout(res.Template, a, []layout.DimDist{
+		{Kind: layout.Cyclic, Procs: 8}, {Kind: layout.Star, Procs: 1},
+	})
+	idx, err := res.InsertCandidate(0, cyclic, "user experiment")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := res.Phases[0].Candidates[idx]
+	fmt.Printf("\n--- inserted user candidate into phase 0: %s -> %.3f ms (%v)\n",
+		c.Layout.Key(), c.Estimate.Time/1e3, c.Estimate.Schedule)
+
+	// 3. Re-solve with the enlarged space.
+	if err := res.Reselect(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after reselect: %.1f ms estimated (phase 0 chose candidate %d)\n",
+		res.TotalCost/1e3, res.Phases[0].Chosen)
+
+	// 4. Delete: drop the column candidate everywhere and watch the
+	// tool adapt (it must still find a legal selection).
+	removed := 0
+	for p, pr := range res.Phases {
+		for i, cand := range pr.Candidates {
+			if len(cand.Layout.DistributedDims("x")) == 1 && cand.Layout.DistributedDims("x")[0] == 1 {
+				if err := res.DeleteCandidate(p, i); err == nil {
+					removed++
+				}
+				break
+			}
+		}
+	}
+	if err := res.Reselect(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after deleting %d column candidates: %.1f ms estimated, dynamic=%v\n",
+		removed, res.TotalCost/1e3, res.Dynamic)
+}

@@ -1,0 +1,68 @@
+// Stencil example: why memory stride makes the column distribution of
+// a Fortran stencil code slightly better than the row distribution.
+//
+//	go run ./examples/stencil [-n 256] [-procs 16]
+//
+// A five-point stencil parallelizes in either dimension, but in
+// column-major storage the boundary *rows* a row distribution
+// exchanges are non-contiguous and must be buffered, while the
+// boundary *columns* of a column distribution are contiguous.  The
+// example shows the per-phase communication events the compiler model
+// derives under both layouts and the resulting time difference — the
+// effect behind the paper's Shallow result (Figure 7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/compmodel"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func main() {
+	n := flag.Int("n", 256, "problem size")
+	procs := flag.Int("procs", 16, "processors")
+	flag.Parse()
+
+	src := fmt.Sprintf(`
+program stencil
+  parameter (n = %d)
+  real unew(n,n), u(n,n)
+  do it = 1, 50
+    do j = 2, n-1
+      do i = 2, n-1
+        unew(i,j) = 0.25*(u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+      end do
+    end do
+    do j = 2, n-1
+      do i = 2, n-1
+        u(i,j) = unew(i,j)
+      end do
+    end do
+  end do
+end
+`, *n)
+
+	res, err := core.AutoLayout(src, core.Options{Procs: *procs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stencilPhase := res.Phases[0]
+	fmt.Printf("Stencil %dx%d on %d processors — communication per layout:\n\n", *n, *n, *procs)
+	for _, cand := range stencilPhase.Candidates {
+		fmt.Printf("layout %s:\n", cand.Layout.Key())
+		for _, e := range cand.Plan.Events {
+			cost := res.Machine.MsgTime(e.Pattern, *procs, e.Bytes, e.Stride, machine.HighLatency)
+			fmt.Printf("  %-8v %6d bytes, %-8v stride -> %7.1f us per event\n",
+				e.Pattern, e.Bytes, e.Stride, cost)
+		}
+		fmt.Printf("  => phase estimate %.2f ms (%v)\n\n", cand.Estimate.Time/1e3, cand.Estimate.Schedule)
+	}
+	chosen := stencilPhase.Candidates[stencilPhase.Chosen]
+	fmt.Printf("The tool picks %s: the contiguous boundary avoids the buffering\n", chosen.Layout.Key())
+	fmt.Println("(packing) cost the machine model charges for non-unit-stride messages.")
+	_ = compmodel.Options{}
+}

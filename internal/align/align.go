@@ -1,0 +1,448 @@
+// Package align implements alignment analysis (§2.2.1, §3.1, §3.2):
+// building weighted component affinity graphs per phase, resolving
+// inter-dimensional alignment conflicts with 0-1 integer programming,
+// partitioning phases into conflict-free classes, and constructing the
+// explicit alignment search spaces via the import heuristic.
+package align
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cag"
+	"repro/internal/dep"
+	"repro/internal/fortran"
+	"repro/internal/ilp"
+	"repro/internal/layout"
+	"repro/internal/pcfg"
+)
+
+// Options configures alignment analysis.
+type Options struct {
+	// ImportScale multiplies the source CAG's weights during an import
+	// so its preferences dominate the sink's (§3.2); 0 means 1000.
+	ImportScale float64
+	// Greedy uses the greedy conflict-resolution baseline instead of
+	// the optimal 0-1 formulation (ablation).
+	Greedy bool
+	// Solver is the 0-1 solver (nil for defaults).
+	Solver *ilp.Solver
+}
+
+func (o Options) defaults() Options {
+	if o.ImportScale == 0 {
+		o.ImportScale = 1000
+	}
+	return o
+}
+
+// BuildCAG constructs the weighted CAG of one phase.  Every pair of
+// dimensions of distinct arrays subscripted by the same induction
+// variable in an assignment records an alignment preference; the edge
+// direction follows the flow of values under the owner-computes rule
+// (from the read array to the written array) and the weight models the
+// communication volume — the size of the array that would have to be
+// communicated if the preference is unsatisfied (§3.1), scaled by the
+// phase's execution frequency.
+func BuildCAG(u *fortran.Unit, pi *dep.PhaseInfo, freq float64) *cag.Graph {
+	g := cag.NewGraph()
+	add := func(arr *fortran.Array) {
+		if g.Rank(arr.Name) == 0 {
+			g.AddArray(arr.Name, arr.Rank())
+		}
+	}
+	for _, ai := range pi.Assigns {
+		if ai.LHS != nil {
+			add(ai.LHS.Array)
+		}
+		for _, r := range ai.Reads {
+			add(r.Array)
+		}
+	}
+	for _, ai := range pi.Assigns {
+		if ai.LHS == nil {
+			continue
+		}
+		lhs := ai.LHS
+		for _, r := range ai.Reads {
+			if r.Array.Name == lhs.Array.Name {
+				continue
+			}
+			cost := float64(r.Array.Bytes()) * freq * ai.Guard
+			for ld, ls := range lhs.Subs {
+				if !ls.Single {
+					continue
+				}
+				for rd, rs := range r.Subs {
+					if !rs.Single || rs.Var != ls.Var {
+						continue
+					}
+					g.AddPreference(
+						cag.Node{Array: r.Array.Name, Dim: rd},
+						cag.Node{Array: lhs.Array.Name, Dim: ld},
+						cost,
+					)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Class is one conflict-free phase class of the search space
+// construction (§3.2).
+type Class struct {
+	ID     int
+	Phases []int
+	CAG    *cag.Graph
+	Arrays map[string]bool
+	// Cands are the class's alignment candidates: its own optimal
+	// alignment first, then imported ones.
+	Cands []*Candidate
+}
+
+// Candidate is one alignment candidate of a class or phase.
+type Candidate struct {
+	// Part is the alignment information (conflict-free partitioning).
+	Part cag.Partitioning
+	// Assignment orients every node onto a template dimension.
+	Assignment map[cag.Node]int
+	// Origin documents the candidate's provenance.
+	Origin string
+}
+
+// PhaseCandidate is a class candidate projected onto one phase.
+type PhaseCandidate struct {
+	Align  *layout.Alignment
+	Part   cag.Partitioning
+	Origin string
+}
+
+// Spaces is the result of alignment search space construction.
+type Spaces struct {
+	Classes    []*Class
+	PhaseClass map[int]int
+	// PerPhase maps phase ID to its deduplicated candidate alignments.
+	PerPhase map[int][]*PhaseCandidate
+	// Stats collects one entry per 0-1 conflict resolution performed.
+	Stats []cag.Stats
+	// TemplateRank is the program template dimensionality used.
+	TemplateRank int
+}
+
+// BuildSearchSpaces runs the full §3.2 heuristic:
+//
+//  1. initialize per-phase CAGs (resolving any intra-phase conflicts);
+//  2. partition phases into classes in reverse postorder, greedily
+//     merging CAGs while conflict-free;
+//  3. import each class's optimal alignment into every other class's
+//     search space (scale, merge, re-resolve, restrict, ⊑-dedup);
+//  4. project class candidates onto per-phase candidate alignments.
+func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseInfo, opt Options) (*Spaces, error) {
+	opt = opt.defaults()
+	d := u.MaxRank()
+	if d == 0 {
+		return nil, fmt.Errorf("align: program has no arrays")
+	}
+	sp := &Spaces{
+		PhaseClass:   map[int]int{},
+		PerPhase:     map[int][]*PhaseCandidate{},
+		TemplateRank: d,
+	}
+
+	// Step 1: per-phase conflict-free CAGs.
+	phaseCAG := map[int]*cag.Graph{}
+	for _, ph := range g.Phases {
+		pi := infos[ph.ID]
+		pg := BuildCAG(u, pi, ph.Freq)
+		if pg.HasConflict() {
+			res, err := sp.resolve(pg, d, opt)
+			if err != nil {
+				return nil, fmt.Errorf("align: phase %d: %w", ph.ID, err)
+			}
+			pg = keptGraph(pg, res.Assignment)
+		}
+		phaseCAG[ph.ID] = pg
+	}
+
+	// Step 2: greedy class partitioning in reverse postorder.
+	for _, id := range g.ReversePostorder() {
+		pg := phaseCAG[id]
+		placed := false
+		if len(sp.Classes) > 0 {
+			last := sp.Classes[len(sp.Classes)-1]
+			merged := last.CAG.Merge(pg)
+			if !merged.HasConflict() {
+				last.CAG = merged
+				last.Phases = append(last.Phases, id)
+				for _, a := range pg.Arrays() {
+					last.Arrays[a] = true
+				}
+				sp.PhaseClass[id] = last.ID
+				placed = true
+			}
+		}
+		if !placed {
+			c := &Class{ID: len(sp.Classes), Phases: []int{id}, CAG: pg.Clone(), Arrays: map[string]bool{}}
+			for _, a := range pg.Arrays() {
+				c.Arrays[a] = true
+			}
+			sp.Classes = append(sp.Classes, c)
+			sp.PhaseClass[id] = c.ID
+		}
+	}
+
+	// Base candidate per class: the class CAG's own alignment.
+	for _, c := range sp.Classes {
+		res, err := sp.resolve(c.CAG, d, opt)
+		if err != nil {
+			return nil, fmt.Errorf("align: class %d: %w", c.ID, err)
+		}
+		c.Cands = append(c.Cands, &Candidate{
+			Part:       res.Aligned.Restrict(c.Arrays),
+			Assignment: restrictAssignment(res.Assignment, c.Arrays),
+			Origin:     fmt.Sprintf("class %d optimal", c.ID),
+		})
+	}
+
+	// Step 3: imports between classes.
+	for _, sink := range sp.Classes {
+		for _, src := range sp.Classes {
+			if src.ID == sink.ID {
+				continue
+			}
+			scaled := src.CAG.Clone()
+			scaled.ScaleWeights(opt.ImportScale)
+			merged := scaled.Merge(sink.CAG)
+			res, err := sp.resolve(merged, d, opt)
+			if err != nil {
+				return nil, fmt.Errorf("align: import %d->%d: %w", src.ID, sink.ID, err)
+			}
+			cand := &Candidate{
+				Part:       res.Aligned.Restrict(sink.Arrays),
+				Assignment: restrictAssignment(res.Assignment, sink.Arrays),
+				Origin:     fmt.Sprintf("imported from class %d", src.ID),
+			}
+			if !weakerOrEqual(cand, sink.Cands) {
+				sink.Cands = append(sink.Cands, cand)
+			}
+		}
+	}
+
+	// Step 4: project onto phases, deduplicating.  The projection for
+	// the dedup test uses the phase's own arrays (§3.2: identical
+	// projections collapse), but the resulting alignment keeps the
+	// whole class's arrays so phases of one class place shared arrays
+	// consistently and transitions between them stay remap-free.
+	for _, ph := range g.Phases {
+		c := sp.Classes[sp.PhaseClass[ph.ID]]
+		phaseArrays := map[string]bool{}
+		for _, a := range ph.Arrays {
+			phaseArrays[a] = true
+		}
+		classArrays := map[string]bool{}
+		for a := range c.Arrays {
+			classArrays[a] = true
+		}
+		for a := range phaseArrays {
+			classArrays[a] = true
+		}
+		var cands []*PhaseCandidate
+		for _, cc := range c.Cands {
+			pc := &PhaseCandidate{
+				Part:   cc.Part.Restrict(phaseArrays),
+				Align:  toAlignment(u, cc.Assignment, classArrays, d),
+				Origin: cc.Origin,
+			}
+			dup := false
+			for _, prev := range cands {
+				if prev.Part.Equal(pc.Part) && sameAlignment(prev.Align, pc.Align) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cands = append(cands, pc)
+			}
+		}
+		sp.PerPhase[ph.ID] = cands
+	}
+	return sp, nil
+}
+
+// resolve dispatches to the ILP or greedy resolver and records stats.
+func (sp *Spaces) resolve(g *cag.Graph, d int, opt Options) (*cag.Resolution, error) {
+	if opt.Greedy {
+		return cag.ResolveGreedy(g, d)
+	}
+	res, err := cag.Resolve(g, d, opt.Solver)
+	if err != nil {
+		return nil, err
+	}
+	if res.Stats.Vars > 0 {
+		sp.Stats = append(sp.Stats, res.Stats)
+	}
+	return res, nil
+}
+
+// keptGraph drops the edges cut by an assignment, leaving the
+// conflict-free CAG that initializes the phase's search space.
+func keptGraph(g *cag.Graph, assignment map[cag.Node]int) *cag.Graph {
+	out := cag.NewGraph()
+	for _, a := range g.Arrays() {
+		out.AddArray(a, g.Rank(a))
+	}
+	for _, e := range g.Edges() {
+		if assignment[e.From] == assignment[e.To] {
+			out.AddWeight(e.From, e.To, e.Weight)
+		}
+	}
+	return out
+}
+
+func restrictAssignment(asg map[cag.Node]int, arrays map[string]bool) map[cag.Node]int {
+	out := map[cag.Node]int{}
+	for n, k := range asg {
+		if arrays[n.Array] {
+			out[n] = k
+		}
+	}
+	return out
+}
+
+// weakerOrEqual reports whether cand's alignment information refines
+// (is weaker than or equal to) some existing candidate's — the §3.2
+// dedup test: such a candidate adds no information and is skipped.
+func weakerOrEqual(cand *Candidate, existing []*Candidate) bool {
+	for _, e := range existing {
+		if cand.Part.Refines(e.Part) {
+			return true
+		}
+	}
+	return false
+}
+
+// toAlignment converts a node assignment into a layout.Alignment over
+// the given arrays.  Arrays missing from the assignment (possible when
+// a phase references an array its class never coupled) get canonical
+// embeddings onto free template dimensions.
+func toAlignment(u *fortran.Unit, asg map[cag.Node]int, arrays map[string]bool, d int) *layout.Alignment {
+	a := layout.NewAlignment()
+	var names []string
+	for n := range arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		arr := u.Arrays[name]
+		if arr == nil {
+			continue
+		}
+		dims := make([]int, arr.Rank())
+		used := map[int]bool{}
+		missing := false
+		for k := range dims {
+			t, ok := asg[cag.Node{Array: name, Dim: k}]
+			if !ok {
+				missing = true
+				break
+			}
+			dims[k] = t
+			used[t] = true
+		}
+		if missing {
+			// Canonical embedding on the lowest free dimensions.
+			used = map[int]bool{}
+			for k := range dims {
+				for t := 0; t < d; t++ {
+					if !used[t] {
+						dims[k] = t
+						used[t] = true
+						break
+					}
+				}
+			}
+		}
+		a.Set(name, dims)
+	}
+	return a
+}
+
+func sameAlignment(a, b *layout.Alignment) bool {
+	if len(a.Map) != len(b.Map) {
+		return false
+	}
+	for n, dims := range a.Map {
+		other, ok := b.Map[n]
+		if !ok || len(other) != len(dims) {
+			return false
+		}
+		for k := range dims {
+			if dims[k] != other[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MatchOrientations reorients each candidate after the first to agree
+// with the first candidate's assignment as much as possible, weighting
+// disagreement by array size — the lattice-meet-based strategy sketched
+// in §2.2.1 for minimizing potential remapping costs.  With the
+// prototype's one-dimensional block distributions orientation is
+// immaterial (§3.2), but the multi-dimensional extension uses this.
+func MatchOrientations(u *fortran.Unit, cands []*Candidate, d int) {
+	if len(cands) < 2 {
+		return
+	}
+	ref := cands[0].Assignment
+	perms := permutations(d)
+	for _, c := range cands[1:] {
+		bestScore := -1.0
+		var best map[cag.Node]int
+		for _, perm := range perms {
+			remapped := map[cag.Node]int{}
+			score := 0.0
+			for n, k := range c.Assignment {
+				remapped[n] = perm[k]
+				if rk, ok := ref[n]; ok && rk == perm[k] {
+					if arr := u.Arrays[n.Array]; arr != nil {
+						score += float64(arr.Bytes())
+					} else {
+						score++
+					}
+				}
+			}
+			if score > bestScore {
+				bestScore = score
+				best = remapped
+			}
+		}
+		c.Assignment = best
+	}
+}
+
+// permutations enumerates all permutations of 0..d-1.
+func permutations(d int) [][]int {
+	if d == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, used []bool)
+	rec = func(cur []int, used []bool) {
+		if len(cur) == d {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for k := 0; k < d; k++ {
+			if !used[k] {
+				used[k] = true
+				rec(append(cur, k), used)
+				used[k] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, d))
+	return out
+}

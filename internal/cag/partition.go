@@ -1,0 +1,242 @@
+package cag
+
+import (
+	"sort"
+	"strings"
+)
+
+// Partitioning is a partition of CAG nodes — the canonical
+// representation of the inter-dimensional alignment information of a
+// conflict-free CAG.  The set of all conflict-free alignments of a set
+// of arrays forms a semi-lattice under partition refinement (§2.2.1,
+// Figure 2); Refines, Meet and Join implement the lattice operations.
+//
+// Partitionings are canonicalized on construction (parts and their
+// members sorted) so Equal is a simple comparison.
+type Partitioning struct {
+	parts [][]Node
+}
+
+// NewPartitioning canonicalizes parts into a Partitioning.  Empty
+// parts are dropped.
+func NewPartitioning(parts [][]Node) Partitioning {
+	cp := make([][]Node, 0, len(parts))
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		q := append([]Node(nil), p...)
+		sort.Slice(q, func(i, j int) bool { return q[i].Less(q[j]) })
+		cp = append(cp, q)
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i][0].Less(cp[j][0]) })
+	return Partitioning{parts: cp}
+}
+
+// Discrete returns the bottom element over the given nodes: every node
+// alone (the CAG without edges).
+func Discrete(nodes []Node) Partitioning {
+	parts := make([][]Node, len(nodes))
+	for i, n := range nodes {
+		parts[i] = []Node{n}
+	}
+	return NewPartitioning(parts)
+}
+
+// Parts returns the canonical partition list (do not mutate).
+func (p Partitioning) Parts() [][]Node { return p.parts }
+
+// Nodes returns all nodes, sorted.
+func (p Partitioning) Nodes() []Node {
+	var out []Node
+	for _, part := range p.parts {
+		out = append(out, part...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// index maps each node to its part number.
+func (p Partitioning) index() map[Node]int {
+	idx := map[Node]int{}
+	for i, part := range p.parts {
+		for _, n := range part {
+			idx[n] = i
+		}
+	}
+	return idx
+}
+
+// Equal reports whether two partitionings are identical.
+func (p Partitioning) Equal(q Partitioning) bool {
+	if len(p.parts) != len(q.parts) {
+		return false
+	}
+	for i := range p.parts {
+		if len(p.parts[i]) != len(q.parts[i]) {
+			return false
+		}
+		for j := range p.parts[i] {
+			if p.parts[i][j] != q.parts[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Refines reports p ⊑ q: every part of p is contained in some part of
+// q.  Nodes of p absent from q make the test fail.  The test is linear
+// in the number of nodes of p (§2.2.1).
+func (p Partitioning) Refines(q Partitioning) bool {
+	qi := q.index()
+	for _, part := range p.parts {
+		want := -1
+		for _, n := range part {
+			pi, ok := qi[n]
+			if !ok {
+				return false
+			}
+			if want == -1 {
+				want = pi
+			} else if pi != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Meet returns the greatest lower bound p ⊓ q: the common refinement,
+// grouping nodes by their (p-part, q-part) pair.  Both partitionings
+// must cover the same node set for lattice semantics; nodes present in
+// only one operand form singleton parts.
+func Meet(p, q Partitioning) Partitioning {
+	pi, qi := p.index(), q.index()
+	groups := map[[2]int][]Node{}
+	seen := map[Node]bool{}
+	var singles [][]Node
+	add := func(n Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		a, okA := pi[n]
+		b, okB := qi[n]
+		if okA && okB {
+			k := [2]int{a, b}
+			groups[k] = append(groups[k], n)
+			return
+		}
+		singles = append(singles, []Node{n})
+	}
+	for _, n := range p.Nodes() {
+		add(n)
+	}
+	for _, n := range q.Nodes() {
+		add(n)
+	}
+	parts := make([][]Node, 0, len(groups)+len(singles))
+	for _, g := range groups {
+		parts = append(parts, g)
+	}
+	parts = append(parts, singles...)
+	return NewPartitioning(parts)
+}
+
+// Join returns the least upper bound p ⊔ q: the finest partitioning
+// coarser than both, computed by union-find over co-membership in
+// either operand.  The result may put two dimensions of one array in
+// the same part — an alignment conflict the caller must resolve.
+func Join(p, q Partitioning) Partitioning {
+	parent := map[Node]Node{}
+	var find func(Node) Node
+	find = func(x Node) Node {
+		pp, ok := parent[x]
+		if !ok || pp == x {
+			parent[x] = x
+			return x
+		}
+		r := find(pp)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b Node) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, src := range [][][]Node{p.parts, q.parts} {
+		for _, part := range src {
+			find(part[0]) // register singletons
+			for i := 1; i < len(part); i++ {
+				union(part[0], part[i])
+			}
+		}
+	}
+	groups := map[Node][]Node{}
+	for n := range parent {
+		groups[find(n)] = append(groups[find(n)], n)
+	}
+	parts := make([][]Node, 0, len(groups))
+	for _, g := range groups {
+		parts = append(parts, g)
+	}
+	return NewPartitioning(parts)
+}
+
+// HasConflict reports whether some part contains two dimensions of the
+// same array.
+func (p Partitioning) HasConflict() bool {
+	for _, part := range p.parts {
+		seen := map[string]bool{}
+		for _, n := range part {
+			if seen[n.Array] {
+				return true
+			}
+			seen[n.Array] = true
+		}
+	}
+	return false
+}
+
+// Restrict keeps only the nodes of the named arrays, dropping empty
+// parts — the projection used when an imported alignment candidate is
+// restricted to the arrays of the sink class (§3.2).
+func (p Partitioning) Restrict(arrays map[string]bool) Partitioning {
+	parts := make([][]Node, 0, len(p.parts))
+	for _, part := range p.parts {
+		var kept []Node
+		for _, n := range part {
+			if arrays[n.Array] {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) > 0 {
+			parts = append(parts, kept)
+		}
+	}
+	return NewPartitioning(parts)
+}
+
+// NumParts returns the number of parts.
+func (p Partitioning) NumParts() int { return len(p.parts) }
+
+func (p Partitioning) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, part := range p.parts {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		for j, n := range part {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(n.String())
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

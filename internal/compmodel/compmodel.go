@@ -1,0 +1,658 @@
+// Package compmodel implements the compiler model of §2.3/§3: it
+// simulates — for performance estimation only — what communication the
+// target HPF/Fortran D compiler would generate for a candidate data
+// layout of a phase, and how the computation is partitioned.
+//
+// The model assumes an advanced compilation system that caches
+// communicated values and uses the owner-computes rule (§3.1), and is
+// parameterized by the optimizations the target compiler performs.
+// The paper's experiments simulate a compiler that performs message
+// coalescing and message vectorization but no coarse-grain pipelining,
+// loop interchange, or loop distribution; those are the Options
+// defaults.  Boundary-processor special cases are deliberately ignored
+// (§2.3) — the simulator in package sim models them, which is one
+// source of estimated-vs-measured differences.
+package compmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dep"
+	"repro/internal/fortran"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+// Options selects the target compiler's optimizations.
+type Options struct {
+	// NoMessageVectorization disables hoisting/aggregating messages out
+	// of loops (they stay at the innermost level).
+	NoMessageVectorization bool
+	// NoMessageCoalescing disables merging messages with the same
+	// pattern, placement and direction.
+	NoMessageCoalescing bool
+	// LoopInterchange allows the execution model to reorder loops when
+	// scheduling pipelines (off for the paper's target compiler).
+	LoopInterchange bool
+	// CoarseGrainPipelining allows strip-mined pipelines (off for the
+	// paper's target compiler).
+	CoarseGrainPipelining bool
+}
+
+// Event is one compiler-generated communication.
+type Event struct {
+	Array   string
+	Pattern machine.Pattern
+	// Count is the expected number of events per phase execution.
+	Count float64
+	// Bytes is the payload per event.
+	Bytes int
+	// Stride classifies the message's memory access pattern.
+	Stride machine.Stride
+	// Level is the loop nest level the message is placed at after
+	// vectorization; -1 means the phase boundary.
+	Level int
+	// Planes is the shift depth in boundary planes (shift events).
+	Planes int
+	// Dir is the shift direction (+1 reads lower indices, -1 higher;
+	// 0 for non-shift patterns).
+	Dir int
+	// Reason documents why the communication exists.
+	Reason string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v(%s) x%.3g %dB %v@L%d [%s]",
+		e.Pattern, e.Array, e.Count, e.Bytes, e.Stride, e.Level, e.Reason)
+}
+
+// CrossDep is a loop-carried flow dependence that crosses processors
+// under the layout.
+type CrossDep struct {
+	Dep dep.Dependence
+	// Level is the nest level of the carrying loop.
+	Level int
+	// OuterTrips is the product of trip counts of the loops enclosing
+	// the carrier — the number of pipeline stages available.
+	OuterTrips float64
+	// StageBytes is the message payload crossing processors per
+	// pipeline stage.
+	StageBytes int
+	// InnerTrips is the per-stage, per-processor iteration count of
+	// the loops at and inside the carrier.
+	InnerTrips float64
+	// CarrierTrip is the carrier loop's per-processor (blocked) trip
+	// count.
+	CarrierTrip float64
+}
+
+// CompUnit is the partitioned computation of one assignment.
+type CompUnit struct {
+	Ops dep.OpCount
+	// ItersPerProc is the per-processor execution count (iterations ×
+	// guard, divided by the processors the statement is spread over).
+	ItersPerProc float64
+	// Partitioned reports whether the owner-computes rule spreads the
+	// statement over processors.
+	Partitioned bool
+	// Reduction marks accumulation statements.
+	Reduction bool
+}
+
+// Plan is the compiler model's result for one (phase, layout) pair.
+type Plan struct {
+	Events    []Event
+	CrossDeps []CrossDep
+	Comp      []CompUnit
+	// Partitioned reports whether any statement runs in parallel.
+	Partitioned bool
+	// Procs is the total processor count of the layout.
+	Procs int
+}
+
+// Analyze simulates compilation of one phase under a candidate layout.
+func Analyze(u *fortran.Unit, pi *dep.PhaseInfo, l *layout.Layout, opt Options) *Plan {
+	a := &analyzer{u: u, pi: pi, l: l, opt: opt, procs: l.Procs()}
+	plan := &Plan{Procs: a.procs}
+	deps := pi.FlowDeps()
+	for _, ai := range pi.Assigns {
+		plan.Comp = append(plan.Comp, a.computation(ai))
+		a.communication(ai, deps, plan)
+	}
+	for i := range plan.Comp {
+		if plan.Comp[i].Partitioned {
+			plan.Partitioned = true
+		}
+	}
+	a.crossDeps(deps, plan)
+	if !opt.NoMessageCoalescing {
+		plan.Events = coalesce(plan.Events)
+	}
+	sort.Slice(plan.Events, func(i, j int) bool {
+		return plan.Events[i].String() < plan.Events[j].String()
+	})
+	return plan
+}
+
+type analyzer struct {
+	u     *fortran.Unit
+	pi    *dep.PhaseInfo
+	l     *layout.Layout
+	opt   Options
+	procs int
+}
+
+// computation applies the owner-computes rule to one assignment.
+func (a *analyzer) computation(ai *dep.AssignInfo) CompUnit {
+	cu := CompUnit{Ops: ai.Ops, Reduction: ai.IsReduction}
+	iters := ai.Iters * ai.Guard
+	split := 1.0
+	if ai.LHS != nil {
+		// The statement is partitioned along every loop whose variable
+		// subscripts a distributed dimension of the target.
+		for dim := range ai.LHS.Subs {
+			if !a.l.IsDistributed(ai.LHS.Array.Name, dim) {
+				continue
+			}
+			sub := ai.LHS.Subs[dim]
+			t := a.l.Align.Of(ai.LHS.Array.Name, dim)
+			if sub.Single && loopOf(ai, sub.Var) != nil {
+				split *= float64(a.l.Dist[t].Procs)
+			}
+			// A distributed dimension subscripted by a constant means
+			// only the owners execute; modeled as unpartitioned work on
+			// one processor (no split, no parallelism gain).
+		}
+	} else if ai.IsReduction {
+		// Reductions partition along the distributed dimensions of the
+		// accumulated reads.
+		for _, r := range ai.Reads {
+			for dim := range r.Subs {
+				if a.l.IsDistributed(r.Array.Name, dim) && r.Subs[dim].Single && loopOf(ai, r.Subs[dim].Var) != nil {
+					t := a.l.Align.Of(r.Array.Name, dim)
+					split *= float64(a.l.Dist[t].Procs)
+				}
+			}
+			break // the first distributed read determines the partition
+		}
+	}
+	cu.ItersPerProc = iters / split
+	cu.Partitioned = split > 1
+	return cu
+}
+
+// communication detects and places the messages one assignment needs.
+func (a *analyzer) communication(ai *dep.AssignInfo, deps []dep.Dependence, plan *Plan) {
+	if ai.LHS == nil && !ai.IsReduction {
+		// Scalar assignment: replicated computation.  Reads of
+		// distributed arrays would need gathering; the model is
+		// pessimistic (§3.1) and charges a broadcast per distributed
+		// read array.
+		for _, r := range ai.Reads {
+			if len(a.l.DistributedDims(r.Array.Name)) > 0 {
+				plan.Events = append(plan.Events, Event{
+					Array:   r.Array.Name,
+					Pattern: machine.Broadcast,
+					Count:   ai.Guard,
+					Bytes:   r.Array.Bytes() / a.procs,
+					Stride:  machine.UnitStride,
+					Level:   -1,
+					Reason:  "replicated scalar statement reads distributed array",
+				})
+			}
+		}
+		return
+	}
+	if ai.IsReduction {
+		elem := 8
+		if ai.LHS != nil {
+			elem = ai.LHS.Array.Type.Size()
+		} else if sc := a.u.Scalars[ai.ScalarLHS]; sc != nil {
+			elem = sc.Type.Size()
+		}
+		partitioned := false
+		for _, r := range ai.Reads {
+			if len(a.l.DistributedDims(r.Array.Name)) > 0 {
+				partitioned = true
+			}
+		}
+		if partitioned {
+			// Combine partial results once per phase execution.
+			bytes := elem
+			if ai.LHS != nil {
+				// Array-valued reduction target: combine the local
+				// section.
+				bytes = localBytes(a.l, ai.LHS.Array)
+			}
+			plan.Events = append(plan.Events, Event{
+				Array:   ai.ScalarLHS + lhsName(ai),
+				Pattern: machine.Reduction,
+				Count:   1,
+				Bytes:   bytes,
+				Stride:  machine.UnitStride,
+				Level:   -1,
+				Reason:  "reduction combine",
+			})
+		}
+	}
+	if ai.LHS == nil {
+		return
+	}
+	lhs := ai.LHS
+	for _, r := range ai.Reads {
+		a.readComm(ai, lhs, r, deps, plan)
+	}
+}
+
+func lhsName(ai *dep.AssignInfo) string {
+	if ai.LHS != nil {
+		return ai.LHS.Array.Name
+	}
+	return ""
+}
+
+// readComm classifies the communication one read reference causes,
+// per distributed template dimension.
+func (a *analyzer) readComm(ai *dep.AssignInfo, lhs, r *dep.RefInfo, deps []dep.Dependence, plan *Plan) {
+	for _, t := range a.l.DistributedTemplateDims() {
+		rhsDim := dimAlignedTo(a.l, r.Array.Name, t)
+		lhsDim := dimAlignedTo(a.l, lhs.Array.Name, t)
+		if rhsDim < 0 {
+			// Read array replicated along t: data locally available.
+			continue
+		}
+		if lhsDim < 0 {
+			// Target replicated along t but the read is distributed:
+			// gather the read array (pessimistic broadcast).
+			plan.Events = append(plan.Events, Event{
+				Array:   r.Array.Name,
+				Pattern: machine.Broadcast,
+				Count:   ai.Guard,
+				Bytes:   r.Array.Bytes() / a.l.Dist[t].Procs,
+				Stride:  machine.UnitStride,
+				Level:   -1,
+				Reason:  "replicated target reads distributed array",
+			})
+			continue
+		}
+		ls, rs := lhs.Subs[lhsDim], r.Subs[rhsDim]
+		switch {
+		case !rs.OK:
+			a.wholeArrayComm(ai, r, t, deps, plan, "non-affine subscript")
+		case rs.Affine.IsConst() || (rs.Single && loopOf(ai, rs.Var) == nil):
+			// Loop-invariant plane of a distributed dimension: owned by
+			// one processor row, needed by all.
+			a.planeBroadcast(ai, r, rhsDim, t, plan)
+		case ls.Single && rs.Single && ls.Var == rs.Var && ls.Coeff == rs.Coeff:
+			diff := ls.Const - rs.Const
+			if diff == 0 {
+				continue // perfectly aligned: local
+			}
+			a.shiftComm(ai, r, rhsDim, t, abs(diff), sign(diff), deps, plan)
+		default:
+			// Different variables or strides across this dimension:
+			// general remapping-style communication.
+			a.wholeArrayComm(ai, r, t, deps, plan, "misaligned access (transpose-like)")
+		}
+	}
+}
+
+// shiftComm emits a nearest-neighbor shift of delta boundary planes in
+// direction dir.  Under a CYCLIC distribution of the shifted dimension
+// every element's neighbor lives on another processor, so the whole
+// local section moves instead of delta boundary planes.
+func (a *analyzer) shiftComm(ai *dep.AssignInfo, r *dep.RefInfo, rhsDim, t, delta, dir int, deps []dep.Dependence, plan *Plan) {
+	level := a.placement(r.Array.Name, deps)
+	if k := a.l.Dist[t].Kind; k == layout.Cyclic || (k == layout.BlockCyclic && delta >= a.l.Dist[t].Size) {
+		procs := a.l.Dist[t].Procs
+		plan.Events = append(plan.Events, Event{
+			Array:   r.Array.Name,
+			Pattern: machine.Shift,
+			Count:   ai.Guard,
+			Bytes:   r.Array.Bytes() / procs,
+			Stride:  machine.NonUnitStride,
+			Level:   level,
+			Planes:  delta,
+			Dir:     dir,
+			Reason:  fmt.Sprintf("cyclic distribution: every element of dim %d has a remote neighbor", rhsDim+1),
+		})
+		return
+	}
+	count, bytes, stride := a.messageShape(ai, r, rhsDim, t, delta, level)
+	plan.Events = append(plan.Events, Event{
+		Array:   r.Array.Name,
+		Pattern: machine.Shift,
+		Count:   count * ai.Guard,
+		Bytes:   bytes,
+		Stride:  stride,
+		Level:   level,
+		Planes:  delta,
+		Dir:     dir,
+		Reason:  fmt.Sprintf("offset %+d along distributed dim %d", dir*delta, rhsDim+1),
+	})
+}
+
+// planeBroadcast emits a broadcast of one plane of a distributed array.
+func (a *analyzer) planeBroadcast(ai *dep.AssignInfo, r *dep.RefInfo, rhsDim, t int, plan *Plan) {
+	elem := r.Array.Type.Size()
+	vol := elem
+	for dim, e := range r.Array.Extents {
+		if dim == rhsDim {
+			continue
+		}
+		vol *= e
+	}
+	plan.Events = append(plan.Events, Event{
+		Array:   r.Array.Name,
+		Pattern: machine.Broadcast,
+		Count:   ai.Guard,
+		Bytes:   vol,
+		Stride:  planeStride(r.Array, rhsDim),
+		Level:   -1,
+		Reason:  fmt.Sprintf("invariant plane of distributed dim %d", rhsDim+1),
+	})
+}
+
+// wholeArrayComm emits an all-to-all style exchange of the read array.
+func (a *analyzer) wholeArrayComm(ai *dep.AssignInfo, r *dep.RefInfo, t int, deps []dep.Dependence, plan *Plan, reason string) {
+	level := a.placement(r.Array.Name, deps)
+	plan.Events = append(plan.Events, Event{
+		Array:   r.Array.Name,
+		Pattern: machine.Transpose,
+		Count:   ai.Guard,
+		Bytes:   r.Array.Bytes() / a.l.Dist[t].Procs,
+		Stride:  machine.NonUnitStride,
+		Level:   level,
+		Reason:  "whole-array exchange: " + reason,
+	})
+}
+
+// placement computes the loop level a message for the given array can
+// be vectorized to: the phase boundary (-1) unless a flow dependence on
+// the array forbids hoisting past its carrier.
+func (a *analyzer) placement(array string, deps []dep.Dependence) int {
+	if a.opt.NoMessageVectorization {
+		// Messages stay inside the innermost loop: one per iteration of
+		// every enclosing loop.
+		deepest := 0
+		for _, ai := range a.pi.Assigns {
+			if n := len(ai.Loops); n > deepest {
+				deepest = n
+			}
+		}
+		return deepest
+	}
+	level := -1
+	for _, d := range deps {
+		if d.Array != array {
+			continue
+		}
+		if !a.depCrossesProcessors(d) {
+			continue
+		}
+		if d.CarrierLevel > level {
+			level = d.CarrierLevel
+		}
+	}
+	return level
+}
+
+// depCrossesProcessors reports whether a dependence's differing array
+// dimensions include a distributed one.
+func (a *analyzer) depCrossesProcessors(d dep.Dependence) bool {
+	for _, dim := range d.ArrayDims {
+		if a.l.IsDistributed(d.Array, dim) {
+			return true
+		}
+	}
+	return false
+}
+
+// messageShape computes (count, bytes, stride) for a shift placed at
+// the given level.  The message aggregates the reference over loops
+// inside the placement level and repeats per iteration of the loops
+// outside it.
+func (a *analyzer) messageShape(ai *dep.AssignInfo, r *dep.RefInfo, rhsDim, t, delta, level int) (count float64, bytes int, stride machine.Stride) {
+	count = 1
+	for _, l := range ai.Loops {
+		if level >= 0 && l.Level < level {
+			count *= float64(a.localTrip(ai, l))
+		}
+	}
+	// Section extents per array dimension.
+	ext := make([]int, len(r.Array.Extents))
+	for dim := range ext {
+		ext[dim] = 1
+	}
+	ext[rhsDim] = delta
+	for dim, sub := range r.Subs {
+		if dim == rhsDim || !sub.Single {
+			continue
+		}
+		l := loopOf(ai, sub.Var)
+		if l == nil {
+			continue
+		}
+		if level < 0 || l.Level > level {
+			// Aggregated dimension: local range of that loop.
+			e := l.Trip
+			if a.l.IsDistributed(r.Array.Name, dim) {
+				td := a.l.Align.Of(r.Array.Name, dim)
+				e = layoutBlock(e, a.l.Dist[td].Procs)
+			}
+			if e > r.Array.Extents[dim] {
+				e = r.Array.Extents[dim]
+			}
+			ext[dim] = e
+		}
+	}
+	elems := 1
+	for _, e := range ext {
+		elems *= e
+	}
+	bytes = elems * r.Array.Type.Size()
+	stride = sectionStride(r.Array, ext)
+	return count, bytes, stride
+}
+
+// localTrip is the per-processor trip count of a loop: loops iterating
+// a distributed dimension of the statement's target are blocked.
+func (a *analyzer) localTrip(ai *dep.AssignInfo, l *dep.LoopInfo) int {
+	if ai.LHS == nil {
+		return l.Trip
+	}
+	for dim, sub := range ai.LHS.Subs {
+		if sub.Single && sub.Var == l.Var && a.l.IsDistributed(ai.LHS.Array.Name, dim) {
+			t := a.l.Align.Of(ai.LHS.Array.Name, dim)
+			return layoutBlock(l.Trip, a.l.Dist[t].Procs)
+		}
+	}
+	return l.Trip
+}
+
+// crossDeps records the dependences that cross processors with their
+// pipeline geometry.
+func (a *analyzer) crossDeps(deps []dep.Dependence, plan *Plan) {
+	for _, d := range deps {
+		if !a.depCrossesProcessors(d) {
+			continue
+		}
+		cd := CrossDep{Dep: d, Level: d.CarrierLevel, OuterTrips: 1, InnerTrips: 1, CarrierTrip: 1}
+		// Find a writer of the array to read the loop geometry from.
+		var loops []*dep.LoopInfo
+		for _, ai := range a.pi.Assigns {
+			if ai.LHS != nil && ai.LHS.Array.Name == d.Array {
+				loops = ai.Loops
+				break
+			}
+		}
+		for _, l := range loops {
+			if l.Level < d.CarrierLevel {
+				cd.OuterTrips *= float64(l.Trip)
+			} else {
+				tr := l.Trip
+				if l.Level == d.CarrierLevel {
+					// The carrier iterates over the distributed block.
+					tr = layoutBlock(tr, a.procs)
+					cd.CarrierTrip = float64(tr)
+				}
+				cd.InnerTrips *= float64(tr)
+			}
+		}
+		// Per-stage payload: the sum of shift bytes placed at the
+		// carrier level for this array.
+		for _, e := range plan.Events {
+			if e.Array == d.Array && e.Level == d.CarrierLevel && e.Pattern == machine.Shift {
+				cd.StageBytes += e.Bytes
+			}
+		}
+		if cd.StageBytes == 0 {
+			arr := a.u.Arrays[d.Array]
+			if arr != nil {
+				cd.StageBytes = arr.Type.Size()
+			}
+		}
+		plan.CrossDeps = append(plan.CrossDeps, cd)
+	}
+}
+
+// coalesce merges events with identical (array, pattern, level, stride,
+// planes) — the compiler sends one message where several references
+// need the same data (§4's "message coalescing").
+func coalesce(events []Event) []Event {
+	type key struct {
+		array   string
+		pattern machine.Pattern
+		level   int
+		stride  machine.Stride
+		dir     int
+	}
+	merged := map[key]*Event{}
+	var order []key
+	for _, e := range events {
+		k := key{e.Array, e.Pattern, e.Level, e.Stride, e.Dir}
+		if m, ok := merged[k]; ok {
+			// Keep the widest shift depth / payload; counts do not add
+			// because the messages combine.
+			if e.Bytes > m.Bytes {
+				m.Bytes = e.Bytes
+			}
+			if e.Planes > m.Planes {
+				m.Planes = e.Planes
+			}
+			if e.Count > m.Count {
+				m.Count = e.Count
+			}
+			continue
+		}
+		cp := e
+		merged[k] = &cp
+		order = append(order, k)
+	}
+	out := make([]Event, 0, len(merged))
+	for _, k := range order {
+		out = append(out, *merged[k])
+	}
+	return out
+}
+
+// dimAlignedTo returns the array dimension aligned to template
+// dimension t, or -1.
+func dimAlignedTo(l *layout.Layout, array string, t int) int {
+	for dim, td := range l.Align.Map[array] {
+		if td == t {
+			return dim
+		}
+	}
+	return -1
+}
+
+func loopOf(ai *dep.AssignInfo, v string) *dep.LoopInfo {
+	for _, l := range ai.Loops {
+		if l.Var == v {
+			return l
+		}
+	}
+	return nil
+}
+
+// planeStride classifies the memory access of a full plane with the
+// given dimension fixed (Fortran column-major order).
+func planeStride(arr *fortran.Array, fixedDim int) machine.Stride {
+	ext := make([]int, len(arr.Extents))
+	copy(ext, arr.Extents)
+	ext[fixedDim] = 1
+	return sectionStride(arr, ext)
+}
+
+// sectionStride reports whether a rectangular section with the given
+// per-dimension extents is contiguous in column-major storage: the
+// varying dimensions must form a prefix, fully covered except possibly
+// the last.
+func sectionStride(arr *fortran.Array, ext []int) machine.Stride {
+	elems := 1
+	for _, e := range ext {
+		elems *= e
+	}
+	if elems <= 1 {
+		return machine.UnitStride
+	}
+	partialSeen := false
+	for d := 0; d < len(ext); d++ {
+		if ext[d] == 1 {
+			if d+1 < len(ext) {
+				for _, later := range ext[d+1:] {
+					if later > 1 {
+						return machine.NonUnitStride
+					}
+				}
+			}
+			break
+		}
+		if partialSeen {
+			return machine.NonUnitStride
+		}
+		if ext[d] < arr.Extents[d] {
+			partialSeen = true
+		}
+	}
+	return machine.UnitStride
+}
+
+// layoutBlock is the per-processor block of a trip count.
+func layoutBlock(n, p int) int {
+	if p <= 1 {
+		return n
+	}
+	return (n + p - 1) / p
+}
+
+// localBytes is the per-processor byte count of an array under l.
+func localBytes(l *layout.Layout, arr *fortran.Array) int {
+	b := arr.Bytes()
+	for dim := range arr.Extents {
+		if l.IsDistributed(arr.Name, dim) {
+			t := l.Align.Of(arr.Name, dim)
+			b /= l.Dist[t].Procs
+		}
+	}
+	return b
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	if x < 0 {
+		return -1
+	}
+	if x > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,435 @@
+package compmodel
+
+import (
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/fortran"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+// analyzeProgram parses src, treats the whole body as one phase, and
+// compiles it against the given layout builder.
+func analyzeProgram(t *testing.T, src string, mk func(u *fortran.Unit) *layout.Layout, opt Options) (*Plan, *fortran.Unit) {
+	t.Helper()
+	u, err := fortran.Analyze(fortran.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := dep.Analyze(u, u.Prog.Body, 100)
+	l := mk(u)
+	return Analyze(u, pi, l, opt), u
+}
+
+// dist1D builds a 1-D block layout distributing template dimension t
+// over p processors with canonical alignments for all arrays.
+func dist1D(u *fortran.Unit, t, p int) *layout.Layout {
+	tpl := layout.Template{Extents: u.TemplateExtents()}
+	a := layout.NewAlignment()
+	for name, arr := range u.Arrays {
+		dims := make([]int, arr.Rank())
+		for k := range dims {
+			dims[k] = k
+		}
+		a.Set(name, dims)
+	}
+	dd := make([]layout.DimDist, tpl.Rank())
+	for k := range dd {
+		dd[k] = layout.DimDist{Kind: layout.Star, Procs: 1}
+	}
+	dd[t] = layout.DimDist{Kind: layout.Block, Procs: p}
+	return layout.NewLayout(tpl, a, dd)
+}
+
+const adiRowSweep = `
+program p
+  parameter (n = 64)
+  double precision x(n,n), a(n,n), b(n,n)
+  do j = 2, n
+    do i = 1, n
+      x(i,j) = x(i,j) - x(i,j-1)*a(i,j)/b(i,j-1)
+    end do
+  end do
+end
+`
+
+const adiColSweep = `
+program p
+  parameter (n = 64)
+  double precision x(n,n), a(n,n), b(n,n)
+  do j = 1, n
+    do i = 2, n
+      x(i,j) = x(i,j) - x(i-1,j)*a(i,j)/b(i-1,j)
+    end do
+  end do
+end
+`
+
+func TestRowSweepRowLayoutIsLocal(t *testing.T) {
+	plan, _ := analyzeProgram(t, adiRowSweep, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 16)
+	}, Options{})
+	if len(plan.Events) != 0 {
+		t.Errorf("events = %v, want none (dependence along local dim)", plan.Events)
+	}
+	if len(plan.CrossDeps) != 0 {
+		t.Errorf("cross deps = %v, want none", plan.CrossDeps)
+	}
+	if !plan.Partitioned {
+		t.Error("computation should be partitioned")
+	}
+}
+
+func TestRowSweepColumnLayoutSequentializes(t *testing.T) {
+	plan, _ := analyzeProgram(t, adiRowSweep, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 1, 16)
+	}, Options{})
+	if len(plan.CrossDeps) != 1 {
+		t.Fatalf("cross deps = %v, want 1", plan.CrossDeps)
+	}
+	cd := plan.CrossDeps[0]
+	if cd.Level != 0 {
+		t.Errorf("carrier level = %d, want 0 (outermost j)", cd.Level)
+	}
+	if cd.OuterTrips != 1 {
+		t.Errorf("outer trips = %v, want 1", cd.OuterTrips)
+	}
+	// The x-shift feeds the dependence at level 0 and aggregates the
+	// inner i range: 64 doubles = 512 bytes.
+	var shift *Event
+	for i := range plan.Events {
+		if plan.Events[i].Array == "x" && plan.Events[i].Pattern == machine.Shift {
+			shift = &plan.Events[i]
+		}
+	}
+	if shift == nil {
+		t.Fatalf("no x shift in %v", plan.Events)
+	}
+	if shift.Level != 0 || shift.Bytes != 64*8 {
+		t.Errorf("shift = %+v, want level 0, 512 bytes", shift)
+	}
+	if shift.Stride != machine.UnitStride {
+		t.Errorf("stride = %v, want unit (column-major column)", shift.Stride)
+	}
+}
+
+func TestColSweepRowLayoutFinePipeline(t *testing.T) {
+	plan, _ := analyzeProgram(t, adiColSweep, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 16)
+	}, Options{})
+	if len(plan.CrossDeps) != 1 {
+		t.Fatalf("cross deps = %v, want 1", plan.CrossDeps)
+	}
+	cd := plan.CrossDeps[0]
+	if cd.Level != 1 {
+		t.Errorf("carrier level = %d, want 1 (inner i)", cd.Level)
+	}
+	if cd.OuterTrips != 64 {
+		t.Errorf("outer trips = %v, want 64 pipeline stages", cd.OuterTrips)
+	}
+	if cd.CarrierTrip != 4 { // ceil(63/16) = 4 local i iterations
+		t.Errorf("carrier trip = %v, want 4", cd.CarrierTrip)
+	}
+	var shift *Event
+	for i := range plan.Events {
+		if plan.Events[i].Array == "x" && plan.Events[i].Pattern == machine.Shift {
+			shift = &plan.Events[i]
+		}
+	}
+	if shift == nil || shift.Level != 1 || shift.Bytes != 8 || shift.Count != 64 {
+		t.Errorf("shift = %+v, want level 1, 8 bytes, count 64", shift)
+	}
+}
+
+const stencil = `
+program p
+  parameter (n = 128)
+  real unew(n,n), u(n,n)
+  do j = 2, n-1
+    do i = 2, n-1
+      unew(i,j) = 0.25*(u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+    end do
+  end do
+end
+`
+
+func TestStencilRowLayoutBufferedShifts(t *testing.T) {
+	plan, _ := analyzeProgram(t, stencil, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 8)
+	}, Options{})
+	if len(plan.CrossDeps) != 0 {
+		t.Fatalf("stencil should have no cross deps, got %v", plan.CrossDeps)
+	}
+	// Two vectorized shifts (one per direction), both strided (rows of
+	// a column-major array).
+	shifts := 0
+	for _, e := range plan.Events {
+		if e.Pattern != machine.Shift {
+			continue
+		}
+		shifts++
+		if e.Level != -1 {
+			t.Errorf("shift not vectorized to phase boundary: %+v", e)
+		}
+		if e.Stride != machine.NonUnitStride {
+			t.Errorf("row boundary should be strided: %+v", e)
+		}
+	}
+	if shifts != 2 {
+		t.Errorf("shifts = %d, want 2 (directions must not coalesce)", shifts)
+	}
+}
+
+func TestStencilColumnLayoutUnitStride(t *testing.T) {
+	plan, _ := analyzeProgram(t, stencil, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 1, 8)
+	}, Options{})
+	shifts := 0
+	for _, e := range plan.Events {
+		if e.Pattern != machine.Shift {
+			continue
+		}
+		shifts++
+		if e.Stride != machine.UnitStride {
+			t.Errorf("column boundary should be contiguous: %+v", e)
+		}
+	}
+	if shifts != 2 {
+		t.Errorf("shifts = %d, want 2", shifts)
+	}
+}
+
+func TestCoalescingMergesSameDirection(t *testing.T) {
+	src := `
+program p
+  parameter (n = 64)
+  real v(n,n), w(n,n)
+  do j = 3, n
+    do i = 1, n
+      v(i,j) = w(i,j-1) + w(i,j-2)
+    end do
+  end do
+end
+`
+	plan, _ := analyzeProgram(t, src, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 1, 8)
+	}, Options{})
+	shifts := 0
+	for _, e := range plan.Events {
+		if e.Pattern == machine.Shift {
+			shifts++
+			if e.Planes != 2 {
+				t.Errorf("coalesced shift planes = %d, want 2", e.Planes)
+			}
+		}
+	}
+	if shifts != 1 {
+		t.Errorf("shifts = %d, want 1 after coalescing", shifts)
+	}
+
+	plan2, _ := analyzeProgram(t, src, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 1, 8)
+	}, Options{NoMessageCoalescing: true})
+	shifts2 := 0
+	for _, e := range plan2.Events {
+		if e.Pattern == machine.Shift {
+			shifts2++
+		}
+	}
+	if shifts2 != 2 {
+		t.Errorf("shifts without coalescing = %d, want 2", shifts2)
+	}
+}
+
+func TestNoVectorizationKeepsMessagesInnermost(t *testing.T) {
+	plan, _ := analyzeProgram(t, stencil, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 8)
+	}, Options{NoMessageVectorization: true})
+	for _, e := range plan.Events {
+		if e.Pattern == machine.Shift && e.Level != 2 {
+			t.Errorf("unvectorized shift at level %d, want inside both loops (2)", e.Level)
+		}
+		// Per iteration of j (126) times the local i block (ceil(126/8)).
+		if e.Pattern == machine.Shift && e.Count != 126*16 {
+			t.Errorf("unvectorized shift count = %v, want 2016", e.Count)
+		}
+	}
+}
+
+func TestReductionEvent(t *testing.T) {
+	src := `
+program p
+  parameter (n = 64)
+  real x(n,n), s
+  do j = 1, n
+    do i = 1, n
+      s = s + x(i,j)*x(i,j)
+    end do
+  end do
+end
+`
+	plan, _ := analyzeProgram(t, src, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 8)
+	}, Options{})
+	found := false
+	for _, e := range plan.Events {
+		if e.Pattern == machine.Reduction {
+			found = true
+			if e.Bytes != 4 {
+				t.Errorf("reduction bytes = %d, want 4 (one real)", e.Bytes)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no reduction event in %v", plan.Events)
+	}
+	// The accumulation work is partitioned.
+	if !plan.Partitioned {
+		t.Error("reduction computation should be partitioned")
+	}
+}
+
+func TestInvariantPlaneBroadcast(t *testing.T) {
+	src := `
+program p
+  parameter (n = 64)
+  real a(n,n), b(n,n)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = b(i,j) * b(i,1)
+    end do
+  end do
+end
+`
+	plan, _ := analyzeProgram(t, src, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 1, 8)
+	}, Options{})
+	found := false
+	for _, e := range plan.Events {
+		if e.Pattern == machine.Broadcast && e.Array == "b" {
+			found = true
+			if e.Bytes != 64*4 {
+				t.Errorf("broadcast bytes = %d, want one column (256)", e.Bytes)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no broadcast in %v", plan.Events)
+	}
+}
+
+func TestTransposedAccessWholeArray(t *testing.T) {
+	src := `
+program p
+  parameter (n = 64)
+  real a(n,n), b(n,n)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = b(j,i)
+    end do
+  end do
+end
+`
+	plan, _ := analyzeProgram(t, src, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 8)
+	}, Options{})
+	found := false
+	for _, e := range plan.Events {
+		if e.Pattern == machine.Transpose && e.Array == "b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no transpose-style event in %v", plan.Events)
+	}
+}
+
+func TestReplicatedArrayNeedsNoComm(t *testing.T) {
+	// v is 1-D aligned to template dim 0; distribution on dim 1 leaves
+	// v replicated: reading it is free.
+	src := `
+program p
+  parameter (n = 64)
+  real a(n,n), v(n)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = v(i)
+    end do
+  end do
+end
+`
+	plan, _ := analyzeProgram(t, src, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 1, 8)
+	}, Options{})
+	if len(plan.Events) != 0 {
+		t.Errorf("events = %v, want none (v replicated along distributed dim)", plan.Events)
+	}
+}
+
+func TestComputationSplit(t *testing.T) {
+	plan, _ := analyzeProgram(t, stencil, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 8)
+	}, Options{})
+	if len(plan.Comp) != 1 {
+		t.Fatalf("comp units = %d", len(plan.Comp))
+	}
+	cu := plan.Comp[0]
+	want := float64(127-2+1) * float64(127-2+1) / 8
+	if cu.ItersPerProc != want {
+		t.Errorf("iters per proc = %v, want %v", cu.ItersPerProc, want)
+	}
+}
+
+func TestCyclicShiftMovesWholeSection(t *testing.T) {
+	// Under CYCLIC, a ±1 stencil makes every element's neighbor remote:
+	// the event must carry the whole per-processor section, not one
+	// boundary plane.
+	mkCyclic := func(u *fortran.Unit) *layout.Layout {
+		tpl := layout.Template{Extents: u.TemplateExtents()}
+		a := layout.NewAlignment()
+		for name, arr := range u.Arrays {
+			dims := make([]int, arr.Rank())
+			for k := range dims {
+				dims[k] = k
+			}
+			a.Set(name, dims)
+		}
+		return layout.NewLayout(tpl, a, []layout.DimDist{
+			{Kind: layout.Cyclic, Procs: 8}, {Kind: layout.Star, Procs: 1},
+		})
+	}
+	plan, u := analyzeProgram(t, stencil, mkCyclic, Options{})
+	var shift *Event
+	for i := range plan.Events {
+		if plan.Events[i].Pattern == machine.Shift {
+			shift = &plan.Events[i]
+			break
+		}
+	}
+	if shift == nil {
+		t.Fatalf("no shift in %v", plan.Events)
+	}
+	want := u.Arrays["u"].Bytes() / 8
+	if shift.Bytes != want {
+		t.Errorf("cyclic shift bytes = %d, want whole section %d", shift.Bytes, want)
+	}
+	if shift.Stride != machine.NonUnitStride {
+		t.Error("cyclic gathering is strided")
+	}
+	// The block layout's boundary exchange must be far cheaper.
+	planBlock, _ := analyzeProgram(t, stencil, func(u *fortran.Unit) *layout.Layout {
+		return dist1D(u, 0, 8)
+	}, Options{})
+	var blockShift *Event
+	for i := range planBlock.Events {
+		if planBlock.Events[i].Pattern == machine.Shift {
+			blockShift = &planBlock.Events[i]
+			break
+		}
+	}
+	if blockShift.Bytes >= shift.Bytes {
+		t.Errorf("block boundary (%d) should be smaller than cyclic section (%d)",
+			blockShift.Bytes, shift.Bytes)
+	}
+}

@@ -1,0 +1,576 @@
+// Package core is the data layout assistant tool: it ties the four
+// framework steps of §2 together.
+//
+//  1. Program partitioning: the program is split into phases and the
+//     phase control flow graph is built (package pcfg).
+//  2. Search space construction: explicit alignment search spaces per
+//     phase (package align, with 0-1 conflict resolution), crossed with
+//     candidate distributions (package distrib).
+//  3. Performance estimation: each candidate layout is priced with the
+//     compiler model (package compmodel), execution model (package
+//     execmodel) and machine model (package machine); remapping costs
+//     come from package remap.
+//  4. Layout selection: one candidate per phase minimizing total cost,
+//     via the 0-1 formulation of the data layout graph (package
+//     layoutgraph).
+//
+// A partially specified user layout (!hpf$ directives in the source)
+// constrains the search spaces, implementing the paper's "extend a
+// partially specified data layout" use case.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/cag"
+	"repro/internal/compmodel"
+	"repro/internal/dep"
+	"repro/internal/distrib"
+	"repro/internal/execmodel"
+	"repro/internal/fortran"
+	"repro/internal/ilp"
+	"repro/internal/layout"
+	"repro/internal/layoutgraph"
+	"repro/internal/machine"
+	"repro/internal/pcfg"
+	"repro/internal/remap"
+)
+
+// Options parameterizes the tool: the framework is explicitly
+// parameterized by compiler, machine, problem size (in the source) and
+// processor count (§1).
+type Options struct {
+	// Procs is the number of available processors (required, ≥ 2).
+	Procs int
+	// Machine is the target machine model (nil ⇒ iPSC/860).
+	Machine *machine.Model
+	// PCFG options (trip/branch defaults).
+	PCFG pcfg.Options
+	// Compiler selects the target compiler's optimizations.
+	Compiler compmodel.Options
+	// Align configures alignment analysis.
+	Align align.Options
+	// Cyclic and MultiDim enable the extended distribution search
+	// spaces (the prototype default is exhaustive 1-D BLOCK).
+	Cyclic   bool
+	MultiDim bool
+	// UseDP selects the chain/ring dynamic program instead of the 0-1
+	// formulation for the final selection (ablation baseline; falls
+	// back to the ILP on general graphs).
+	UseDP bool
+	// MergePhases ties adjacent phases together in the selection when
+	// remapping between them can never be profitable (§2.1's phase
+	// merging, after Sheffler et al.), shrinking the search.
+	MergePhases bool
+	// Solver is the 0-1 solver used for selection (nil for defaults).
+	Solver *ilp.Solver
+	// DefaultTrip for dependence analysis (0 ⇒ 100).
+	DefaultTrip int
+}
+
+// Candidate is one evaluated candidate layout of a phase.
+type Candidate struct {
+	Layout      *layout.Layout
+	AlignOrigin string
+	Plan        *compmodel.Plan
+	Estimate    execmodel.Estimate
+	// Cost is the frequency-weighted estimated time (µs).
+	Cost float64
+}
+
+// PhaseResult bundles a phase with its search space.
+type PhaseResult struct {
+	Phase      *pcfg.Phase
+	Info       *dep.PhaseInfo
+	Candidates []*Candidate
+	// Chosen indexes Candidates after selection.
+	Chosen int
+	// DataType is the widest element type in the phase.
+	DataType fortran.DataType
+}
+
+// ChosenLayout returns the selected candidate's layout.
+func (pr *PhaseResult) ChosenLayout() *layout.Layout {
+	return pr.Candidates[pr.Chosen].Layout
+}
+
+// RemapDecision is a remapping the selected layouts imply on an edge.
+type RemapDecision struct {
+	Edge   *pcfg.Edge
+	Arrays []string
+	// Cost is the frequency-weighted remap cost (µs).
+	Cost float64
+}
+
+// Result is the tool's output.
+type Result struct {
+	Unit     *fortran.Unit
+	PCFG     *pcfg.Graph
+	Template layout.Template
+	Phases   []*PhaseResult
+	// Selection is the solved layout selection.
+	Selection *layoutgraph.Selection
+	// TotalCost is the estimated whole-program execution time (µs).
+	TotalCost float64
+	// Remaps lists the dynamic remappings of the chosen layout.
+	Remaps []RemapDecision
+	// AlignStats records the 0-1 alignment solves (sizes, durations).
+	AlignStats []cag.Stats
+	// Spaces is the alignment search space construction result.
+	Spaces *align.Spaces
+	// LiveIn maps each phase ID to the arrays live on entry (read in
+	// the phase or carried through to a later reader); remapping on an
+	// edge is charged only for live arrays.
+	LiveIn map[int]map[string]bool
+	// Machine is the model the estimates were priced against.
+	Machine *machine.Model
+	// Elapsed is the total tool running time.
+	Elapsed time.Duration
+	// Dynamic reports whether the chosen layout remaps at runtime.
+	Dynamic bool
+
+	// MergedPairs counts the adjacent phase pairs tied together by the
+	// phase-merging preprocessing (Options.MergePhases).
+	MergedPairs int
+
+	// opt retains the invocation options for re-selection after search
+	// space edits.
+	opt Options
+}
+
+// AutoLayout runs the complete framework on dialect source code.
+func AutoLayout(src string, opt Options) (*Result, error) {
+	prog, err := fortran.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	u, err := fortran.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return AutoLayoutUnit(u, opt)
+}
+
+// AutoLayoutUnit runs the framework on an analyzed program.
+func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.Procs < 2 {
+		return nil, fmt.Errorf("core: Procs = %d, need at least 2", opt.Procs)
+	}
+	if opt.Machine == nil {
+		opt.Machine = machine.IPSC860()
+	}
+	if opt.DefaultTrip == 0 {
+		opt.DefaultTrip = 100
+	}
+
+	// Step 1: phases and PCFG.
+	g, err := pcfg.Build(u, opt.PCFG)
+	if err != nil {
+		return nil, err
+	}
+	infos := map[int]*dep.PhaseInfo{}
+	for _, ph := range g.Phases {
+		infos[ph.ID] = dep.Analyze(u, ph.Stmts(), opt.DefaultTrip)
+	}
+
+	// Step 2a: alignment search spaces.
+	spaces, err := align.BuildSearchSpaces(u, g, infos, opt.Align)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2b: distribution search spaces (cross product).
+	tpl := layout.Template{Extents: u.TemplateExtents()}
+	res := &Result{
+		Unit:       u,
+		PCFG:       g,
+		Template:   tpl,
+		AlignStats: spaces.Stats,
+		Spaces:     spaces,
+		Machine:    opt.Machine,
+		opt:        opt,
+	}
+	dOpt := distrib.Options{Procs: opt.Procs, Cyclic: opt.Cyclic, MultiDim: opt.MultiDim}
+	for _, ph := range g.Phases {
+		// Candidate layouts are *complete* data layouts: arrays the
+		// phase (or its class) never couples get canonical embeddings,
+		// so transitions account for every array that actually moves.
+		for _, ac := range spaces.PerPhase[ph.ID] {
+			extendAlignment(u, ac.Align)
+		}
+		space := distrib.BuildSpace(tpl, spaces.PerPhase[ph.ID], dOpt)
+		space = filterUserConstraints(u, space)
+		if len(space) == 0 {
+			return nil, fmt.Errorf("core: phase %d: user directives eliminate every candidate layout", ph.ID)
+		}
+		pr := &PhaseResult{Phase: ph, Info: infos[ph.ID], DataType: phaseType(u, ph)}
+		// Step 3: performance estimation per candidate.
+		for _, pl := range space {
+			plan := compmodel.Analyze(u, infos[ph.ID], pl.Layout, opt.Compiler)
+			est := execmodel.Evaluate(plan, pr.DataType, opt.Machine, opt.Compiler)
+			pr.Candidates = append(pr.Candidates, &Candidate{
+				Layout:      pl.Layout,
+				AlignOrigin: pl.AlignOrigin,
+				Plan:        plan,
+				Estimate:    est,
+				Cost:        est.Time * ph.Freq,
+			})
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+
+	res.LiveIn = liveness(g, infos)
+
+	// Step 4: layout selection over the data layout graph.
+	if err := res.Reselect(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Reselect re-solves the final layout selection over the current
+// candidate search spaces.  The tool's envisioned use (§2) lets the
+// user browse the explicit search spaces and insert or delete
+// candidates; call Reselect afterwards to recompute the optimal
+// selection, total cost and remapping decisions.
+func (r *Result) Reselect() error {
+	lg := &layoutgraph.Graph{NodeCost: make([][]float64, len(r.Phases))}
+	for p, pr := range r.Phases {
+		lg.NodeCost[p] = make([]float64, len(pr.Candidates))
+		for i, c := range pr.Candidates {
+			lg.NodeCost[p][i] = c.Cost
+		}
+	}
+	for _, e := range r.PCFG.Edges {
+		from, to := r.Phases[e.From], r.Phases[e.To]
+		edge := &layoutgraph.Edge{FromPhase: e.From, ToPhase: e.To}
+		edge.Cost = make([][]float64, len(from.Candidates))
+		liveArrays := liveNames(r.LiveIn[e.To])
+		for i, ci := range from.Candidates {
+			edge.Cost[i] = make([]float64, len(to.Candidates))
+			for j, cj := range to.Candidates {
+				c := remap.Cost(ci.Layout, cj.Layout, r.Unit.Arrays, liveArrays, r.Machine)
+				edge.Cost[i][j] = c * e.Freq
+			}
+		}
+		lg.Edges = append(lg.Edges, edge)
+	}
+	if r.opt.MergePhases {
+		lg.Ties = r.mergeTies(lg)
+		r.MergedPairs = len(lg.Ties)
+	}
+	var sel *layoutgraph.Selection
+	var err error
+	if r.opt.UseDP {
+		sel, err = lg.SolveDP()
+		if err != nil {
+			sel, err = lg.SolveILP(r.opt.Solver)
+		}
+	} else {
+		sel, err = lg.SolveILP(r.opt.Solver)
+	}
+	if err != nil {
+		return err
+	}
+	r.Selection = sel
+	r.TotalCost = sel.Cost
+	for p, pr := range r.Phases {
+		pr.Chosen = sel.Choice[p]
+	}
+
+	// Record the implied dynamic remappings.
+	r.Remaps = nil
+	r.Dynamic = false
+	for _, e := range r.PCFG.Edges {
+		from := r.Phases[e.From].ChosenLayout()
+		to := r.Phases[e.To].ChosenLayout()
+		moved := remap.Moved(from, to, liveNames(r.LiveIn[e.To]))
+		if len(moved) == 0 {
+			continue
+		}
+		r.Dynamic = true
+		r.Remaps = append(r.Remaps, RemapDecision{
+			Edge:   e,
+			Arrays: moved,
+			Cost:   remap.Cost(from, to, r.Unit.Arrays, moved, r.Machine) * e.Freq,
+		})
+	}
+	return nil
+}
+
+// mergeTies finds adjacent phase pairs that can safely be tied
+// together ("merged if remapping can never be profitable between
+// them", §2.1).  Tying (p, q) removes the edge p→q as a potential
+// remapping point, which is sound when any layout switch placed there
+// can instead be placed just after q at no extra cost:
+//
+//   - p and q carry identical candidate layouts (same keys, same
+//     order), so a common choice is well-defined;
+//   - q's candidates all cost the same (a layout-indifferent phase),
+//     so adopting p's layout is free for q; and
+//   - every PCFG successor r of q has liveIn(r) ⊆ liveIn(q), so the
+//     postponed remap moves no more data than the suppressed one.
+func (r *Result) mergeTies(lg *layoutgraph.Graph) [][2]int {
+	hasEdge := func(p, q int) bool {
+		for _, e := range lg.Edges {
+			if e.FromPhase == p && e.ToPhase == q {
+				return true
+			}
+		}
+		return false
+	}
+	var ties [][2]int
+	for p := 0; p+1 < len(r.Phases); p++ {
+		q := p + 1
+		a, b := r.Phases[p], r.Phases[q]
+		if len(a.Candidates) != len(b.Candidates) || !hasEdge(p, q) {
+			continue
+		}
+		same := true
+		for i := range a.Candidates {
+			if a.Candidates[i].Layout.Key() != b.Candidates[i].Layout.Key() {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		// Layout indifference of q.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range b.Candidates {
+			lo = math.Min(lo, c.Cost)
+			hi = math.Max(hi, c.Cost)
+		}
+		if hi-lo > 1e-9*math.Max(1, hi) {
+			continue
+		}
+		// Successor live sets must shrink.
+		shrinks := true
+		for _, e := range r.PCFG.Successors(b.Phase.ID) {
+			for arr := range r.LiveIn[e.To] {
+				if !r.LiveIn[b.Phase.ID][arr] {
+					shrinks = false
+					break
+				}
+			}
+			if !shrinks {
+				break
+			}
+		}
+		if shrinks {
+			ties = append(ties, [2]int{p, q})
+		}
+	}
+	return ties
+}
+
+// InsertCandidate adds a user-supplied candidate layout to a phase's
+// search space (the §2 browsing interface: "insert new candidate
+// layouts into ... the search spaces"), estimating it with the same
+// models as the generated candidates.  Missing arrays get canonical
+// embeddings.  It returns the new candidate's index; call Reselect to
+// fold it into the selection.
+func (r *Result) InsertCandidate(phase int, l *layout.Layout, origin string) (int, error) {
+	if phase < 0 || phase >= len(r.Phases) {
+		return 0, fmt.Errorf("core: no phase %d", phase)
+	}
+	l = l.Clone()
+	extendAlignment(r.Unit, l.Align)
+	pr := r.Phases[phase]
+	for i, c := range pr.Candidates {
+		if c.Layout.Key() == l.Key() {
+			return i, fmt.Errorf("core: phase %d already has an identical candidate (index %d)", phase, i)
+		}
+	}
+	plan := compmodel.Analyze(r.Unit, pr.Info, l, r.opt.Compiler)
+	est := execmodel.Evaluate(plan, pr.DataType, r.Machine, r.opt.Compiler)
+	pr.Candidates = append(pr.Candidates, &Candidate{
+		Layout:      l,
+		AlignOrigin: origin,
+		Plan:        plan,
+		Estimate:    est,
+		Cost:        est.Time * pr.Phase.Freq,
+	})
+	return len(pr.Candidates) - 1, nil
+}
+
+// DeleteCandidate removes candidate i from a phase's search space
+// ("delete candidate layouts from the search spaces").  The last
+// candidate of a phase cannot be deleted.  Call Reselect afterwards.
+func (r *Result) DeleteCandidate(phase, i int) error {
+	if phase < 0 || phase >= len(r.Phases) {
+		return fmt.Errorf("core: no phase %d", phase)
+	}
+	pr := r.Phases[phase]
+	if i < 0 || i >= len(pr.Candidates) {
+		return fmt.Errorf("core: phase %d has no candidate %d", phase, i)
+	}
+	if len(pr.Candidates) == 1 {
+		return fmt.Errorf("core: cannot delete the last candidate of phase %d", phase)
+	}
+	pr.Candidates = append(pr.Candidates[:i], pr.Candidates[i+1:]...)
+	if pr.Chosen >= len(pr.Candidates) {
+		pr.Chosen = 0
+	}
+	return nil
+}
+
+// liveness computes, per phase, the arrays live on entry by backward
+// dataflow over the PCFG to a fixed point:
+//
+//	liveIn(p) = reads(p) ∪ (∪_succ liveIn(succ) − killed(p))
+//
+// where killed(p) are the arrays phase p writes without reading (their
+// incoming values are dead, so remapping them is wasted work — e.g.
+// Adi's coefficient array is fully recomputed between sweeps).
+func liveness(g *pcfg.Graph, infos map[int]*dep.PhaseInfo) map[int]map[string]bool {
+	liveIn := map[int]map[string]bool{}
+	for _, ph := range g.Phases {
+		liveIn[ph.ID] = map[string]bool{}
+		for a := range infos[ph.ID].ReadSet {
+			liveIn[ph.ID][a] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.Phases) - 1; i >= 0; i-- {
+			ph := g.Phases[i]
+			pi := infos[ph.ID]
+			for _, e := range g.Successors(ph.ID) {
+				for a := range liveIn[e.To] {
+					if pi.WriteSet[a] && !pi.ReadSet[a] {
+						continue // killed here
+					}
+					if !liveIn[ph.ID][a] {
+						liveIn[ph.ID][a] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+// liveNames flattens a live set to a sorted name list.
+func liveNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for a := range set {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// extendAlignment adds canonical embeddings for every program array
+// the alignment does not cover, making the layout complete.
+func extendAlignment(u *fortran.Unit, a *layout.Alignment) {
+	for _, name := range u.ArrayNames() {
+		if _, ok := a.Map[name]; ok {
+			continue
+		}
+		arr := u.Arrays[name]
+		dims := make([]int, arr.Rank())
+		for k := range dims {
+			dims[k] = k
+		}
+		a.Set(name, dims)
+	}
+}
+
+// phaseType is the widest element type among the phase's arrays.
+func phaseType(u *fortran.Unit, ph *pcfg.Phase) fortran.DataType {
+	dt := fortran.Real
+	for _, a := range ph.Arrays {
+		if arr := u.Arrays[a]; arr != nil && arr.Type == fortran.Double {
+			dt = fortran.Double
+		}
+	}
+	return dt
+}
+
+// filterUserConstraints drops candidates that contradict the user's
+// !hpf$ directives (the partial-layout extension use case).
+func filterUserConstraints(u *fortran.Unit, space []*distrib.PhaseLayout) []*distrib.PhaseLayout {
+	if len(u.Distributes) == 0 && len(u.Aligns) == 0 {
+		return space
+	}
+	var out []*distrib.PhaseLayout
+	for _, pl := range space {
+		if satisfiesUser(u, pl.Layout) {
+			out = append(out, pl)
+		}
+	}
+	return out
+}
+
+func satisfiesUser(u *fortran.Unit, l *layout.Layout) bool {
+	for _, ud := range u.Distributes {
+		dims, ok := l.Align.Map[ud.Array]
+		if !ok {
+			continue // array not in this phase: unconstrained here
+		}
+		for k := range dims {
+			want := ud.Spec[k]
+			got := l.ArrayDist(ud.Array)[k]
+			switch want {
+			case fortran.DistStar:
+				if got.Kind != layout.Star && got.Procs > 1 {
+					return false
+				}
+			case fortran.DistBlock:
+				if got.Kind != layout.Block || got.Procs <= 1 {
+					return false
+				}
+			case fortran.DistCyclic:
+				if got.Kind != layout.Cyclic || got.Procs <= 1 {
+					return false
+				}
+			}
+		}
+	}
+	for _, ua := range u.Aligns {
+		sDims, okS := l.Align.Map[ua.Source]
+		tDims, okT := l.Align.Map[ua.Target]
+		if !okS || !okT {
+			continue
+		}
+		for k := range sDims {
+			if k < len(tDims) && sDims[k] != tDims[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EvaluatePinned estimates the whole-program cost when every phase is
+// forced to the candidate matching the given picker (e.g. a fixed
+// static layout), including remapping costs where placements differ.
+// It returns the total µs and the per-phase candidate indices; an
+// error if some phase has no matching candidate.
+func (r *Result) EvaluatePinned(pick func(pr *PhaseResult) int) (float64, []int, error) {
+	choice := make([]int, len(r.Phases))
+	total := 0.0
+	for p, pr := range r.Phases {
+		i := pick(pr)
+		if i < 0 || i >= len(pr.Candidates) {
+			return 0, nil, fmt.Errorf("core: phase %d has no matching candidate", p)
+		}
+		choice[p] = i
+		total += pr.Candidates[i].Cost
+	}
+	for _, e := range r.PCFG.Edges {
+		from := r.Phases[e.From].Candidates[choice[e.From]].Layout
+		to := r.Phases[e.To].Candidates[choice[e.To]].Layout
+		total += remap.Cost(from, to, r.Unit.Arrays, liveNames(r.LiveIn[e.To]), r.Machine) * e.Freq
+	}
+	return total, choice, nil
+}

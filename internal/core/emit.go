@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/layout"
+)
+
+// subscript letters for ALIGN dummy variables.
+const alignVars = "ijklmn"
+
+// EmitHPF renders the selected data layout as HPF directives followed
+// by the (pretty-printed) program text: PROCESSORS and TEMPLATE
+// declarations, ALIGN and DISTRIBUTE directives for the entry phase's
+// layout, and REDISTRIBUTE annotations for every dynamic remapping the
+// selection performs.  This is the output a user of the data layout
+// assistant tool would paste back into their HPF program.
+func (r *Result) EmitHPF() string {
+	var b strings.Builder
+	entry := r.Phases[0].ChosenLayout()
+	procs := entry.Procs()
+	fmt.Fprintf(&b, "!hpf$ processors p(%d)\n", procs)
+	ext := make([]string, r.Template.Rank())
+	for i, e := range r.Template.Extents {
+		ext[i] = fmt.Sprint(e)
+	}
+	fmt.Fprintf(&b, "!hpf$ template t(%s)\n", strings.Join(ext, ","))
+	for _, name := range entry.Align.Arrays() {
+		fmt.Fprintf(&b, "!hpf$ align %s\n", alignSpec(entry, name))
+	}
+	fmt.Fprintf(&b, "!hpf$ distribute t(%s) onto p\n", distSpec(entry))
+	fmt.Fprintf(&b, "!\n! estimated execution time: %.3f s on %s with %d processors\n",
+		r.TotalCost/1e6, r.Machine.Name(), procs)
+	if r.Dynamic {
+		fmt.Fprintf(&b, "! dynamic data layout: %d remapping points\n", len(r.Remaps))
+		for _, rm := range r.Remaps {
+			fmt.Fprintf(&b, "!   between phase %d (line %d) and phase %d (line %d): redistribute %s (%.1f ms total)\n",
+				rm.Edge.From, r.Phases[rm.Edge.From].Phase.Line,
+				rm.Edge.To, r.Phases[rm.Edge.To].Phase.Line,
+				strings.Join(rm.Arrays, ", "), rm.Cost/1e3)
+		}
+	} else {
+		fmt.Fprintf(&b, "! static data layout (no remapping profitable)\n")
+	}
+	fmt.Fprintf(&b, "!\n! per-phase selection:\n")
+	for _, pr := range r.Phases {
+		c := pr.Candidates[pr.Chosen]
+		fmt.Fprintf(&b, "!   phase %2d (line %4d): t(%s)  %-22s est %10.3f ms  [%s]\n",
+			pr.Phase.ID, pr.Phase.Line, distSpec(c.Layout), c.Estimate.Schedule,
+			c.Estimate.Time/1e3, c.AlignOrigin)
+	}
+	return b.String()
+}
+
+// alignSpec renders "a(i,j) with t(j,i)"-style alignment text.
+func alignSpec(l *layout.Layout, array string) string {
+	dims := l.Align.Map[array]
+	src := make([]string, len(dims))
+	tgt := make([]string, l.Template.Rank())
+	for i := range tgt {
+		tgt[i] = "*"
+	}
+	for k, t := range dims {
+		v := string(alignVars[k%len(alignVars)])
+		src[k] = v
+		if t >= 0 && t < len(tgt) {
+			tgt[t] = v
+		}
+	}
+	return fmt.Sprintf("%s(%s) with t(%s)", array, strings.Join(src, ","), strings.Join(tgt, ","))
+}
+
+// distSpec renders "BLOCK,*"-style distribution text.
+func distSpec(l *layout.Layout) string {
+	parts := make([]string, len(l.Dist))
+	for i, d := range l.Dist {
+		switch {
+		case d.Kind == layout.Star || d.Procs <= 1:
+			parts[i] = "*"
+		case d.Kind == layout.Block:
+			parts[i] = "block"
+		case d.Kind == layout.Cyclic:
+			parts[i] = "cyclic"
+		default:
+			parts[i] = fmt.Sprintf("cyclic(%d)", d.Size)
+		}
+	}
+	return strings.Join(parts, ",")
+}

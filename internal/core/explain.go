@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// ExplainPhase renders a human-readable derivation of one phase's
+// candidate costs: the loop nest, the loop-carried flow dependences,
+// and for every candidate layout the schedule classification, the
+// computation/communication split, and each compiler-generated
+// communication event with its machine-model price.  This is the
+// "static performance analysis" view the assistant-tool scenario of
+// §1/Figure 1 gives the user to understand why a layout was (not)
+// chosen.
+func (r *Result) ExplainPhase(phase int) (string, error) {
+	if phase < 0 || phase >= len(r.Phases) {
+		return "", fmt.Errorf("core: no phase %d", phase)
+	}
+	pr := r.Phases[phase]
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase %d (%s, line %d), executes %.4g time(s), arrays %v\n",
+		pr.Phase.ID, pr.Phase.Label, pr.Phase.Line, pr.Phase.Freq, pr.Phase.Arrays)
+	if len(pr.Info.Nest) > 0 {
+		var loops []string
+		for _, l := range pr.Info.Nest {
+			loops = append(loops, fmt.Sprintf("%s(%d)", l.Var, l.Trip))
+		}
+		fmt.Fprintf(&b, "  loop nest: %s\n", strings.Join(loops, " > "))
+	}
+	deps := pr.Info.FlowDeps()
+	if len(deps) == 0 {
+		fmt.Fprintf(&b, "  no loop-carried flow dependences: parallel under any 1-D layout\n")
+	}
+	for _, d := range deps {
+		dims := make([]string, len(d.ArrayDims))
+		for i, dim := range d.ArrayDims {
+			dims[i] = fmt.Sprint(dim + 1)
+		}
+		fmt.Fprintf(&b, "  flow dependence on %s along dim(s) %s, carried by loop %s (level %d)\n",
+			d.Array, strings.Join(dims, ","), d.CarrierVar, d.CarrierLevel)
+	}
+	order := make([]int, len(pr.Candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return pr.Candidates[order[a]].Estimate.Time < pr.Candidates[order[b]].Estimate.Time
+	})
+	for rank, i := range order {
+		c := pr.Candidates[i]
+		mark := " "
+		if i == pr.Chosen {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s #%d %s\n", mark, rank+1, c.Layout.Key())
+		fmt.Fprintf(&b, "     schedule %v; compute %.3f ms/proc, total %.3f ms per execution",
+			c.Estimate.Schedule, c.Estimate.Comp/1e3, c.Estimate.Time/1e3)
+		if c.Estimate.Stages > 0 {
+			fmt.Fprintf(&b, " (%.0f pipeline stages)", c.Estimate.Stages)
+		}
+		fmt.Fprintln(&b)
+		for _, e := range c.Plan.Events {
+			lat := machine.HighLatency
+			price := r.Machine.MsgTime(e.Pattern, c.Plan.Procs, e.Bytes, e.Stride, lat)
+			fmt.Fprintf(&b, "     %v %s: %.4g event(s) x %d bytes (%v stride) = %.3f ms  [%s]\n",
+				e.Pattern, e.Array, e.Count, e.Bytes, e.Stride, e.Count*price/1e3, e.Reason)
+		}
+	}
+	return b.String(), nil
+}
+
+// Explain renders ExplainPhase for every phase.
+func (r *Result) Explain() string {
+	var b strings.Builder
+	for p := range r.Phases {
+		text, _ := r.ExplainPhase(p)
+		b.WriteString(text)
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/execmodel"
+	"repro/internal/machine"
+)
+
+// TestRank1Program: a purely 1-D program (vector template).
+func TestRank1Program(t *testing.T) {
+	src := `
+program vec
+  parameter (n = 1024)
+  real a(n), b(n), c(n)
+  do it = 1, 10
+    do i = 2, n-1
+      a(i) = b(i-1) + b(i+1)
+    end do
+    do i = 1, n
+      b(i) = a(i) * c(i)
+    end do
+  end do
+end
+`
+	res, err := AutoLayout(src, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Template.Rank() != 1 {
+		t.Fatalf("template rank = %d, want 1", res.Template.Rank())
+	}
+	for _, pr := range res.Phases {
+		if len(pr.Candidates) != 1 {
+			t.Errorf("phase %d candidates = %d, want 1 (only one dim to distribute)", pr.Phase.ID, len(pr.Candidates))
+		}
+		if pr.Candidates[pr.Chosen].Estimate.Schedule != execmodel.LooselySynchronous {
+			t.Errorf("phase %d schedule = %v", pr.Phase.ID, pr.Candidates[pr.Chosen].Estimate.Schedule)
+		}
+	}
+}
+
+// TestNonPowerOfTwoProcessors exercises block remainders, collectives
+// and the selection with p not a power of two.
+func TestNonPowerOfTwoProcessors(t *testing.T) {
+	for _, procs := range []int{3, 6, 12} {
+		res, err := AutoLayout(adiSmall, Options{Procs: procs})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if res.TotalCost <= 0 {
+			t.Errorf("procs=%d: no cost", procs)
+		}
+	}
+}
+
+// TestTopLevelBranch: IF at program top level (outside any loop).
+func TestTopLevelBranch(t *testing.T) {
+	src := `
+program p
+  parameter (n = 32)
+  real a(n,n), b(n,n), s
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = 1.0
+    end do
+  end do
+  !prob 0.3
+  if (s .gt. 0.0) then
+    do j = 1, n
+      do i = 1, n
+        b(i,j) = a(i,j) + 1.0
+      end do
+    end do
+  else
+    do j = 1, n
+      do i = 1, n
+        b(i,j) = a(i,j) - 1.0
+      end do
+    end do
+  end if
+end
+`
+	res, err := AutoLayout(src, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(res.Phases))
+	}
+	if f := res.Phases[1].Phase.Freq; f != 0.3 {
+		t.Errorf("then-arm freq = %v, want 0.3", f)
+	}
+}
+
+// TestThreeDProgramOnFewProcessors: rank-3 template on 2 processors.
+func TestThreeDProgramSmall(t *testing.T) {
+	src := `
+program p
+  parameter (n = 8)
+  real a(n,n,n), b(n,n,n)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        a(i,j,k) = b(i,j,k) * 2.0
+      end do
+    end do
+  end do
+end
+`
+	res, err := AutoLayout(src, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases[0].Candidates) != 3 {
+		t.Errorf("candidates = %d, want 3", len(res.Phases[0].Candidates))
+	}
+}
+
+// TestMixedRankConflictFree: 1-D and 2-D arrays coupled in both
+// dimensions (embedding choices).
+func TestMixedRankEmbeddings(t *testing.T) {
+	src := `
+program p
+  parameter (n = 32)
+  real m(n,n), r(n), c(n)
+  do j = 1, n
+    do i = 1, n
+      m(i,j) = r(i) * c(j)
+    end do
+  end do
+end
+`
+	res, err := AutoLayout(src, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Phases[0].ChosenLayout()
+	// r couples with m's dim 1, c with m's dim 2.
+	if l.Align.Of("r", 0) != l.Align.Of("m", 0) {
+		t.Errorf("r should share m's first template dim: %v", l.Align)
+	}
+	if l.Align.Of("c", 0) != l.Align.Of("m", 1) {
+		t.Errorf("c should share m's second template dim: %v", l.Align)
+	}
+}
+
+// TestManyProcessorsBeyondTable: processor counts past the training
+// grid clamp rather than fail.
+func TestManyProcessorsBeyondTable(t *testing.T) {
+	res, err := AutoLayout(adiSmall, Options{Procs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= 0 {
+		t.Error("no cost at 256 processors")
+	}
+}
+
+// TestDeterministicResults: two identical invocations agree exactly.
+func TestDeterministicResults(t *testing.T) {
+	a, err := AutoLayout(adiSmall, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AutoLayout(adiSmall, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCost != b.TotalCost {
+		t.Errorf("nondeterministic totals: %v vs %v", a.TotalCost, b.TotalCost)
+	}
+	if fmt.Sprint(a.Selection.Choice) != fmt.Sprint(b.Selection.Choice) {
+		t.Errorf("nondeterministic selections: %v vs %v", a.Selection.Choice, b.Selection.Choice)
+	}
+	for p := range a.Phases {
+		if a.Phases[p].Candidates[a.Phases[p].Chosen].Layout.Key() !=
+			b.Phases[p].Candidates[b.Phases[p].Chosen].Layout.Key() {
+			t.Errorf("phase %d chose different layouts", p)
+		}
+	}
+}
+
+// TestMachineParameterizationMatters: the same program on the modern
+// cluster model runs orders of magnitude faster in absolute terms, and
+// — because message start-up shrank far less than flop time — the
+// relative weight of communication *grows*, so the tool's conclusions
+// legitimately differ between machines (§1: the framework is
+// parameterized by the target machine).
+func TestMachineParameterizationMatters(t *testing.T) {
+	oldRes, err := AutoLayout(adiSmall, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modernRes, err := AutoLayout(adiSmall, Options{Procs: 8, Machine: machine.Cluster2020()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := oldRes.TotalCost / modernRes.TotalCost; ratio < 50 {
+		t.Errorf("modern machine only %.1fx faster; expected a large factor", ratio)
+	}
+	// On the modern machine communication dominates: the chosen
+	// schedule mix must not contain the fine-grain pipeline the
+	// iPSC/860 tolerated (per-stage start-ups dwarf the tiny chunks).
+	for _, pr := range modernRes.Phases {
+		if pr.Candidates[pr.Chosen].Estimate.Schedule == execmodel.FinePipeline {
+			t.Errorf("phase %d: modern machine should avoid fine-grain pipelines", pr.Phase.ID)
+		}
+	}
+}
+
+// TestSubroutineProgramMatchesFlat: the automatic inliner (the paper
+// hand-inlined Erlebacher for the same reason) yields the same layout
+// decisions as writing the program flat.
+func TestSubroutineProgramMatchesFlat(t *testing.T) {
+	subbed := `
+subroutine rowsweep(x, b, n)
+  double precision x(n,n), b(n,n)
+  integer n
+  do j = 2, n
+    do i = 1, n
+      x(i,j) = x(i,j) - x(i,j-1)*b(i,j)/b(i,j-1)
+    end do
+  end do
+end
+
+subroutine colsweep(x, b, n)
+  double precision x(n,n), b(n,n)
+  integer n
+  do j = 1, n
+    do i = 2, n
+      x(i,j) = x(i,j) - x(i-1,j)*b(i,j)/b(i-1,j)
+    end do
+  end do
+end
+
+program adi
+  parameter (n = 32, niter = 4)
+  double precision x(n,n), b(n,n)
+  do iter = 1, niter
+    call rowsweep(x, b, n)
+    call colsweep(x, b, n)
+  end do
+end
+`
+	flat := `
+program adi
+  parameter (n = 32, niter = 4)
+  double precision x(n,n), b(n,n)
+  do iter = 1, niter
+    do j = 2, n
+      do i = 1, n
+        x(i,j) = x(i,j) - x(i,j-1)*b(i,j)/b(i,j-1)
+      end do
+    end do
+    do j = 1, n
+      do i = 2, n
+        x(i,j) = x(i,j) - x(i-1,j)*b(i,j)/b(i-1,j)
+      end do
+    end do
+  end do
+end
+`
+	a, err := AutoLayout(subbed, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AutoLayout(flat, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("phases %d vs %d", len(a.Phases), len(b.Phases))
+	}
+	if diff := a.TotalCost - b.TotalCost; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("inlined cost %v vs flat %v", a.TotalCost, b.TotalCost)
+	}
+	for p := range a.Phases {
+		ka := a.Phases[p].ChosenLayout().ArrayKey("x")
+		kb := b.Phases[p].ChosenLayout().ArrayKey("x")
+		if ka != kb {
+			t.Errorf("phase %d: x placed %s vs %s", p, ka, kb)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package distrib implements distribution analysis (§2.2.2): building
+// candidate distributions of the program template and crossing them
+// with the alignment search spaces into per-phase candidate data layout
+// search spaces.
+//
+// The paper's prototype generates exhaustive search spaces of
+// one-dimensional BLOCK distributions only, mirroring the Fortran D
+// prototype compiler it models; that is the default here.  CYCLIC
+// formats and multi-dimensional processor meshes — the paper's "future
+// work" extension — are available behind Options flags and are used by
+// the ablation benchmarks.
+package distrib
+
+import (
+	"repro/internal/align"
+	"repro/internal/layout"
+)
+
+// Options configures distribution search space construction.
+type Options struct {
+	// Procs is the number of available processors.
+	Procs int
+	// Cyclic adds 1-D CYCLIC candidates (extension).
+	Cyclic bool
+	// MultiDim adds multi-dimensional BLOCK meshes over every
+	// factorization of Procs (extension).
+	MultiDim bool
+}
+
+// Candidates enumerates the candidate distributions of the template.
+// Every candidate distributes at least one dimension; the degenerate
+// serial layout is not a candidate (the tool targets parallel
+// execution, and a serial run needs no layout).
+func Candidates(t layout.Template, opt Options) [][]layout.DimDist {
+	d := t.Rank()
+	star := make([]layout.DimDist, d)
+	for k := range star {
+		star[k] = layout.DimDist{Kind: layout.Star, Procs: 1}
+	}
+	var out [][]layout.DimDist
+	oneDim := func(k int, kind layout.Kind) []layout.DimDist {
+		dd := append([]layout.DimDist(nil), star...)
+		dd[k] = layout.DimDist{Kind: kind, Procs: opt.Procs}
+		return dd
+	}
+	for k := 0; k < d; k++ {
+		out = append(out, oneDim(k, layout.Block))
+	}
+	if opt.Cyclic {
+		for k := 0; k < d; k++ {
+			out = append(out, oneDim(k, layout.Cyclic))
+		}
+	}
+	if opt.MultiDim && d >= 2 {
+		for _, f := range factorizations(opt.Procs) {
+			// Place the two factors on every ordered dimension pair.
+			for k1 := 0; k1 < d; k1++ {
+				for k2 := 0; k2 < d; k2++ {
+					if k1 == k2 {
+						continue
+					}
+					dd := append([]layout.DimDist(nil), star...)
+					dd[k1] = layout.DimDist{Kind: layout.Block, Procs: f[0]}
+					dd[k2] = layout.DimDist{Kind: layout.Block, Procs: f[1]}
+					out = append(out, dd)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// factorizations returns the nontrivial two-factor splits p = a*b with
+// a, b > 1 and a <= b.
+func factorizations(p int) [][2]int {
+	var out [][2]int
+	for a := 2; a*a <= p; a++ {
+		if p%a == 0 && p/a > 1 {
+			out = append(out, [2]int{a, p / a})
+		}
+	}
+	return out
+}
+
+// PhaseLayout is one candidate data layout of a phase's search space.
+type PhaseLayout struct {
+	Layout *layout.Layout
+	// AlignOrigin documents the alignment candidate's provenance.
+	AlignOrigin string
+}
+
+// BuildSpace crosses a phase's alignment candidates with the
+// distribution candidates (§2.2.2) and deduplicates layouts that place
+// every array identically — e.g. a transposed orientation with a row
+// distribution versus a canonical orientation with a column
+// distribution (§3.2).
+func BuildSpace(t layout.Template, aligns []*align.PhaseCandidate, opt Options) []*PhaseLayout {
+	dists := Candidates(t, opt)
+	seen := map[string]bool{}
+	var out []*PhaseLayout
+	for _, ac := range aligns {
+		for _, dd := range dists {
+			l := layout.NewLayout(t, ac.Align, dd)
+			key := l.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, &PhaseLayout{Layout: l, AlignOrigin: ac.Origin})
+		}
+	}
+	return out
+}

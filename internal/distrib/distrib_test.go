@@ -1,0 +1,91 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/layout"
+)
+
+func TestCandidates1DBlock(t *testing.T) {
+	tpl := layout.Template{Extents: []int{64, 64}}
+	cands := Candidates(tpl, Options{Procs: 8})
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2 (row, column)", len(cands))
+	}
+	for _, dd := range cands {
+		distributed := 0
+		for _, d := range dd {
+			if d.Kind == layout.Block && d.Procs == 8 {
+				distributed++
+			}
+		}
+		if distributed != 1 {
+			t.Errorf("candidate %v should distribute exactly one dim", dd)
+		}
+	}
+}
+
+func TestCandidatesCyclicExtension(t *testing.T) {
+	tpl := layout.Template{Extents: []int{64, 64}}
+	cands := Candidates(tpl, Options{Procs: 8, Cyclic: true})
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(cands))
+	}
+}
+
+func TestCandidatesMultiDim(t *testing.T) {
+	tpl := layout.Template{Extents: []int{64, 64}}
+	cands := Candidates(tpl, Options{Procs: 16, MultiDim: true})
+	// 2 one-dim + factorizations of 16 into (2,8),(4,4) on 2 ordered
+	// dim pairs = 2 + 2*2 = 6.
+	if len(cands) != 6 {
+		t.Fatalf("candidates = %d, want 6: %v", len(cands), cands)
+	}
+}
+
+func TestFactorizations(t *testing.T) {
+	f := factorizations(16)
+	if len(f) != 2 || f[0] != [2]int{2, 8} || f[1] != [2]int{4, 4} {
+		t.Errorf("factorizations(16) = %v", f)
+	}
+	if len(factorizations(7)) != 0 {
+		t.Error("prime processor counts have no 2-D mesh")
+	}
+}
+
+func TestBuildSpaceDedupsOrientationSymmetry(t *testing.T) {
+	tpl := layout.Template{Extents: []int{64, 64}}
+	canon := layout.NewAlignment()
+	canon.Set("a", []int{0, 1})
+	trans := layout.NewAlignment()
+	trans.Set("a", []int{1, 0})
+	aligns := []*align.PhaseCandidate{
+		{Align: canon, Origin: "canonical"},
+		{Align: trans, Origin: "transposed"},
+	}
+	space := BuildSpace(tpl, aligns, Options{Procs: 8})
+	// 2 alignments × 2 distributions = 4 raw, but the symmetric pairs
+	// collapse: canonical/row == transposed/col and vice versa.
+	if len(space) != 2 {
+		t.Fatalf("space = %d layouts, want 2 after dedup", len(space))
+	}
+}
+
+func TestBuildSpaceDistinctAlignmentsKept(t *testing.T) {
+	tpl := layout.Template{Extents: []int{64, 64}}
+	canon := layout.NewAlignment()
+	canon.Set("a", []int{0, 1})
+	canon.Set("b", []int{0, 1})
+	mixed := layout.NewAlignment()
+	mixed.Set("a", []int{0, 1})
+	mixed.Set("b", []int{1, 0}) // b transposed relative to a
+	aligns := []*align.PhaseCandidate{
+		{Align: canon, Origin: "canonical"},
+		{Align: mixed, Origin: "mixed"},
+	}
+	space := BuildSpace(tpl, aligns, Options{Procs: 8})
+	if len(space) != 4 {
+		t.Fatalf("space = %d layouts, want 4 (mixed alignment is real)", len(space))
+	}
+}

@@ -1,0 +1,224 @@
+// Package execmodel implements the execution model of §2.3/§3: given
+// the compiler model's plan for a (phase, layout) pair, it classifies
+// the phase's execution scheme — loosely synchronous, pipelined (fine
+// or coarse grain), sequentialized, or reduction — and estimates its
+// execution time against a machine model.
+//
+// Classification follows from the nest level ℓ of the loop carrying a
+// cross-processor flow dependence:
+//
+//	no such dependence    → loosely synchronous: comp/P plus the cost
+//	                        of the vectorized messages at high latency;
+//	ℓ innermost           → fine-grain pipeline: one small message per
+//	                        iteration of the enclosing loops;
+//	ℓ in the middle       → coarse-grain pipeline over the enclosing
+//	                        loops;
+//	ℓ outermost           → sequentialized pipeline: each processor
+//	                        waits for its predecessor's entire block.
+//
+// Pipelined messages are priced with low-latency training sets
+// (computation/communication overlap); loosely synchronous messages
+// with high-latency ones (§3).
+package execmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compmodel"
+	"repro/internal/fortran"
+	"repro/internal/machine"
+)
+
+// Schedule is the execution scheme of a phase under a layout.
+type Schedule int8
+
+const (
+	// LooselySynchronous phases compute locally and exchange
+	// vectorized messages at phase boundaries.
+	LooselySynchronous Schedule = iota
+	// ReductionSync phases are loosely synchronous plus a combining
+	// reduction.
+	ReductionSync
+	// FinePipeline phases pipeline with per-innermost-iteration
+	// messages.
+	FinePipeline
+	// CoarsePipeline phases pipeline over an outer loop.
+	CoarsePipeline
+	// Sequentialized phases degenerate to sequential execution: the
+	// carried dependence sits at the outermost loop.
+	Sequentialized
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case LooselySynchronous:
+		return "loosely-synchronous"
+	case ReductionSync:
+		return "reduction"
+	case FinePipeline:
+		return "fine-grain pipeline"
+	case CoarsePipeline:
+		return "coarse-grain pipeline"
+	case Sequentialized:
+		return "sequentialized"
+	}
+	return fmt.Sprintf("Schedule(%d)", int8(s))
+}
+
+// Estimate is the predicted execution behaviour of one phase execution
+// under one candidate layout.
+type Estimate struct {
+	Schedule Schedule
+	// Time is the estimated wall-clock time per phase execution in µs.
+	Time float64
+	// Comp is the per-processor computation component.
+	Comp float64
+	// Comm is the communication component (including pipeline message
+	// overhead and fill/drain).
+	Comm float64
+	// Stages is the pipeline stage count (0 when not pipelined).
+	Stages float64
+}
+
+// Evaluate estimates the execution time of a phase whose compilation
+// is described by plan, with array element type dt, on machine m.
+func Evaluate(plan *compmodel.Plan, dt fortran.DataType, m *machine.Model, opt compmodel.Options) Estimate {
+	comp := computeTime(plan, dt, m)
+	p := plan.Procs
+
+	// Messages not tied to a pipeline: everything placed at the phase
+	// boundary, plus non-shift events anywhere.
+	boundary := 0.0
+	for _, e := range plan.Events {
+		if isPipelineEvent(plan, e) {
+			continue
+		}
+		boundary += e.Count * m.MsgTime(e.Pattern, p, e.Bytes, e.Stride, machine.HighLatency)
+	}
+
+	if len(plan.CrossDeps) == 0 {
+		est := Estimate{Schedule: LooselySynchronous, Comp: comp, Comm: boundary, Time: comp + boundary}
+		for _, e := range plan.Events {
+			if e.Pattern == machine.Reduction {
+				est.Schedule = ReductionSync
+				break
+			}
+		}
+		return est
+	}
+
+	// Pipeline geometry from the binding dependence: the outermost
+	// carrier constrains the schedule hardest.
+	bind := plan.CrossDeps[0]
+	for _, cd := range plan.CrossDeps[1:] {
+		if cd.Level < bind.Level {
+			bind = cd
+		}
+	}
+	stages := bind.OuterTrips
+	totalStageBytes := bind.OuterTrips * float64(bind.StageBytes)
+	maxDepth := 0
+	for _, cd := range plan.CrossDeps {
+		if cd.Level > maxDepth {
+			maxDepth = cd.Level
+		}
+	}
+
+	// Stage message cost at low latency.
+	stride := stageStride(plan, bind)
+	msg := m.MsgTime(machine.Shift, p, bind.StageBytes, stride, machine.LowLatency)
+
+	if opt.LoopInterchange {
+		// The compiler may reorder loops: maximize available stages by
+		// rotating non-carrier loops outward.
+		if alt := bind.OuterTrips * bind.InnerTrips / math.Max(bind.CarrierTrip, 1); alt > stages {
+			stages = alt
+			bytes := totalStageBytes / stages
+			msg = m.MsgTime(machine.Shift, p, int(math.Ceil(bytes)), stride, machine.LowLatency)
+		}
+	}
+
+	chunk := comp / math.Max(stages, 1)
+	pipeTime := func(s, chunkT, msgT float64) float64 {
+		return (s + float64(p) - 1) * (chunkT + msgT)
+	}
+	time := pipeTime(stages, chunk, msg)
+
+	if opt.CoarseGrainPipelining && stages > 1 {
+		// Strip-mine the pipelining loop into blocks of B stages,
+		// trading pipeline fill against message start-ups; pick the
+		// best power of two.
+		bytesPerStage := totalStageBytes / stages
+		for b := 2.0; b <= stages; b *= 2 {
+			sB := math.Ceil(stages / b)
+			msgB := m.MsgTime(machine.Shift, p, int(math.Ceil(bytesPerStage*b)), stride, machine.LowLatency)
+			tB := pipeTime(sB, chunk*b, msgB)
+			if tB < time {
+				time = tB
+				// Reported geometry follows the chosen blocking.
+			}
+		}
+	}
+
+	est := Estimate{
+		Comp:   comp,
+		Comm:   time - comp + boundary,
+		Time:   time + boundary,
+		Stages: stages,
+	}
+	switch {
+	case bind.Level == 0:
+		// The outermost loop carries the dependence: each processor
+		// waits for its predecessor's whole block.
+		est.Schedule = Sequentialized
+	case bind.InnerTrips <= bind.CarrierTrip+0.5:
+		// Nothing nested inside the carrier: per-iteration messages.
+		est.Schedule = FinePipeline
+	default:
+		est.Schedule = CoarsePipeline
+	}
+	return est
+}
+
+// computeTime prices the partitioned computation.
+func computeTime(plan *compmodel.Plan, dt fortran.DataType, m *machine.Model) float64 {
+	t := 0.0
+	for _, cu := range plan.Comp {
+		per := float64(cu.Ops.AddSub)*m.OpTime(machine.OpAddSub, dt) +
+			float64(cu.Ops.Mul)*m.OpTime(machine.OpMul, dt) +
+			float64(cu.Ops.Div)*m.OpTime(machine.OpDiv, dt) +
+			float64(cu.Ops.Sqrt)*m.OpTime(machine.OpSqrt, dt) +
+			float64(cu.Ops.Intrinsic)*m.OpTime(machine.OpIntrinsic, dt) +
+			float64(cu.Ops.Pow)*m.OpTime(machine.OpPow, dt) +
+			float64(cu.Ops.Loads)*m.OpTime(machine.OpLoad, dt) +
+			float64(cu.Ops.Stores)*m.OpTime(machine.OpStore, dt)
+		t += per * cu.ItersPerProc
+	}
+	return t
+}
+
+// isPipelineEvent reports whether the event is a shift feeding a
+// cross-processor dependence (accounted inside the pipeline formula).
+func isPipelineEvent(plan *compmodel.Plan, e compmodel.Event) bool {
+	if e.Pattern != machine.Shift || e.Level < 0 {
+		return false
+	}
+	for _, cd := range plan.CrossDeps {
+		if cd.Dep.Array == e.Array && cd.Level == e.Level {
+			return true
+		}
+	}
+	return false
+}
+
+// stageStride picks the stride class of the binding dependence's stage
+// messages.
+func stageStride(plan *compmodel.Plan, bind compmodel.CrossDep) machine.Stride {
+	for _, e := range plan.Events {
+		if e.Array == bind.Dep.Array && e.Level == bind.Level && e.Pattern == machine.Shift {
+			return e.Stride
+		}
+	}
+	return machine.UnitStride
+}

@@ -1,0 +1,236 @@
+package execmodel
+
+import (
+	"testing"
+
+	"repro/internal/compmodel"
+	"repro/internal/dep"
+	"repro/internal/fortran"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+func evaluate(t *testing.T, src string, tdim, procs int, opt compmodel.Options) Estimate {
+	t.Helper()
+	u, err := fortran.Analyze(fortran.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := dep.Analyze(u, u.Prog.Body, 100)
+	tpl := layout.Template{Extents: u.TemplateExtents()}
+	a := layout.NewAlignment()
+	var dt fortran.DataType
+	for name, arr := range u.Arrays {
+		dims := make([]int, arr.Rank())
+		for k := range dims {
+			dims[k] = k
+		}
+		a.Set(name, dims)
+		if arr.Type == fortran.Double {
+			dt = fortran.Double
+		}
+	}
+	dd := make([]layout.DimDist, tpl.Rank())
+	for k := range dd {
+		dd[k] = layout.DimDist{Kind: layout.Star, Procs: 1}
+	}
+	dd[tdim] = layout.DimDist{Kind: layout.Block, Procs: procs}
+	l := layout.NewLayout(tpl, a, dd)
+	plan := compmodel.Analyze(u, pi, l, opt)
+	return Evaluate(plan, dt, machine.IPSC860(), opt)
+}
+
+const rowSweep = `
+program p
+  parameter (n = 256)
+  double precision x(n,n), a(n,n), b(n,n)
+  do j = 2, n
+    do i = 1, n
+      x(i,j) = x(i,j) - x(i,j-1)*a(i,j)/b(i,j-1)
+    end do
+  end do
+end
+`
+
+const colSweep = `
+program p
+  parameter (n = 256)
+  double precision x(n,n), a(n,n), b(n,n)
+  do j = 1, n
+    do i = 2, n
+      x(i,j) = x(i,j) - x(i-1,j)*a(i,j)/b(i-1,j)
+    end do
+  end do
+end
+`
+
+const jacobi = `
+program p
+  parameter (n = 256)
+  real unew(n,n), u(n,n)
+  do j = 2, n-1
+    do i = 2, n-1
+      unew(i,j) = 0.25*(u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+    end do
+  end do
+end
+`
+
+func TestAdiSchedules(t *testing.T) {
+	// Row sweep, row layout: fully parallel.
+	if e := evaluate(t, rowSweep, 0, 16, compmodel.Options{}); e.Schedule != LooselySynchronous {
+		t.Errorf("row/row schedule = %v, want loosely synchronous", e.Schedule)
+	}
+	// Row sweep, column layout: sequentialized (paper: "resulted in
+	// the sequential execution of two phases").
+	if e := evaluate(t, rowSweep, 1, 16, compmodel.Options{}); e.Schedule != Sequentialized {
+		t.Errorf("row/col schedule = %v, want sequentialized", e.Schedule)
+	}
+	// Column sweep, row layout: fine-grain pipeline (paper:
+	// "introduced a fine-grain pipeline in two phases").
+	if e := evaluate(t, colSweep, 0, 16, compmodel.Options{}); e.Schedule != FinePipeline {
+		t.Errorf("col/row schedule = %v, want fine pipeline", e.Schedule)
+	}
+	// Column sweep, column layout: local.
+	if e := evaluate(t, colSweep, 1, 16, compmodel.Options{}); e.Schedule != LooselySynchronous {
+		t.Errorf("col/col schedule = %v, want loosely synchronous", e.Schedule)
+	}
+}
+
+func TestSequentialSlowerThanPipeline(t *testing.T) {
+	seq := evaluate(t, rowSweep, 1, 16, compmodel.Options{})
+	par := evaluate(t, rowSweep, 0, 16, compmodel.Options{})
+	pipe := evaluate(t, colSweep, 0, 16, compmodel.Options{})
+	if !(par.Time < pipe.Time && pipe.Time < seq.Time) {
+		t.Errorf("expected parallel (%v) < pipeline (%v) < sequential (%v)",
+			par.Time, pipe.Time, seq.Time)
+	}
+	// Sequentialized time is at least the full single-processor compute.
+	if seq.Time < par.Comp*16 {
+		t.Errorf("sequential %v below total compute %v", seq.Time, par.Comp*16)
+	}
+}
+
+func TestJacobiRowVsColumnStride(t *testing.T) {
+	// Shallow's observation: the row distribution's boundary messages
+	// are strided (buffered) in column-major storage, so the column
+	// distribution is slightly better.
+	row := evaluate(t, jacobi, 0, 16, compmodel.Options{})
+	col := evaluate(t, jacobi, 1, 16, compmodel.Options{})
+	if row.Schedule != LooselySynchronous || col.Schedule != LooselySynchronous {
+		t.Fatalf("schedules = %v/%v", row.Schedule, col.Schedule)
+	}
+	if col.Time >= row.Time {
+		t.Errorf("column (%v) should beat row (%v) via stride buffering", col.Time, row.Time)
+	}
+	if row.Comp != col.Comp {
+		t.Errorf("compute should match: %v vs %v", row.Comp, col.Comp)
+	}
+}
+
+func TestMoreProcessorsLessComp(t *testing.T) {
+	e4 := evaluate(t, jacobi, 1, 4, compmodel.Options{})
+	e32 := evaluate(t, jacobi, 1, 32, compmodel.Options{})
+	if e32.Comp >= e4.Comp {
+		t.Errorf("comp did not shrink with procs: %v vs %v", e32.Comp, e4.Comp)
+	}
+}
+
+func TestFinePipelineDominatedByStartups(t *testing.T) {
+	e := evaluate(t, colSweep, 0, 16, compmodel.Options{})
+	if e.Stages != 256 {
+		t.Errorf("stages = %v, want 256", e.Stages)
+	}
+	if e.Comm < e.Comp {
+		t.Errorf("fine-grain pipeline should be message-dominated: comm %v comp %v", e.Comm, e.Comp)
+	}
+}
+
+func TestCoarseGrainPipeliningHelps(t *testing.T) {
+	plain := evaluate(t, colSweep, 0, 16, compmodel.Options{})
+	cgp := evaluate(t, colSweep, 0, 16, compmodel.Options{CoarseGrainPipelining: true})
+	if cgp.Time >= plain.Time {
+		t.Errorf("coarse-grain pipelining should help: %v vs %v", cgp.Time, plain.Time)
+	}
+}
+
+func TestLoopInterchangeRescuesSequential(t *testing.T) {
+	plain := evaluate(t, rowSweep, 1, 16, compmodel.Options{})
+	inter := evaluate(t, rowSweep, 1, 16, compmodel.Options{LoopInterchange: true})
+	if inter.Time >= plain.Time {
+		t.Errorf("interchange should turn sequential into a pipeline: %v vs %v", inter.Time, plain.Time)
+	}
+}
+
+func TestReductionSchedule(t *testing.T) {
+	src := `
+program p
+  parameter (n = 256)
+  real x(n,n), s
+  do j = 1, n
+    do i = 1, n
+      s = s + x(i,j)*x(i,j)
+    end do
+  end do
+end
+`
+	e := evaluate(t, src, 0, 16, compmodel.Options{})
+	if e.Schedule != ReductionSync {
+		t.Errorf("schedule = %v, want reduction", e.Schedule)
+	}
+	if e.Comm <= 0 {
+		t.Error("reduction should have combining cost")
+	}
+}
+
+func TestErlebacherThreeGranularities(t *testing.T) {
+	mk := func(dim string) string {
+		return `
+program p
+  parameter (n = 32)
+  double precision x(n,n,n), a(n,n,n)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        x(i,j,k) = x(i,j,k) - ` + dim + `*a(i,j,k)
+      end do
+    end do
+  end do
+end
+`
+	}
+	// Sweep along dim 1 (read x(i-1,j,k)), distribute dim 1: carrier is
+	// the innermost i loop -> fine grain.
+	if e := evaluate(t, mk("x(i-1,j,k)"), 0, 8, compmodel.Options{}); e.Schedule != FinePipeline {
+		t.Errorf("dim1 sweep = %v, want fine pipeline", e.Schedule)
+	}
+	// Sweep along dim 2, distribute dim 2: carrier is the middle j loop
+	// -> coarse grain over k.
+	if e := evaluate(t, mk("x(i,j-1,k)"), 1, 8, compmodel.Options{}); e.Schedule != CoarsePipeline {
+		t.Errorf("dim2 sweep = %v, want coarse pipeline", e.Schedule)
+	}
+	// Sweep along dim 3, distribute dim 3: carrier is the outermost k
+	// loop -> sequentialized.
+	if e := evaluate(t, mk("x(i,j,k-1)"), 2, 8, compmodel.Options{}); e.Schedule != Sequentialized {
+		t.Errorf("dim3 sweep = %v, want sequentialized", e.Schedule)
+	}
+	// Cross combinations are local.
+	if e := evaluate(t, mk("x(i-1,j,k)"), 2, 8, compmodel.Options{}); e.Schedule != LooselySynchronous {
+		t.Errorf("dim1 sweep under dim3 dist = %v, want loosely synchronous", e.Schedule)
+	}
+}
+
+func TestScheduleStrings(t *testing.T) {
+	want := map[Schedule]string{
+		LooselySynchronous: "loosely-synchronous",
+		ReductionSync:      "reduction",
+		FinePipeline:       "fine-grain pipeline",
+		CoarsePipeline:     "coarse-grain pipeline",
+		Sequentialized:     "sequentialized",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}

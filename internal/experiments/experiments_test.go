@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fortran"
+)
+
+func TestSuiteHas99Cases(t *testing.T) {
+	cases := Suite()
+	if len(cases) != 99 {
+		t.Fatalf("suite = %d cases, want 99 (paper: 'A total of 99 experiments')", len(cases))
+	}
+	perProgram := map[string]int{}
+	for _, c := range cases {
+		perProgram[c.Program]++
+	}
+	want := map[string]int{"adi": 40, "erlebacher": 21, "tomcatv": 19, "shallow": 19}
+	for prog, n := range want {
+		if perProgram[prog] != n {
+			t.Errorf("%s: %d cases, want %d", prog, perProgram[prog], n)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	cr, text, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "the prototype tool picked the best data layout,
+	// namely a static row-wise data layout, and also ranked the data
+	// layout alternatives correctly."
+	if cr.ToolPickName != "row (BLOCK,*)" {
+		t.Errorf("tool pick = %s, want row", cr.ToolPickName)
+	}
+	if !cr.OptimalPicked {
+		t.Errorf("tool pick not optimal (loss %.1f%%)", cr.LossPct)
+	}
+	if !cr.RankedCorrectly {
+		t.Error("ranking incorrect")
+	}
+	byName := map[string]LayoutEval{}
+	for _, l := range cr.Layouts {
+		byName[l.Name] = l
+	}
+	row, col, rem := byName["row (BLOCK,*)"], byName["col (*,BLOCK)"], byName["remapped"]
+	if row.Measured == 0 || col.Measured == 0 || rem.Measured == 0 {
+		t.Fatalf("missing layouts in %v", cr.Layouts)
+	}
+	// Column layout sequentializes two phases: always the worst, by a
+	// large factor.
+	if col.Measured < 2*row.Measured {
+		t.Errorf("column (%v) should be far worse than row (%v)", col.Measured, row.Measured)
+	}
+	// Remapped sits between them at this size.
+	if !(row.Measured < rem.Measured && rem.Measured < col.Measured) {
+		t.Errorf("order: row %v, remapped %v, col %v", row.Measured, rem.Measured, col.Measured)
+	}
+	if !strings.Contains(text, "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAdiCrossoverExists(t *testing.T) {
+	// The paper: the remapped layout was the best choice in a minority
+	// of Adi cases (small problems relative to the processor count).
+	cr, err := Run(Case{"adi", 64, fortran.Double, 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row, rem float64
+	for _, l := range cr.Layouts {
+		switch l.Name {
+		case "row (BLOCK,*)":
+			row = l.Measured
+		case "remapped":
+			rem = l.Measured
+		}
+	}
+	if rem == 0 || row == 0 {
+		t.Fatalf("layouts missing: %+v", cr.Layouts)
+	}
+	if rem >= row {
+		t.Errorf("at n=64 p=16 remapped (%v) should beat row (%v)", rem, row)
+	}
+	// And at a large size the static row layout must win again.
+	cr2, err := Run(Case{"adi", 512, fortran.Double, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, rem = 0, 0
+	for _, l := range cr2.Layouts {
+		switch l.Name {
+		case "row (BLOCK,*)":
+			row = l.Measured
+		case "remapped":
+			rem = l.Measured
+		}
+	}
+	if row >= rem {
+		t.Errorf("at n=512 p=8 row (%v) should beat remapped (%v)", row, rem)
+	}
+}
+
+func TestErlebacherCase(t *testing.T) {
+	cr, err := Run(Case{"erlebacher", 32, fortran.Double, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]LayoutEval{}
+	for _, l := range cr.Layouts {
+		byName[l.Name] = l
+	}
+	// Distributing dim 1 introduces a fine-grain pipeline that is never
+	// profitable (§4): dim1 must lose to dim2.
+	if byName["dim1"].Measured <= byName["dim2"].Measured {
+		t.Errorf("dim1 (%v) should lose to dim2 (%v)",
+			byName["dim1"].Measured, byName["dim2"].Measured)
+	}
+	if !cr.OptimalPicked {
+		t.Errorf("suboptimal pick %s (loss %.1f%%)", cr.ToolPickName, cr.LossPct)
+	}
+}
+
+func TestShallowColumnWinsSlightly(t *testing.T) {
+	cr, err := Run(Case{"shallow", 128, fortran.Real, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row, col LayoutEval
+	for _, l := range cr.Layouts {
+		switch l.Name {
+		case "row (BLOCK,*)":
+			row = l
+		case "col (*,BLOCK)":
+			col = l
+		}
+	}
+	if col.Measured >= row.Measured {
+		t.Errorf("column (%v) should beat row (%v)", col.Measured, row.Measured)
+	}
+	// "Slightly better": within a factor of 1.5, not a blowout.
+	if col.Measured*1.5 < row.Measured {
+		t.Errorf("column advantage too large: %v vs %v", col.Measured, row.Measured)
+	}
+	if cr.ToolPickName != "col (*,BLOCK)" {
+		t.Errorf("tool pick = %s, want column", cr.ToolPickName)
+	}
+}
+
+func TestTomcatvCase(t *testing.T) {
+	cr, err := Run(Case{"tomcatv", 128, fortran.Double, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.OptimalPicked {
+		t.Errorf("suboptimal pick %s (loss %.1f%%)", cr.ToolPickName, cr.LossPct)
+	}
+	// Tomcatv's solve phases sweep along dim 1: column layout wins.
+	var row, col float64
+	for _, l := range cr.Layouts {
+		switch l.Name {
+		case "row (BLOCK,*)":
+			row = l.Measured
+		case "col (*,BLOCK)":
+			col = l.Measured
+		}
+	}
+	if col >= row {
+		t.Errorf("column (%v) should beat row (%v)", col, row)
+	}
+}
+
+func TestMeasureEstimateAgreement(t *testing.T) {
+	// Estimated and measured times should be within a factor of two of
+	// each other for every layout of a representative case.
+	cr, err := Run(Case{"adi", 128, fortran.Double, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range cr.Layouts {
+		ratio := l.Estimated / l.Measured
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: estimate %v vs measured %v (ratio %.2f)", l.Name, l.Estimated, l.Measured, ratio)
+		}
+	}
+}
+
+func TestFigure6GuessedVsActual(t *testing.T) {
+	// With actual branch probabilities (0.9) the estimate should be
+	// higher (more solve work predicted) than with the guessed 50%.
+	guessed, err := Run(Case{"tomcatv", 64, fortran.Double, 4},
+		func(o *core.Options) { o.PCFG.IgnoreProbHints = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := Run(Case{"tomcatv", 64, fortran.Double, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guessed.ToolChoice.Estimated >= actual.ToolChoice.Estimated {
+		t.Errorf("guessed 50%% estimate (%v) should be below actual-probability estimate (%v)",
+			guessed.ToolChoice.Estimated, actual.ToolChoice.Estimated)
+	}
+}
+
+func TestFigure2Render(t *testing.T) {
+	text := Figure2()
+	if !strings.Contains(text, "7 lattice elements") {
+		t.Errorf("Figure 2 lattice wrong:\n%s", text)
+	}
+}
+
+func TestFigure8Render(t *testing.T) {
+	text, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "cut weight 3") {
+		t.Errorf("Figure 8 resolution wrong:\n%s", text)
+	}
+}
+
+func TestILPSizesTable(t *testing.T) {
+	rows, err := ILPSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.SelectVars == 0 || r.SelectCons == 0 {
+			t.Errorf("%s: empty selection problem", r.Program)
+		}
+		// Paper: all instances solved in under 1.1 seconds.
+		if r.SelectMS > 1100 {
+			t.Errorf("%s: selection took %.0f ms (> 1.1 s)", r.Program, r.SelectMS)
+		}
+		for i, ms := range r.AlignMS {
+			if ms > 1100 {
+				t.Errorf("%s: alignment solve %d took %.0f ms", r.Program, i, ms)
+			}
+		}
+		if r.Program == "tomcatv" && r.AlignSolves == 0 {
+			t.Error("tomcatv should need alignment resolutions")
+		}
+		if r.Program == "adi" && r.AlignSolves != 0 {
+			t.Error("adi needs no alignment resolutions")
+		}
+	}
+	text := RenderILPSizes(rows)
+	if !strings.Contains(text, "tomcatv") {
+		t.Error("render missing program rows")
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	cr, err := Run(Case{"adi", 64, fortran.Real, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []*CaseResult{cr}
+	s := Summarize(results)
+	if s.Cases != 1 {
+		t.Errorf("cases = %d", s.Cases)
+	}
+	text := RenderSummary(results, s)
+	if !strings.Contains(text, "adi") || !strings.Contains(text, "TOTAL") {
+		t.Errorf("summary render:\n%s", text)
+	}
+}
+
+func TestUnknownProgram(t *testing.T) {
+	if _, err := Run(Case{"nope", 8, fortran.Real, 2}, nil); err == nil {
+		t.Fatal("expected error for unknown program")
+	}
+}
+
+func TestRenderCases(t *testing.T) {
+	cr, err := Run(Case{"adi", 64, fortran.Real, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RenderCases([]*CaseResult{cr})
+	if !strings.Contains(text, "adi n=64") || !strings.Contains(text, "row") {
+		t.Errorf("render:\n%s", text)
+	}
+}

@@ -1,0 +1,282 @@
+package fortran
+
+import (
+	"strings"
+	"testing"
+)
+
+const subbedAdi = `
+subroutine rowsweep(x, b, n)
+  double precision x(n,n), b(n,n)
+  integer n
+  do j = 2, n
+    do i = 1, n
+      x(i,j) = x(i,j) - x(i,j-1)*b(i,j)/b(i,j-1)
+    end do
+  end do
+end
+
+subroutine colsweep(x, b, n)
+  double precision x(n,n), b(n,n)
+  integer n
+  do j = 1, n
+    do i = 2, n
+      x(i,j) = x(i,j) - x(i-1,j)*b(i,j)/b(i-1,j)
+    end do
+  end do
+end
+
+program adi
+  parameter (n = 16, niter = 4)
+  double precision x(n,n), b(n,n)
+  do iter = 1, niter
+    call rowsweep(x, b, n)
+    call colsweep(x, b, n)
+  end do
+end
+`
+
+func TestInlineTwoSubroutines(t *testing.T) {
+	f, err := ParseFile(subbedAdi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Subs) != 2 || f.Sub("rowsweep") == nil || f.Sub("colsweep") == nil {
+		t.Fatalf("subs = %+v", f.Subs)
+	}
+	prog, err := Inline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No calls remain.
+	WalkStmts(prog.Body, func(s Stmt) {
+		if _, ok := s.(*CallStmt); ok {
+			t.Error("call survived inlining")
+		}
+	})
+	// The inlined program analyzes and matches the hand-inlined
+	// equivalent: two sweep nests inside the time loop.
+	u, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Body[0].(*Do)
+	if len(outer.Body) != 2 {
+		t.Fatalf("time loop body = %d statements, want 2 sweeps", len(outer.Body))
+	}
+	for _, s := range outer.Body {
+		d, ok := s.(*Do)
+		if !ok {
+			t.Fatalf("expected loop, got %T", s)
+		}
+		// Loop variables were renamed apart per call site.
+		if d.Var == "j" {
+			t.Error("subroutine loop variable leaked without renaming")
+		}
+		inner := d.Body[0].(*Do)
+		a := inner.Body[0].(*Assign)
+		if a.LHS.Name != "x" {
+			t.Errorf("target = %s, want x (formal bound to actual)", a.LHS.Name)
+		}
+	}
+	_ = u
+}
+
+func TestInlineViaParse(t *testing.T) {
+	// Parse() auto-inlines.
+	prog, err := Parse(subbedAdi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Arrays["x"] == nil || u.Arrays["x"].Extents[0] != 16 {
+		t.Errorf("x = %+v", u.Arrays["x"])
+	}
+}
+
+func TestInlineLocalArraysHoisted(t *testing.T) {
+	src := `
+subroutine smooth(a, n)
+  real a(n,n)
+  real tmp(n,n)
+  integer n
+  do j = 1, n
+    do i = 1, n
+      tmp(i,j) = a(i,j)
+    end do
+  end do
+  do j = 2, n
+    do i = 1, n
+      a(i,j) = 0.5*(tmp(i,j) + tmp(i,j-1))
+    end do
+  end do
+end
+
+program p
+  parameter (n = 8)
+  real u(n,n), v(n,n)
+  call smooth(u, n)
+  call smooth(v, n)
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct hoisted temporaries, one per call site.
+	tmps := 0
+	for name, arr := range u.Arrays {
+		if strings.HasPrefix(name, "tmp_smooth") {
+			tmps++
+			if arr.Extents[0] != 8 {
+				t.Errorf("%s extents = %v", name, arr.Extents)
+			}
+		}
+	}
+	if tmps != 2 {
+		t.Errorf("hoisted temporaries = %d, want 2", tmps)
+	}
+}
+
+func TestInlineExpressionActual(t *testing.T) {
+	src := `
+subroutine fill(a, n, v)
+  real a(n)
+  integer n
+  real v
+  do i = 1, n
+    a(i) = v
+  end do
+end
+
+program p
+  parameter (n = 8)
+  real u(n), s
+  call fill(u, n, 2.0*s + 1.0)
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Body[0].(*Do)
+	rhs := loop.Body[0].(*Assign).RHS.String()
+	if !strings.Contains(rhs, "s") || !strings.Contains(rhs, "2") {
+		t.Errorf("expression actual not spliced: %s", rhs)
+	}
+}
+
+func TestInlineNestedCalls(t *testing.T) {
+	src := `
+subroutine inner(a, n)
+  real a(n)
+  integer n
+  do i = 1, n
+    a(i) = a(i) + 1.0
+  end do
+end
+
+subroutine outer(a, n)
+  real a(n)
+  integer n
+  call inner(a, n)
+  call inner(a, n)
+end
+
+program p
+  parameter (n = 8)
+  real u(n)
+  call outer(u, n)
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := 0
+	WalkStmts(prog.Body, func(s Stmt) {
+		if _, ok := s.(*Do); ok {
+			loops++
+		}
+	})
+	if loops != 2 {
+		t.Errorf("loops = %d, want 2 (outer inlined twice through inner)", loops)
+	}
+}
+
+func TestInlineErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown sub", `
+program p
+  real u(8)
+  call nothere(u)
+end
+`, "unknown subroutine"},
+		{"arity", `
+subroutine s(a, n)
+  real a(n)
+  integer n
+  a(1) = 0.0
+end
+program p
+  real u(8)
+  call s(u)
+end
+`, "expects 2 arguments"},
+		{"array expr actual", `
+subroutine s(a, n)
+  real a(n)
+  integer n
+  a(1) = 0.0
+end
+program p
+  parameter (n = 8)
+  real u(n)
+  call s(u(1) + 1.0, n)
+end
+`, "must be an array name"},
+		{"assigned expr actual", `
+subroutine s(v)
+  real v
+  v = 1.0
+end
+program p
+  real w(4)
+  call s(1.0 + 2.0)
+  w(1) = 0.0
+end
+`, "is assigned"},
+		{"recursion", `
+subroutine s(a, n)
+  real a(n)
+  integer n
+  call s(a, n)
+end
+program p
+  parameter (n = 4)
+  real u(n)
+  call s(u, n)
+end
+`, "depth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

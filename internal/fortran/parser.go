@@ -1,0 +1,828 @@
+package fortran
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds the AST for a source file and inlines any subroutine
+// calls, returning the single program unit the intra-procedural
+// framework analyzes.
+func Parse(src string) (*Program, error) {
+	f, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return Inline(f)
+}
+
+// ParseFile builds the AST for a source file containing one PROGRAM
+// and any number of SUBROUTINE units, in any order.
+func ParseFile(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	p.skipNewlines()
+	for !p.atEOF() {
+		switch {
+		case p.isIdent("program"):
+			if f.Program != nil {
+				return nil, p.errf("multiple PROGRAM units")
+			}
+			prog, err := p.program()
+			if err != nil {
+				return nil, err
+			}
+			f.Program = prog
+		case p.isIdent("subroutine"):
+			sub, err := p.subroutine()
+			if err != nil {
+				return nil, err
+			}
+			f.Subs = append(f.Subs, sub)
+		default:
+			return nil, p.errf("expected PROGRAM or SUBROUTINE, found %q", p.peek().Text)
+		}
+		p.skipNewlines()
+	}
+	if f.Program == nil {
+		return nil, &SyntaxError{1, "no PROGRAM unit"}
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; for tests and the built-in
+// benchmark programs, which are known-good.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+
+	pendingProb float64 // from a !prob directive
+	pendingTrip int     // from a !trip directive
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().Kind == EOF }
+func (p *parser) line() int   { return p.peek().Line }
+func (p *parser) isIdent(s string) bool {
+	t := p.peek()
+	return t.Kind == IDENT && t.Text == s
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{p.line(), fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errf("expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent(s string) error {
+	if !p.isIdent(s) {
+		return p.errf("expected %q, found %q", s, p.peek().Text)
+	}
+	p.next()
+	return nil
+}
+
+// skipNewlines consumes newline tokens (blank lines already collapse
+// in the lexer, but directives emit their own separators).
+func (p *parser) skipNewlines() {
+	for p.peek().Kind == NEWLINE {
+		p.next()
+	}
+}
+
+func (p *parser) endOfStmt() error {
+	if t := p.peek(); t.Kind != NEWLINE && t.Kind != EOF {
+		return p.errf("unexpected %s %q after statement", t.Kind, t.Text)
+	}
+	p.skipNewlines()
+	return nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	p.skipNewlines()
+	p.collectDirectives(prog)
+	if err := p.expectIdent("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	prog.Name = name.Text
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	// Declarations and parameters, in any order, until the first
+	// executable statement.
+	for {
+		p.collectDirectives(prog)
+		switch {
+		case p.isIdent("parameter"):
+			if err := p.paramDecl(prog); err != nil {
+				return nil, err
+			}
+		case p.isIdent("real"), p.isIdent("integer"), p.isIdent("double"):
+			if err := p.typeDecl(prog); err != nil {
+				return nil, err
+			}
+		default:
+			goto body
+		}
+	}
+body:
+	stmts, err := p.stmtList(prog, func() bool { return p.isIdent("end") })
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = stmts
+	if err := p.expectIdent("end"); err != nil {
+		return nil, err
+	}
+	if p.isIdent("program") {
+		p.next()
+		if p.peek().Kind == IDENT {
+			p.next()
+		}
+	}
+	p.skipNewlines()
+	return prog, nil
+}
+
+// subroutine parses one SUBROUTINE unit.
+func (p *parser) subroutine() (*Subroutine, error) {
+	line := p.line()
+	p.next() // "subroutine"
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	sub := &Subroutine{Name: name.Text, Line: line}
+	if p.peek().Kind == LPAREN {
+		p.next()
+		for p.peek().Kind != RPAREN {
+			f, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			sub.Formals = append(sub.Formals, f.Text)
+			if p.peek().Kind == COMMA {
+				p.next()
+			}
+		}
+		p.next() // ')'
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	// Declarations (no PARAMETER inside subroutines in this dialect).
+	holder := &Program{}
+	for p.isIdent("real") || p.isIdent("integer") || p.isIdent("double") {
+		if err := p.typeDecl(holder); err != nil {
+			return nil, err
+		}
+	}
+	sub.Decls = holder.Decls
+	stmts, err := p.stmtList(holder, func() bool { return p.isIdent("end") })
+	if err != nil {
+		return nil, err
+	}
+	sub.Body = stmts
+	if err := p.expectIdent("end"); err != nil {
+		return nil, err
+	}
+	if p.isIdent("subroutine") {
+		p.next()
+		if p.peek().Kind == IDENT {
+			p.next()
+		}
+	}
+	p.skipNewlines()
+	return sub, nil
+}
+
+// collectDirectives consumes DIRECTIVE tokens at statement position.
+func (p *parser) collectDirectives(prog *Program) {
+	for p.peek().Kind == DIRECTIVE {
+		t := p.next()
+		switch {
+		case strings.HasPrefix(t.Text, "hpf$"):
+			prog.Directives = append(prog.Directives,
+				&Directive{Text: strings.TrimSpace(strings.TrimPrefix(t.Text, "hpf$")), Line: t.Line})
+		case strings.HasPrefix(t.Text, "prob"):
+			fields := strings.Fields(t.Text)
+			if len(fields) == 2 {
+				if v, err := strconv.ParseFloat(fields[1], 64); err == nil && v > 0 && v < 1 {
+					p.pendingProb = v
+				}
+			}
+		case strings.HasPrefix(t.Text, "trip"):
+			fields := strings.Fields(t.Text)
+			if len(fields) == 2 {
+				if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+					p.pendingTrip = v
+				}
+			}
+		}
+		p.skipNewlines()
+	}
+}
+
+func (p *parser) paramDecl(prog *Program) error {
+	p.next() // "parameter"
+	if _, err := p.expect(LPAREN); err != nil {
+		return err
+	}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return err
+		}
+		prog.Params = append(prog.Params, &Param{Name: name.Text, Line: name.Line, Value: -1})
+		// The value expression is const-folded during sema; stash it by
+		// re-parsing there.  To avoid a second field we fold here for
+		// the common literal / arithmetic cases over earlier params.
+		v, ok := foldInt(val, prog.Params[:len(prog.Params)-1])
+		if !ok {
+			return &SyntaxError{name.Line, fmt.Sprintf("parameter %s is not a constant integer expression", name.Text)}
+		}
+		prog.Params[len(prog.Params)-1].Value = v
+		if p.peek().Kind == COMMA {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return err
+	}
+	return p.endOfStmt()
+}
+
+// foldInt evaluates a constant integer expression over known params.
+func foldInt(e Expr, params []*Param) (int, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, true
+	case *Ref:
+		if len(e.Subs) != 0 {
+			return 0, false
+		}
+		for _, pa := range params {
+			if pa.Name == e.Name {
+				return pa.Value, true
+			}
+		}
+		return 0, false
+	case *Un:
+		if !e.Neg {
+			return 0, false
+		}
+		v, ok := foldInt(e.X, params)
+		return -v, ok
+	case *Bin:
+		l, ok1 := foldInt(e.L, params)
+		r, ok2 := foldInt(e.R, params)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case Add:
+			return l + r, true
+		case Sub:
+			return l - r, true
+		case Mul:
+			return l * r, true
+		case Div:
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case Pow:
+			if r < 0 {
+				return 0, false
+			}
+			v := 1
+			for i := 0; i < r; i++ {
+				v *= l
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (p *parser) typeDecl(prog *Program) error {
+	var dt DataType
+	switch p.peek().Text {
+	case "real":
+		dt = Real
+		p.next()
+	case "integer":
+		dt = Integer
+		p.next()
+	case "double":
+		p.next()
+		if err := p.expectIdent("precision"); err != nil {
+			return err
+		}
+		dt = Double
+	}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		d := &Decl{Name: name.Text, Type: dt, Line: name.Line}
+		if p.peek().Kind == LPAREN {
+			p.next()
+			for {
+				dim, err := p.expr()
+				if err != nil {
+					return err
+				}
+				d.Dims = append(d.Dims, dim)
+				if p.peek().Kind == COMMA {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return err
+			}
+		}
+		prog.Decls = append(prog.Decls, d)
+		if p.peek().Kind == COMMA {
+			p.next()
+			continue
+		}
+		break
+	}
+	return p.endOfStmt()
+}
+
+// stmtList parses statements until stop() reports a terminator.
+func (p *parser) stmtList(prog *Program, stop func() bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.collectDirectives(prog)
+		if stop() || p.atEOF() {
+			return out, nil
+		}
+		s, err := p.stmt(prog)
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+}
+
+func (p *parser) stmt(prog *Program) (Stmt, error) {
+	switch {
+	case p.isIdent("do"):
+		return p.doLoop(prog)
+	case p.isIdent("if"):
+		return p.ifStmt(prog)
+	case p.isIdent("call"):
+		return p.callStmt()
+	case p.isIdent("continue"):
+		p.next()
+		return nil, p.endOfStmt()
+	case p.peek().Kind == IDENT:
+		return p.assign()
+	}
+	return nil, p.errf("expected statement, found %s %q", p.peek().Kind, p.peek().Text)
+}
+
+func (p *parser) doLoop(prog *Program) (Stmt, error) {
+	line := p.line()
+	trip := p.pendingTrip
+	p.pendingTrip = 0
+	p.next() // "do"
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COMMA); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var step Expr
+	if p.peek().Kind == COMMA {
+		p.next()
+		if step, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtList(prog, p.atEndKeyword("do"))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.consumeEnd("do"); err != nil {
+		return nil, err
+	}
+	return &Do{Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body, Line: line, TripHint: trip}, nil
+}
+
+func (p *parser) ifStmt(prog *Program) (Stmt, error) {
+	line := p.line()
+	prob := p.pendingProb
+	p.pendingProb = 0
+	p.next() // "if"
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if !p.isIdent("then") {
+		// One-line logical IF: "if (cond) stmt".
+		s, err := p.stmt(prog)
+		if err != nil {
+			return nil, err
+		}
+		return &If{Cond: cond, Then: []Stmt{s}, Line: line, ProbHint: prob}, nil
+	}
+	p.next() // "then"
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	thenStop := func() bool { return p.isIdent("else") || p.atEndKeyword("if")() }
+	thenStmts, err := p.stmtList(prog, thenStop)
+	if err != nil {
+		return nil, err
+	}
+	var elseStmts []Stmt
+	if p.isIdent("else") {
+		p.next()
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		if elseStmts, err = p.stmtList(prog, p.atEndKeyword("if")); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.consumeEnd("if"); err != nil {
+		return nil, err
+	}
+	return &If{Cond: cond, Then: thenStmts, Else: elseStmts, Line: line, ProbHint: prob}, nil
+}
+
+// atEndKeyword recognizes "end kw", "endkw" at statement position.
+func (p *parser) atEndKeyword(kw string) func() bool {
+	return func() bool {
+		if p.isIdent("end" + kw) {
+			return true
+		}
+		if !p.isIdent("end") {
+			return false
+		}
+		if p.pos+1 < len(p.toks) {
+			t := p.toks[p.pos+1]
+			return t.Kind == IDENT && t.Text == kw
+		}
+		return false
+	}
+}
+
+func (p *parser) consumeEnd(kw string) error {
+	switch {
+	case p.isIdent("end" + kw):
+		p.next()
+	case p.isIdent("end"):
+		p.next()
+		if err := p.expectIdent(kw); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected end %s", kw)
+	}
+	return p.endOfStmt()
+}
+
+// callStmt parses "call name(args...)".
+func (p *parser) callStmt() (Stmt, error) {
+	line := p.line()
+	p.next() // "call"
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	c := &CallStmt{Name: name.Text, Line: line}
+	if p.peek().Kind == LPAREN {
+		p.next()
+		for p.peek().Kind != RPAREN {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, a)
+			if p.peek().Kind == COMMA {
+				p.next()
+			}
+		}
+		p.next() // ')'
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) assign() (Stmt, error) {
+	line := p.line()
+	lhs, err := p.refOrCall()
+	if err != nil {
+		return nil, err
+	}
+	ref, ok := lhs.(*Ref)
+	if !ok {
+		return nil, p.errf("left side of assignment must be a variable")
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	return &Assign{LHS: ref, RHS: rhs, Line: line}, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	or -> and -> not -> rel -> add -> mul -> unary -> pow -> primary
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == OR {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: LOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == AND {
+		p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: LAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.peek().Kind == NOT {
+		p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Neg: false, X: x}, nil
+	}
+	return p.relExpr()
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	ops := map[Kind]BinKind{LT: Lt, LE: Le, GT: Gt, GE: Ge, EQ: Eq, NE: Ne}
+	if op, ok := ops[p.peek().Kind]; ok {
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinKind
+		switch p.peek().Kind {
+		case PLUS:
+			op = Add
+		case MINUS:
+			op = Sub
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinKind
+		switch p.peek().Kind {
+		case STAR:
+			op = Mul
+		case SLASH:
+			op = Div
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch p.peek().Kind {
+	case MINUS:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Neg: true, X: x}, nil
+	case PLUS:
+		p.next()
+		return p.unaryExpr()
+	}
+	return p.powExpr()
+}
+
+func (p *parser) powExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == POW {
+		p.next()
+		// Exponentiation is right-associative.
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: Pow, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+// intrinsics names recognized as function calls.
+var intrinsics = map[string]bool{
+	"sqrt": true, "abs": true, "min": true, "max": true, "mod": true,
+	"exp": true, "log": true, "sin": true, "cos": true, "tan": true,
+	"atan": true, "atan2": true, "sign": true, "dble": true, "real": true,
+	"int": true, "float": true,
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, &SyntaxError{t.Line, fmt.Sprintf("bad integer literal %q", t.Text)}
+		}
+		return &IntLit{Val: v}, nil
+	case REAL:
+		p.next()
+		norm := strings.Map(func(r rune) rune {
+			if r == 'd' {
+				return 'e'
+			}
+			return r
+		}, t.Text)
+		v, err := strconv.ParseFloat(norm, 64)
+		if err != nil {
+			return nil, &SyntaxError{t.Line, fmt.Sprintf("bad real literal %q", t.Text)}
+		}
+		return &RealLit{Val: v, Text: t.Text}, nil
+	case IDENT:
+		return p.refOrCall()
+	case LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected expression, found %s %q", t.Kind, t.Text)
+}
+
+// refOrCall parses NAME, NAME(subs...), or INTRINSIC(args...).
+func (p *parser) refOrCall() (Expr, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != LPAREN {
+		return &Ref{Name: name.Text, Line: name.Line}, nil
+	}
+	p.next()
+	var args []Expr
+	if p.peek().Kind != RPAREN {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek().Kind == COMMA {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if intrinsics[name.Text] {
+		return &Call{Fn: name.Text, Args: args}, nil
+	}
+	return &Ref{Name: name.Text, Subs: args, Line: name.Line}, nil
+}

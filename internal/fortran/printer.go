@@ -1,0 +1,69 @@
+package fortran
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program back to dialect source.  The output parses
+// to an equivalent AST (round-trip property, checked in tests).
+func Print(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	if len(p.Params) > 0 {
+		parts := make([]string, len(p.Params))
+		for i, pa := range p.Params {
+			parts[i] = fmt.Sprintf("%s = %d", pa.Name, pa.Value)
+		}
+		fmt.Fprintf(&b, "  parameter (%s)\n", strings.Join(parts, ", "))
+	}
+	for _, d := range p.Decls {
+		if d.Rank() == 0 {
+			fmt.Fprintf(&b, "  %s %s\n", d.Type, d.Name)
+			continue
+		}
+		dims := make([]string, len(d.Dims))
+		for i, e := range d.Dims {
+			dims[i] = e.String()
+		}
+		fmt.Fprintf(&b, "  %s %s(%s)\n", d.Type, d.Name, strings.Join(dims, ","))
+	}
+	for _, d := range p.Directives {
+		fmt.Fprintf(&b, "!hpf$ %s\n", d.Text)
+	}
+	printStmts(&b, p.Body, 1)
+	b.WriteString("end\n")
+	return b.String()
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", ind, s.LHS, s.RHS)
+		case *Do:
+			if s.TripHint > 0 {
+				fmt.Fprintf(b, "%s!trip %d\n", ind, s.TripHint)
+			}
+			if s.Step != nil {
+				fmt.Fprintf(b, "%sdo %s = %s, %s, %s\n", ind, s.Var, s.Lo, s.Hi, s.Step)
+			} else {
+				fmt.Fprintf(b, "%sdo %s = %s, %s\n", ind, s.Var, s.Lo, s.Hi)
+			}
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%send do\n", ind)
+		case *If:
+			if s.ProbHint > 0 {
+				fmt.Fprintf(b, "%s!prob %g\n", ind, s.ProbHint)
+			}
+			fmt.Fprintf(b, "%sif (%s) then\n", ind, s.Cond)
+			printStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%selse\n", ind)
+				printStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%send if\n", ind)
+		}
+	}
+}

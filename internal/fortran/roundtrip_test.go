@@ -1,0 +1,177 @@
+package fortran
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randProgram generates a random well-formed program AST.
+func randProgram(rng *rand.Rand) *Program {
+	p := &Program{Name: "rnd"}
+	p.Params = append(p.Params, &Param{Name: "n", Value: 8 + rng.Intn(56)})
+	nArrays := 1 + rng.Intn(3)
+	var arrays []string
+	for i := 0; i < nArrays; i++ {
+		name := fmt.Sprintf("a%d", i)
+		arrays = append(arrays, name)
+		rank := 1 + rng.Intn(2)
+		dims := make([]Expr, rank)
+		for k := range dims {
+			dims[k] = &Ref{Name: "n"}
+		}
+		p.Decls = append(p.Decls, &Decl{Name: name, Type: Real, Dims: dims})
+	}
+	p.Body = randStmts(rng, arrays, []string{"i", "j"}, 2)
+	if len(p.Body) == 0 {
+		p.Body = []Stmt{randAssign(rng, arrays, []string{"i"})}
+	}
+	return p
+}
+
+func randStmts(rng *rand.Rand, arrays, vars []string, depth int) []Stmt {
+	n := 1 + rng.Intn(2)
+	var out []Stmt
+	for s := 0; s < n; s++ {
+		switch {
+		case depth > 0 && rng.Intn(3) == 0:
+			v := vars[rng.Intn(len(vars))]
+			out = append(out, &Do{
+				Var:  v,
+				Lo:   &IntLit{Val: 1},
+				Hi:   &Ref{Name: "n"},
+				Body: randStmts(rng, arrays, vars, depth-1),
+			})
+		case depth > 0 && rng.Intn(4) == 0:
+			out = append(out, &If{
+				Cond: &Bin{Op: Gt, L: randExpr(rng, arrays, vars, 1), R: &RealLit{Val: 0, Text: "0.0"}},
+				Then: randStmts(rng, arrays, vars, depth-1),
+			})
+		default:
+			out = append(out, randAssign(rng, arrays, vars))
+		}
+	}
+	return out
+}
+
+func randAssign(rng *rand.Rand, arrays, vars []string) Stmt {
+	return &Assign{
+		LHS: randRef(rng, arrays, vars),
+		RHS: randExpr(rng, arrays, vars, 2),
+	}
+}
+
+func randRef(rng *rand.Rand, arrays, vars []string) *Ref {
+	// Rank is encoded by the generator's declaration scheme: a0.. have
+	// 1 or 2 dims; keep a side map via name parity is fragile, so use
+	// subscripts (i) always and (i,j) for even indices... Instead store
+	// rank in the name: a0 rank decided at decl time is not visible
+	// here, so the generator passes only rank-2 arrays.
+	name := arrays[rng.Intn(len(arrays))]
+	return &Ref{Name: name, Subs: []Expr{
+		&Ref{Name: vars[rng.Intn(len(vars))]},
+		&Bin{Op: Sub, L: &Ref{Name: vars[rng.Intn(len(vars))]}, R: &IntLit{Val: 1}},
+	}}
+}
+
+func randExpr(rng *rand.Rand, arrays, vars []string, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return randRef(rng, arrays, vars)
+		case 1:
+			return &IntLit{Val: rng.Intn(100)}
+		default:
+			return &RealLit{Val: 0.5, Text: "0.5"}
+		}
+	}
+	ops := []BinKind{Add, Sub, Mul, Div}
+	return &Bin{
+		Op: ops[rng.Intn(len(ops))],
+		L:  randExpr(rng, arrays, vars, depth-1),
+		R:  randExpr(rng, arrays, vars, depth-1),
+	}
+}
+
+// TestQuickPrintParseRoundTrip: printing a random AST and re-parsing
+// yields a stable fixed point (Print ∘ Parse ∘ Print = Print).
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p1 := randProgram(rng)
+		// All generated arrays must be rank 2 for randRef's subscripts.
+		for _, d := range p1.Decls {
+			for len(d.Dims) < 2 {
+				d.Dims = append(d.Dims, &Ref{Name: "n"})
+			}
+		}
+		text1 := Print(p1)
+		p2, err := Parse(text1)
+		if err != nil {
+			t.Logf("seed %d: parse failed: %v\n%s", seed, err, text1)
+			return false
+		}
+		text2 := Print(p2)
+		if text1 != text2 {
+			t.Logf("seed %d: not a fixed point:\n--- 1\n%s\n--- 2\n%s", seed, text1, text2)
+			return false
+		}
+		// And it must analyze cleanly.
+		if _, err := Analyze(p2); err != nil {
+			t.Logf("seed %d: analyze failed: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStatementCountPreserved: the statement tree survives the
+// round trip structurally.
+func TestQuickStatementCountPreserved(t *testing.T) {
+	count := func(stmts []Stmt) int {
+		n := 0
+		WalkStmts(stmts, func(Stmt) { n++ })
+		return n
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p1 := randProgram(rng)
+		for _, d := range p1.Decls {
+			for len(d.Dims) < 2 {
+				d.Dims = append(d.Dims, &Ref{Name: "n"})
+			}
+		}
+		p2, err := Parse(Print(p1))
+		if err != nil {
+			return false
+		}
+		if count(p1.Body) != count(p2.Body) {
+			return false
+		}
+		return reflect.DeepEqual(stmtShape(p1.Body), stmtShape(p2.Body))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// stmtShape captures the statement kind tree.
+func stmtShape(stmts []Stmt) []string {
+	var out []string
+	WalkStmts(stmts, func(s Stmt) {
+		switch s.(type) {
+		case *Do:
+			out = append(out, "do")
+		case *If:
+			out = append(out, "if")
+		case *Assign:
+			out = append(out, "=")
+		}
+	})
+	return out
+}

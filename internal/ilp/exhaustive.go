@@ -1,0 +1,110 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// ExhaustiveLimit is the largest binary-variable count SolveExhaustive
+// accepts; beyond it enumeration is hopeless and callers should use the
+// branch-and-bound Solver.
+const ExhaustiveLimit = 24
+
+// SolveExhaustive minimizes p over all 2^k assignments of the binary
+// variables, with any remaining continuous variables optimized by the
+// LP solver per assignment.  It exists as an oracle for tests and as
+// the brute-force baseline for the paper's NP-complete subproblems.
+func SolveExhaustive(p *lp.Problem, binaries []int) (*Result, error) {
+	k := len(binaries)
+	if k > ExhaustiveLimit {
+		return nil, fmt.Errorf("ilp: %d binaries exceeds exhaustive limit %d", k, ExhaustiveLimit)
+	}
+	savedLo := make([]float64, k)
+	savedHi := make([]float64, k)
+	for i, v := range binaries {
+		savedLo[i], savedHi[i] = p.Bounds(v)
+	}
+	defer func() {
+		for i, v := range binaries {
+			p.SetBounds(v, savedLo[i], savedHi[i])
+		}
+	}()
+
+	pureBinary := p.NumVariables() == k
+	res := &Result{Status: Infeasible, Objective: math.Inf(1)}
+	for mask := 0; mask < 1<<k; mask++ {
+		skip := false
+		for i, v := range binaries {
+			val := float64(mask >> i & 1)
+			if val < savedLo[i] || val > savedHi[i] {
+				skip = true
+				break
+			}
+			p.SetBounds(v, val, val)
+		}
+		if skip {
+			continue
+		}
+		if pureBinary {
+			// No continuous part: evaluate directly.
+			x := make([]float64, k)
+			for _, v := range binaries {
+				x[v], _ = p.Bounds(v)
+			}
+			if !satisfies(p, x) {
+				continue
+			}
+			obj := 0.0
+			for v, xv := range x {
+				obj += p.Objective(v) * xv
+			}
+			if obj < res.Objective {
+				res.Status = Optimal
+				res.Objective = obj
+				res.X = x
+			}
+			continue
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return nil, err
+		}
+		res.LPPivots += sol.Iterations
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		if sol.Objective < res.Objective {
+			res.Status = Optimal
+			res.Objective = sol.Objective
+			res.X = snapBinaries(sol.X, binaries)
+		}
+	}
+	res.Nodes = 1 << k
+	return res, nil
+}
+
+// satisfies reports whether the fully fixed assignment x meets every
+// constraint of p.
+func satisfies(p *lp.Problem, x []float64) bool {
+	ok := true
+	p.EachConstraint(func(c lp.Constraint) {
+		if !ok {
+			return
+		}
+		s := 0.0
+		for _, t := range c.Terms {
+			s += t.Coeff * x[t.Var]
+		}
+		switch c.Rel {
+		case lp.LE:
+			ok = s <= c.RHS+1e-9
+		case lp.GE:
+			ok = s >= c.RHS-1e-9
+		case lp.EQ:
+			ok = math.Abs(s-c.RHS) <= 1e-9
+		}
+	})
+	return ok
+}

@@ -1,0 +1,274 @@
+// Package ilp solves 0-1 integer programming problems to proven
+// optimality by LP-based branch and bound.
+//
+// It is the stand-in for the CPLEX library the paper's prototype called
+// into: the framework translates the two NP-complete subproblems —
+// inter-dimensional alignment resolution and final data layout
+// selection — into 0-1 problems and solves them here.  Branching uses
+// depth-first diving (round-nearest child first) so a good incumbent is
+// found early, and LP relaxation bounds prune the rest of the tree.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status reports the outcome of a 0-1 solve.
+type Status int8
+
+const (
+	// Optimal means a provably optimal integer solution was found.
+	Optimal Status = iota
+	// Infeasible means no 0-1 assignment satisfies the constraints.
+	Infeasible
+	// NodeLimit means the search was cut off; Result carries the best
+	// incumbent found, which may be suboptimal.
+	NodeLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Result is the outcome of a branch-and-bound run.
+type Result struct {
+	Status    Status
+	Objective float64       // objective of X (minimization)
+	X         []float64     // one value per problem variable; binaries are exactly 0 or 1
+	Nodes     int           // branch-and-bound nodes explored
+	LPPivots  int           // total simplex iterations across all nodes
+	Duration  time.Duration // wall-clock solve time
+}
+
+// Solver configures branch and bound.  The zero value is usable.
+type Solver struct {
+	// MaxNodes caps the number of explored nodes (0 means 4_000_000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (0 means 1e-6).
+	IntTol float64
+	// NoPerturb disables the anti-degeneracy objective perturbation.
+	// By default each binary's objective receives a tiny deterministic
+	// increment (1e-6 per variable index) so alternative optima are
+	// strictly ordered and the bound actually prunes; the reported
+	// objective is recomputed with the original coefficients.
+	NoPerturb bool
+}
+
+// ErrUnbounded is returned when the LP relaxation is unbounded, which a
+// well-formed 0-1 model never is.
+var ErrUnbounded = errors.New("ilp: LP relaxation unbounded")
+
+// Solve minimizes p subject to the listed variables being 0 or 1.
+// Bounds of the binary variables must be within [0,1]; other variables
+// remain continuous.  The problem's bounds are restored before return.
+func (s *Solver) Solve(p *lp.Problem, binaries []int) (*Result, error) {
+	start := time.Now()
+	maxNodes := s.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 4_000_000
+	}
+	tol := s.IntTol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	// Save original bounds so the caller's problem is left untouched.
+	savedLo := make([]float64, len(binaries))
+	savedHi := make([]float64, len(binaries))
+	for i, v := range binaries {
+		savedLo[i], savedHi[i] = p.Bounds(v)
+		if savedLo[i] < 0 || savedHi[i] > 1 {
+			return nil, fmt.Errorf("ilp: binary variable %d has bounds [%g,%g] outside [0,1]", v, savedLo[i], savedHi[i])
+		}
+	}
+	defer func() {
+		for i, v := range binaries {
+			p.SetBounds(v, savedLo[i], savedHi[i])
+		}
+	}()
+	var savedObj []float64
+	if !s.NoPerturb {
+		savedObj = make([]float64, len(binaries))
+		for i, v := range binaries {
+			savedObj[i] = p.Objective(v)
+			p.SetObjective(v, savedObj[i]+perturbEps*float64(i+1))
+		}
+		defer func() {
+			for i, v := range binaries {
+				p.SetObjective(v, savedObj[i])
+			}
+		}()
+	}
+
+	bb := &bbState{
+		p:        p,
+		binaries: binaries,
+		tol:      tol,
+		maxNodes: maxNodes,
+		best:     math.Inf(1),
+	}
+	err := bb.dive()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Nodes:    bb.nodes,
+		LPPivots: bb.pivots,
+		Duration: time.Since(start),
+	}
+	if bb.bestX != nil && savedObj != nil {
+		// Recompute the incumbent's objective with the unperturbed
+		// coefficients.
+		bb.best = 0
+		for i, v := range binaries {
+			bb.best += savedObj[i] * bb.bestX[v]
+		}
+		for v := 0; v < p.NumVariables(); v++ {
+			if !isBinaryVar(v, binaries) {
+				bb.best += p.Objective(v) * bb.bestX[v]
+			}
+		}
+	}
+	switch {
+	case bb.bestX == nil:
+		res.Status = Infeasible
+		if bb.hitLimit {
+			res.Status = NodeLimit
+		}
+	case bb.hitLimit:
+		res.Status = NodeLimit
+		res.Objective = bb.best
+		res.X = bb.bestX
+	default:
+		res.Status = Optimal
+		res.Objective = bb.best
+		res.X = bb.bestX
+	}
+	return res, nil
+}
+
+type bbState struct {
+	p        *lp.Problem
+	binaries []int
+	tol      float64
+	maxNodes int
+	nodes    int
+	pivots   int
+	best     float64
+	bestX    []float64
+	hitLimit bool
+}
+
+// dive explores the search tree depth-first from the current bounds.
+func (bb *bbState) dive() error {
+	if bb.nodes >= bb.maxNodes {
+		bb.hitLimit = true
+		return nil
+	}
+	bb.nodes++
+	sol, err := bb.p.Solve()
+	if err != nil {
+		return err
+	}
+	bb.pivots += sol.Iterations
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil
+	case lp.Unbounded:
+		return ErrUnbounded
+	}
+	// Bound: the LP relaxation is a lower bound on any completion.
+	if sol.Objective >= bb.best-1e-9 {
+		return nil
+	}
+	// Find the most fractional binary.
+	branch := -1
+	frac := bb.tol
+	for _, v := range bb.binaries {
+		f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+		if f > frac {
+			frac = f
+			branch = v
+		}
+	}
+	if branch < 0 {
+		// Integral: new incumbent.
+		bb.best = sol.Objective
+		bb.bestX = snapBinaries(sol.X, bb.binaries)
+		return nil
+	}
+	lo, hi := bb.p.Bounds(branch)
+	first, second := 1.0, 0.0
+	if sol.X[branch] < 0.5 {
+		first, second = 0.0, 1.0
+	}
+	for _, val := range []float64{first, second} {
+		bb.p.SetBounds(branch, val, val)
+		if err := bb.dive(); err != nil {
+			bb.p.SetBounds(branch, lo, hi)
+			return err
+		}
+	}
+	bb.p.SetBounds(branch, lo, hi)
+	return nil
+}
+
+// perturbEps is the per-variable anti-degeneracy increment.
+const perturbEps = 1e-6
+
+func isBinaryVar(v int, binaries []int) bool {
+	for _, b := range binaries {
+		if b == v {
+			return true
+		}
+	}
+	return false
+}
+
+// snapBinaries copies x with the binary entries rounded exactly.
+func snapBinaries(x []float64, binaries []int) []float64 {
+	out := append([]float64(nil), x...)
+	for _, v := range binaries {
+		out[v] = math.Round(out[v])
+	}
+	return out
+}
+
+// Maximize solves the maximization version of p over the binaries by
+// negating the objective.  The returned Result reports the maximized
+// objective value directly.
+func (s *Solver) Maximize(p *lp.Problem, binaries []int) (*Result, error) {
+	neg := negatedObjective(p)
+	res, err := s.Solve(neg, binaries)
+	if err != nil {
+		return nil, err
+	}
+	res.Objective = -res.Objective
+	return res, nil
+}
+
+// negatedObjective returns a clone of p with every objective
+// coefficient negated.
+func negatedObjective(p *lp.Problem) *lp.Problem {
+	q := lp.NewProblem()
+	for v := 0; v < p.NumVariables(); v++ {
+		lo, hi := p.Bounds(v)
+		q.AddVariable(-p.Objective(v), lo, hi)
+	}
+	p.EachConstraint(func(c lp.Constraint) {
+		q.AddConstraint(c.Terms, c.Rel, c.RHS)
+	})
+	return q
+}

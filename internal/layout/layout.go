@@ -1,0 +1,335 @@
+// Package layout defines the data layout vocabulary shared by the
+// whole framework: the program template, alignments of arrays to the
+// template, distributions of template dimensions onto processors, and
+// complete candidate layouts.
+//
+// Following §2.2, a data layout is defined in two stages: arrays are
+// aligned to a single program template (dimensionality and extents
+// derived from the maximal array ranks/extents in the program), and the
+// template is distributed onto the processors.  A candidate layout for
+// a phase fixes both stages for every array.
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Template is the single program template of §2.2.
+type Template struct {
+	Extents []int
+}
+
+// Rank returns the template dimensionality.
+func (t Template) Rank() int { return len(t.Extents) }
+
+func (t Template) String() string {
+	parts := make([]string, len(t.Extents))
+	for i, e := range t.Extents {
+		parts[i] = fmt.Sprint(e)
+	}
+	return "T(" + strings.Join(parts, ",") + ")"
+}
+
+// Kind is a distribution format for one template dimension.
+type Kind int8
+
+const (
+	// Star leaves the dimension on-processor (undistributed).
+	Star Kind = iota
+	// Block distributes contiguous blocks of ceil(N/P).
+	Block
+	// Cyclic deals elements round-robin.
+	Cyclic
+	// BlockCyclic deals blocks of Size round-robin.
+	BlockCyclic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Star:
+		return "*"
+	case Block:
+		return "BLOCK"
+	case Cyclic:
+		return "CYCLIC"
+	case BlockCyclic:
+		return "CYCLIC(k)"
+	}
+	return fmt.Sprintf("Kind(%d)", int8(k))
+}
+
+// DimDist is the distribution of one template dimension.
+type DimDist struct {
+	Kind Kind
+	// Procs is the number of processors assigned to this dimension
+	// (1 for Star).
+	Procs int
+	// Size is the block size for BlockCyclic.
+	Size int
+}
+
+func (d DimDist) String() string {
+	switch d.Kind {
+	case Star:
+		return "*"
+	case Block:
+		return fmt.Sprintf("BLOCK/%d", d.Procs)
+	case Cyclic:
+		return fmt.Sprintf("CYCLIC/%d", d.Procs)
+	case BlockCyclic:
+		return fmt.Sprintf("CYCLIC(%d)/%d", d.Size, d.Procs)
+	}
+	return "?"
+}
+
+// Alignment maps array dimensions to template dimensions: Map[a][k] is
+// the 0-based template dimension holding dimension k of array a.  For
+// arrays of lower rank than the template this is an embedding; template
+// dimensions not covered by an array replicate it along those
+// dimensions.
+type Alignment struct {
+	Map map[string][]int
+}
+
+// NewAlignment creates an empty alignment.
+func NewAlignment() *Alignment { return &Alignment{Map: map[string][]int{}} }
+
+// Set records the embedding for one array.
+func (a *Alignment) Set(array string, dims []int) {
+	a.Map[array] = append([]int(nil), dims...)
+}
+
+// Of returns the template dimension of (array, dim), or -1 if the
+// array is unknown to the alignment.
+func (a *Alignment) Of(array string, dim int) int {
+	m, ok := a.Map[array]
+	if !ok || dim >= len(m) {
+		return -1
+	}
+	return m[dim]
+}
+
+// Arrays returns the aligned array names, sorted.
+func (a *Alignment) Arrays() []string {
+	out := make([]string, 0, len(a.Map))
+	for n := range a.Map {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (a *Alignment) Clone() *Alignment {
+	out := NewAlignment()
+	for n, m := range a.Map {
+		out.Set(n, m)
+	}
+	return out
+}
+
+func (a *Alignment) String() string {
+	var b strings.Builder
+	for i, n := range a.Arrays() {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		dims := a.Map[n]
+		parts := make([]string, len(dims))
+		for k, t := range dims {
+			parts[k] = fmt.Sprintf("%d", t+1)
+		}
+		fmt.Fprintf(&b, "%s->(%s)", n, strings.Join(parts, ","))
+	}
+	return b.String()
+}
+
+// Layout is a complete candidate data layout: an alignment plus a
+// distribution of every template dimension.
+type Layout struct {
+	Template Template
+	Align    *Alignment
+	Dist     []DimDist
+}
+
+// NewLayout builds a layout; dist must have one entry per template
+// dimension.
+func NewLayout(t Template, a *Alignment, dist []DimDist) *Layout {
+	if len(dist) != t.Rank() {
+		panic(fmt.Sprintf("layout: %d dist entries for template rank %d", len(dist), t.Rank()))
+	}
+	return &Layout{Template: t, Align: a, Dist: append([]DimDist(nil), dist...)}
+}
+
+// Procs returns the total processor count (product over dimensions).
+func (l *Layout) Procs() int {
+	p := 1
+	for _, d := range l.Dist {
+		if d.Procs > 1 {
+			p *= d.Procs
+		}
+	}
+	return p
+}
+
+// ArrayDist returns the effective per-dimension distribution of an
+// array under this layout.
+func (l *Layout) ArrayDist(array string) []DimDist {
+	m := l.Align.Map[array]
+	out := make([]DimDist, len(m))
+	for k, t := range m {
+		out[k] = l.Dist[t]
+	}
+	return out
+}
+
+// IsDistributed reports whether dimension dim of array is spread over
+// more than one processor.
+func (l *Layout) IsDistributed(array string, dim int) bool {
+	t := l.Align.Of(array, dim)
+	if t < 0 {
+		return false
+	}
+	d := l.Dist[t]
+	return d.Kind != Star && d.Procs > 1
+}
+
+// DistributedDims returns the distributed dimensions of an array.
+func (l *Layout) DistributedDims(array string) []int {
+	var out []int
+	for dim := range l.Align.Map[array] {
+		if l.IsDistributed(array, dim) {
+			out = append(out, dim)
+		}
+	}
+	return out
+}
+
+// DistributedTemplateDims returns the distributed template dimensions.
+func (l *Layout) DistributedTemplateDims() []int {
+	var out []int
+	for t, d := range l.Dist {
+		if d.Kind != Star && d.Procs > 1 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BlockSize returns the per-processor block length of template
+// dimension t (the whole extent for Star).
+func (l *Layout) BlockSize(t int) int {
+	d := l.Dist[t]
+	n := l.Template.Extents[t]
+	switch d.Kind {
+	case Star:
+		return n
+	case Block:
+		return ceilDiv(n, d.Procs)
+	case Cyclic:
+		return ceilDiv(n, d.Procs)
+	case BlockCyclic:
+		return d.Size * ceilDiv(n, d.Size*d.Procs)
+	}
+	return n
+}
+
+// Owner returns the 0-based processor coordinate (along template
+// dimension t) owning 0-based index idx.
+func (l *Layout) Owner(t, idx int) int {
+	d := l.Dist[t]
+	switch d.Kind {
+	case Star:
+		return 0
+	case Block:
+		bs := ceilDiv(l.Template.Extents[t], d.Procs)
+		return idx / bs
+	case Cyclic:
+		return idx % d.Procs
+	case BlockCyclic:
+		return (idx / d.Size) % d.Procs
+	}
+	return 0
+}
+
+// Key is a canonical signature of the layout's *effective* per-array
+// distribution.  Two layouts with the same key place every array
+// identically, which makes remapping between them free and makes them
+// duplicates in a search space.  The key deliberately ignores how
+// arrays are routed through template dimensions: a transposed
+// orientation with a row distribution equals a canonical orientation
+// with a column distribution (§3.2).
+func (l *Layout) Key() string {
+	var b strings.Builder
+	for _, a := range l.Align.Arrays() {
+		fmt.Fprintf(&b, "%s(", a)
+		for k := range l.Align.Map[a] {
+			if k > 0 {
+				b.WriteString(",")
+			}
+			t := l.Align.Of(a, k)
+			b.WriteString(l.Dist[t].String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// ArrayKey is the canonical signature of one array's placement,
+// including which distributed template dimension each array dimension
+// occupies (two arrays whose dimensions land on different processor
+// grid axes are laid out differently even if the formats match).
+func (l *Layout) ArrayKey(array string) string {
+	m := l.Align.Map[array]
+	parts := make([]string, len(m))
+	for k, t := range m {
+		d := l.Dist[t]
+		if d.Kind == Star || d.Procs <= 1 {
+			parts[k] = "*"
+		} else {
+			parts[k] = fmt.Sprintf("%s@%d", d.String(), gridAxis(l, t))
+		}
+	}
+	return array + "(" + strings.Join(parts, ",") + ")"
+}
+
+// gridAxis numbers the distributed template dimensions 0,1,... so that
+// the processor-grid axis an array dimension occupies is part of its
+// placement signature.
+func gridAxis(l *Layout, t int) int {
+	axis := 0
+	for i := 0; i < t; i++ {
+		if l.Dist[i].Kind != Star && l.Dist[i].Procs > 1 {
+			axis++
+		}
+	}
+	return axis
+}
+
+// SameArrayPlacement reports whether array is placed identically by l
+// and m (no remapping needed for it on a transition).
+func SameArrayPlacement(l, m *Layout, array string) bool {
+	return l.ArrayKey(array) == m.ArrayKey(array)
+}
+
+func (l *Layout) String() string {
+	dist := make([]string, len(l.Dist))
+	for i, d := range l.Dist {
+		dist[i] = d.String()
+	}
+	return fmt.Sprintf("align[%s] dist(%s)", l.Align, strings.Join(dist, ","))
+}
+
+// Clone returns a deep copy of the layout.
+func (l *Layout) Clone() *Layout {
+	return NewLayout(l.Template, l.Align.Clone(), l.Dist)
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

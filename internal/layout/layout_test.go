@@ -1,0 +1,245 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func canonical2D(arrays ...string) *Alignment {
+	a := NewAlignment()
+	for _, n := range arrays {
+		a.Set(n, []int{0, 1})
+	}
+	return a
+}
+
+func rowLayout(n, p int, arrays ...string) *Layout {
+	return NewLayout(Template{Extents: []int{n, n}}, canonical2D(arrays...),
+		[]DimDist{{Kind: Block, Procs: p}, {Kind: Star, Procs: 1}})
+}
+
+func colLayout(n, p int, arrays ...string) *Layout {
+	return NewLayout(Template{Extents: []int{n, n}}, canonical2D(arrays...),
+		[]DimDist{{Kind: Star, Procs: 1}, {Kind: Block, Procs: p}})
+}
+
+func TestBasicAccessors(t *testing.T) {
+	l := rowLayout(64, 8, "x", "a")
+	if l.Procs() != 8 {
+		t.Errorf("procs = %d, want 8", l.Procs())
+	}
+	if !l.IsDistributed("x", 0) || l.IsDistributed("x", 1) {
+		t.Error("row layout should distribute dim 0 only")
+	}
+	if got := l.DistributedDims("x"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("distributed dims = %v, want [0]", got)
+	}
+	if got := l.DistributedTemplateDims(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("distributed template dims = %v, want [0]", got)
+	}
+	if l.BlockSize(0) != 8 || l.BlockSize(1) != 64 {
+		t.Errorf("block sizes = %d/%d, want 8/64", l.BlockSize(0), l.BlockSize(1))
+	}
+}
+
+func TestOwnerBlock(t *testing.T) {
+	l := rowLayout(64, 8, "x")
+	if l.Owner(0, 0) != 0 || l.Owner(0, 7) != 0 || l.Owner(0, 8) != 1 || l.Owner(0, 63) != 7 {
+		t.Error("block owners wrong")
+	}
+	if l.Owner(1, 63) != 0 {
+		t.Error("star dimension must be owned by coordinate 0")
+	}
+}
+
+func TestOwnerBlockRemainder(t *testing.T) {
+	// N=10 on 4 procs: block size ceil(10/4)=3 -> owners 0,0,0,1,1,1,2,2,2,3.
+	l := NewLayout(Template{Extents: []int{10}}, func() *Alignment {
+		a := NewAlignment()
+		a.Set("v", []int{0})
+		return a
+	}(), []DimDist{{Kind: Block, Procs: 4}})
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for i, w := range want {
+		if got := l.Owner(0, i); got != w {
+			t.Errorf("owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestOwnerCyclic(t *testing.T) {
+	a := NewAlignment()
+	a.Set("v", []int{0})
+	l := NewLayout(Template{Extents: []int{8}}, a, []DimDist{{Kind: Cyclic, Procs: 3}})
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := l.Owner(0, i); got != w {
+			t.Errorf("cyclic owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestOwnerBlockCyclic(t *testing.T) {
+	a := NewAlignment()
+	a.Set("v", []int{0})
+	l := NewLayout(Template{Extents: []int{12}}, a,
+		[]DimDist{{Kind: BlockCyclic, Procs: 2, Size: 2}})
+	want := []int{0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1}
+	for i, w := range want {
+		if got := l.Owner(0, i); got != w {
+			t.Errorf("block-cyclic owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestQuickOwnerPartition: every index has exactly one owner in range.
+func TestQuickOwnerPartition(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(200)
+		p := 2 + rng.Intn(16)
+		kind := []Kind{Block, Cyclic, BlockCyclic}[rng.Intn(3)]
+		d := DimDist{Kind: kind, Procs: p, Size: 1 + rng.Intn(4)}
+		a := NewAlignment()
+		a.Set("v", []int{0})
+		l := NewLayout(Template{Extents: []int{n}}, a, []DimDist{d})
+		counts := make([]int, p)
+		for i := 0; i < n; i++ {
+			o := l.Owner(0, i)
+			if o < 0 || o >= p {
+				return false
+			}
+			counts[o]++
+		}
+		// Block distribution must assign contiguous runs.
+		if kind == Block {
+			prev := -1
+			for i := 0; i < n; i++ {
+				o := l.Owner(0, i)
+				if o < prev {
+					return false
+				}
+				prev = o
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationSymmetryKey(t *testing.T) {
+	// Canonical orientation + column distribution ≡ transposed
+	// orientation + row distribution (§3.2): same Key.
+	n := 16
+	canonCol := colLayout(n, 4, "x")
+	transposed := NewAlignment()
+	transposed.Set("x", []int{1, 0})
+	transRow := NewLayout(Template{Extents: []int{n, n}}, transposed,
+		[]DimDist{{Kind: Block, Procs: 4}, {Kind: Star, Procs: 1}})
+	if canonCol.Key() != transRow.Key() {
+		t.Errorf("keys differ:\n%s\n%s", canonCol.Key(), transRow.Key())
+	}
+	if rowLayout(n, 4, "x").Key() == canonCol.Key() {
+		t.Error("row and column layouts must have distinct keys")
+	}
+}
+
+func TestSameArrayPlacement(t *testing.T) {
+	row := rowLayout(32, 4, "x", "a")
+	row2 := rowLayout(32, 4, "x", "a")
+	col := colLayout(32, 4, "x", "a")
+	if !SameArrayPlacement(row, row2, "x") {
+		t.Error("identical layouts should place x identically")
+	}
+	if SameArrayPlacement(row, col, "x") {
+		t.Error("row vs column should differ for x")
+	}
+}
+
+func TestArrayKeyDistinguishesGridAxes(t *testing.T) {
+	// 2-D distribution: x aligned canonically vs transposed occupies
+	// different grid axes even though formats per dim match.
+	tpl := Template{Extents: []int{16, 16}}
+	dist := []DimDist{{Kind: Block, Procs: 2}, {Kind: Block, Procs: 2}}
+	canon := NewAlignment()
+	canon.Set("x", []int{0, 1})
+	trans := NewAlignment()
+	trans.Set("x", []int{1, 0})
+	l1 := NewLayout(tpl, canon, dist)
+	l2 := NewLayout(tpl, trans, dist)
+	if l1.ArrayKey("x") == l2.ArrayKey("x") {
+		t.Error("transposed 2-D placement should differ")
+	}
+}
+
+func TestProcsMultiDim(t *testing.T) {
+	a := NewAlignment()
+	a.Set("x", []int{0, 1})
+	l := NewLayout(Template{Extents: []int{32, 32}}, a,
+		[]DimDist{{Kind: Block, Procs: 4}, {Kind: Block, Procs: 2}})
+	if l.Procs() != 8 {
+		t.Errorf("procs = %d, want 8", l.Procs())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	l := rowLayout(8, 2, "x")
+	c := l.Clone()
+	c.Align.Set("x", []int{1, 0})
+	if l.Align.Of("x", 0) != 0 {
+		t.Error("clone shares alignment storage")
+	}
+}
+
+func TestEmbeddingLowerRank(t *testing.T) {
+	a := NewAlignment()
+	a.Set("m", []int{0, 1})
+	a.Set("v", []int{1}) // v aligned with template dim 2
+	l := NewLayout(Template{Extents: []int{16, 16}}, a,
+		[]DimDist{{Kind: Star, Procs: 1}, {Kind: Block, Procs: 4}})
+	if !l.IsDistributed("v", 0) {
+		t.Error("v should be distributed via its embedding")
+	}
+	if l.Align.Of("v", 1) != -1 {
+		t.Error("out-of-rank dim should report -1")
+	}
+	if l.Align.Of("w", 0) != -1 {
+		t.Error("unknown array should report -1")
+	}
+}
+
+// TestQuickKeyMatchesPlacement: two layouts have equal keys iff every
+// array is placed identically under both.
+func TestQuickKeyMatchesPlacement(t *testing.T) {
+	arrays := []string{"x", "y"}
+	mk := func(rng *rand.Rand) *Layout {
+		a := NewAlignment()
+		for _, n := range arrays {
+			if rng.Intn(2) == 0 {
+				a.Set(n, []int{0, 1})
+			} else {
+				a.Set(n, []int{1, 0})
+			}
+		}
+		dd := []DimDist{{Kind: Star, Procs: 1}, {Kind: Star, Procs: 1}}
+		dd[rng.Intn(2)] = DimDist{Kind: Block, Procs: 4}
+		return NewLayout(Template{Extents: []int{32, 32}}, a, dd)
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l1, l2 := mk(rng), mk(rng)
+		same := true
+		for _, n := range arrays {
+			if !SameArrayPlacement(l1, l2, n) {
+				same = false
+			}
+		}
+		return same == (l1.Key() == l2.Key())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package layoutgraph implements the final layout selection step of the
+// framework (§2.4): the data layout graph and the NP-complete selection
+// of one candidate layout per phase minimizing total cost.
+//
+// The data layout graph has one node per candidate layout of each
+// phase, weighted by the candidate's estimated execution time times the
+// phase's execution frequency.  Edges represent possible remappings
+// between candidates of control-flow-adjacent phases, weighted by
+// remapping cost times the edge's traversal frequency.  The optimal
+// selection problem is NP-complete [Kre93]; following [BKK94b] it is
+// translated to a 0-1 integer program and solved exactly.  A dynamic
+// program provides an exact baseline for chain- and ring-shaped PCFGs,
+// and exhaustive enumeration a test oracle.
+package layoutgraph
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// Graph is a data layout graph.
+type Graph struct {
+	// NodeCost[p][i] is the frequency-weighted cost of candidate i of
+	// phase p.
+	NodeCost [][]float64
+	// Edges lists the remapping-capable transitions.
+	Edges []*Edge
+	// Ties forces pairs of phases to select the same candidate index —
+	// the phase-merging preprocessing of §2.1 ("two adjacent phases can
+	// be merged into a single phase if remapping can never be
+	// profitable between them", after Sheffler et al.).  Tied phases
+	// must have candidate lists of equal length with corresponding
+	// meaning.
+	Ties [][2]int
+}
+
+// Edge connects the candidates of two phases; Cost[i][j] is the
+// frequency-weighted remapping cost from candidate i of FromPhase to
+// candidate j of ToPhase.
+type Edge struct {
+	FromPhase, ToPhase int
+	Cost               [][]float64
+}
+
+// Selection is a solved layout selection.
+type Selection struct {
+	// Choice[p] is the selected candidate index of phase p.
+	Choice []int
+	// Cost is the total objective value.
+	Cost float64
+	// Vars, Constraints, BBNodes and Duration describe the ILP solve
+	// (zero for the DP and exhaustive baselines).
+	Vars, Constraints, BBNodes int
+	Duration                   time.Duration
+}
+
+// NumPhases returns the phase count.
+func (g *Graph) NumPhases() int { return len(g.NodeCost) }
+
+// validate panics on malformed graphs.
+func (g *Graph) validate() {
+	for p, costs := range g.NodeCost {
+		if len(costs) == 0 {
+			panic(fmt.Sprintf("layoutgraph: phase %d has no candidates", p))
+		}
+	}
+	for _, t := range g.Ties {
+		if t[0] < 0 || t[0] >= len(g.NodeCost) || t[1] < 0 || t[1] >= len(g.NodeCost) {
+			panic("layoutgraph: tie references unknown phase")
+		}
+		if len(g.NodeCost[t[0]]) != len(g.NodeCost[t[1]]) {
+			panic("layoutgraph: tied phases have different candidate counts")
+		}
+	}
+	for _, e := range g.Edges {
+		if e.FromPhase < 0 || e.FromPhase >= len(g.NodeCost) ||
+			e.ToPhase < 0 || e.ToPhase >= len(g.NodeCost) {
+			panic("layoutgraph: edge references unknown phase")
+		}
+		if len(e.Cost) != len(g.NodeCost[e.FromPhase]) {
+			panic("layoutgraph: edge cost rows mismatch")
+		}
+		for _, row := range e.Cost {
+			if len(row) != len(g.NodeCost[e.ToPhase]) {
+				panic("layoutgraph: edge cost columns mismatch")
+			}
+		}
+	}
+}
+
+// evaluate computes the total cost of a choice vector.
+func (g *Graph) evaluate(choice []int) float64 {
+	total := 0.0
+	for p, i := range choice {
+		total += g.NodeCost[p][i]
+	}
+	for _, e := range g.Edges {
+		total += e.Cost[choice[e.FromPhase]][choice[e.ToPhase]]
+	}
+	return total
+}
+
+// SolveILP selects optimally via the 0-1 formulation of [BKK94b]: one
+// binary x per (phase, candidate) with an exactly-one constraint per
+// phase, plus continuous transition variables y per edge candidate
+// pair, coupled transportation-style to the endpoints:
+//
+//	∀i: Σ_j y_ij = x_from,i      ∀j: Σ_i y_ij = x_to,j
+//
+// With the x integral each edge's y is forced to the indicator of the
+// selected pair, so no integrality is needed on y; the relaxation is
+// the local marginal polytope, which is integral on trees and tight
+// enough that chain- and ring-shaped programs solve in a handful of
+// branch-and-bound nodes.
+func (g *Graph) SolveILP(solver *ilp.Solver) (*Selection, error) {
+	g.validate()
+	if solver == nil {
+		solver = &ilp.Solver{}
+	}
+	start := time.Now()
+	prob := lp.NewProblem()
+	nodeVar := make([][]int, len(g.NodeCost))
+	var binaries []int
+	for p, costs := range g.NodeCost {
+		nodeVar[p] = make([]int, len(costs))
+		for i, c := range costs {
+			v := prob.AddBinary(c)
+			prob.SetName(v, fmt.Sprintf("x_p%d_c%d", p, i))
+			nodeVar[p][i] = v
+			binaries = append(binaries, v)
+		}
+	}
+	constraints := 0
+	for p := range g.NodeCost {
+		terms := make([]lp.Term, len(nodeVar[p]))
+		for i, v := range nodeVar[p] {
+			terms[i] = lp.Term{Var: v, Coeff: 1}
+		}
+		prob.AddConstraint(terms, lp.EQ, 1)
+		constraints++
+	}
+	for _, t := range g.Ties {
+		for i := range nodeVar[t[0]] {
+			prob.AddConstraint([]lp.Term{
+				{Var: nodeVar[t[0]][i], Coeff: 1},
+				{Var: nodeVar[t[1]][i], Coeff: -1},
+			}, lp.EQ, 0)
+			constraints++
+		}
+	}
+	for _, e := range g.Edges {
+		nFrom, nTo := len(g.NodeCost[e.FromPhase]), len(g.NodeCost[e.ToPhase])
+		yVar := make([][]int, nFrom)
+		for i := 0; i < nFrom; i++ {
+			yVar[i] = make([]int, nTo)
+			for j := 0; j < nTo; j++ {
+				yVar[i][j] = prob.AddVariable(e.Cost[i][j], 0, 1)
+				prob.SetName(yVar[i][j], fmt.Sprintf("y_p%dc%d_p%dc%d", e.FromPhase, i, e.ToPhase, j))
+			}
+		}
+		for i := 0; i < nFrom; i++ {
+			terms := make([]lp.Term, 0, nTo+1)
+			for j := 0; j < nTo; j++ {
+				terms = append(terms, lp.Term{Var: yVar[i][j], Coeff: 1})
+			}
+			terms = append(terms, lp.Term{Var: nodeVar[e.FromPhase][i], Coeff: -1})
+			prob.AddConstraint(terms, lp.EQ, 0)
+			constraints++
+		}
+		for j := 0; j < nTo; j++ {
+			terms := make([]lp.Term, 0, nFrom+1)
+			for i := 0; i < nFrom; i++ {
+				terms = append(terms, lp.Term{Var: yVar[i][j], Coeff: 1})
+			}
+			terms = append(terms, lp.Term{Var: nodeVar[e.ToPhase][j], Coeff: -1})
+			prob.AddConstraint(terms, lp.EQ, 0)
+			constraints++
+		}
+	}
+	res, err := solver.Solve(prob, binaries)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != ilp.Optimal {
+		return nil, fmt.Errorf("layoutgraph: selection ILP %v", res.Status)
+	}
+	sel := &Selection{
+		Choice:      make([]int, len(g.NodeCost)),
+		Vars:        prob.NumVariables(),
+		Constraints: constraints,
+		BBNodes:     res.Nodes,
+		Duration:    time.Since(start),
+	}
+	for p := range g.NodeCost {
+		sel.Choice[p] = -1
+		for i, v := range nodeVar[p] {
+			if res.X[v] > 0.5 {
+				sel.Choice[p] = i
+			}
+		}
+		if sel.Choice[p] < 0 {
+			return nil, fmt.Errorf("layoutgraph: phase %d unselected", p)
+		}
+	}
+	sel.Cost = g.evaluate(sel.Choice)
+	return sel, nil
+}
+
+// chainShape classifies the edge structure: forward edges p→p+1 only,
+// plus optionally one closing edge last→0 (a ring, from a PCFG loop).
+func (g *Graph) chainShape() (forward []*Edge, closing *Edge, ok bool) {
+	forward = make([]*Edge, len(g.NodeCost)-1)
+	for _, e := range g.Edges {
+		switch {
+		case e.ToPhase == e.FromPhase+1:
+			if forward[e.FromPhase] != nil {
+				return nil, nil, false
+			}
+			forward[e.FromPhase] = e
+		case e.FromPhase == len(g.NodeCost)-1 && e.ToPhase == 0 && len(g.NodeCost) > 1:
+			if closing != nil {
+				return nil, nil, false
+			}
+			closing = e
+		default:
+			return nil, nil, false
+		}
+	}
+	return forward, closing, true
+}
+
+// SolveDP selects optimally by dynamic programming for chain- or
+// ring-shaped graphs.  For a ring it fixes the first phase's candidate
+// and runs one chain DP per choice.  Returns an error for other
+// shapes — the ILP handles those.
+func (g *Graph) SolveDP() (*Selection, error) {
+	g.validate()
+	if len(g.Ties) > 0 {
+		return nil, fmt.Errorf("layoutgraph: DP does not support ties; use SolveILP")
+	}
+	forward, closing, ok := g.chainShape()
+	if !ok {
+		return nil, fmt.Errorf("layoutgraph: graph is not a chain or ring; use SolveILP")
+	}
+	n := len(g.NodeCost)
+	best := math.Inf(1)
+	var bestChoice []int
+	firstChoices := 1
+	if closing != nil {
+		firstChoices = len(g.NodeCost[0])
+	}
+	for f := 0; f < firstChoices; f++ {
+		cost := make([]float64, len(g.NodeCost[0]))
+		back := make([][]int, n)
+		for i, c := range g.NodeCost[0] {
+			cost[i] = c
+			if closing != nil && i != f {
+				cost[i] = math.Inf(1)
+			}
+		}
+		for p := 1; p < n; p++ {
+			next := make([]float64, len(g.NodeCost[p]))
+			back[p] = make([]int, len(g.NodeCost[p]))
+			for j, cj := range g.NodeCost[p] {
+				bestPrev, bestVal := -1, math.Inf(1)
+				for i := range cost {
+					v := cost[i]
+					if forward[p-1] != nil {
+						v += forward[p-1].Cost[i][j]
+					}
+					if v < bestVal {
+						bestVal, bestPrev = v, i
+					}
+				}
+				next[j] = bestVal + cj
+				back[p][j] = bestPrev
+			}
+			cost = next
+		}
+		for j := range cost {
+			total := cost[j]
+			if closing != nil {
+				total += closing.Cost[j][f]
+			}
+			if total < best {
+				best = total
+				choice := make([]int, n)
+				choice[n-1] = j
+				for p := n - 1; p > 0; p-- {
+					choice[p-1] = back[p][choice[p]]
+				}
+				bestChoice = choice
+			}
+		}
+	}
+	if bestChoice == nil {
+		return nil, fmt.Errorf("layoutgraph: DP found no selection")
+	}
+	return &Selection{Choice: bestChoice, Cost: g.evaluate(bestChoice)}, nil
+}
+
+// SolveExhaustive enumerates every selection (test oracle); the
+// candidate product must not exceed 1<<20.
+func (g *Graph) SolveExhaustive() (*Selection, error) {
+	g.validate()
+	product := 1
+	for _, costs := range g.NodeCost {
+		product *= len(costs)
+		if product > 1<<20 {
+			return nil, fmt.Errorf("layoutgraph: %d combinations exceed exhaustive limit", product)
+		}
+	}
+	choice := make([]int, len(g.NodeCost))
+	best := math.Inf(1)
+	var bestChoice []int
+	var rec func(p int)
+	rec = func(p int) {
+		if p == len(g.NodeCost) {
+			for _, t := range g.Ties {
+				if choice[t[0]] != choice[t[1]] {
+					return
+				}
+			}
+			if c := g.evaluate(choice); c < best {
+				best = c
+				bestChoice = append([]int(nil), choice...)
+			}
+			return
+		}
+		for i := range g.NodeCost[p] {
+			choice[p] = i
+			rec(p + 1)
+		}
+	}
+	rec(0)
+	return &Selection{Choice: bestChoice, Cost: best}, nil
+}

@@ -1,0 +1,310 @@
+package layoutgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-6 }
+
+// adiToy models the Adi trade-off: two phases (row sweep, column
+// sweep), two static candidates each (row, column layout), remap cost
+// on the transition.  Row sweep: row fast (10), column slow (100).
+// Column sweep: row slow (100), column fast (10).  Remap costs r both
+// ways.
+func adiToy(r float64) *Graph {
+	return &Graph{
+		NodeCost: [][]float64{{10, 100}, {100, 10}},
+		Edges: []*Edge{
+			{FromPhase: 0, ToPhase: 1, Cost: [][]float64{{0, r}, {r, 0}}},
+			{FromPhase: 1, ToPhase: 0, Cost: [][]float64{{0, r}, {r, 0}}},
+		},
+	}
+}
+
+func TestStaticVsDynamicCrossover(t *testing.T) {
+	// Cheap remapping: the dynamic layout (row for phase 0, column for
+	// phase 1) wins.
+	sel, err := adiToy(5).SolveILP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Choice[0] != 0 || sel.Choice[1] != 1 {
+		t.Errorf("cheap remap choice = %v, want [0 1] (dynamic)", sel.Choice)
+	}
+	if !approx(sel.Cost, 10+10+5+5) {
+		t.Errorf("cost = %v, want 30", sel.Cost)
+	}
+	// Expensive remapping: a static layout wins even though one phase
+	// is suboptimal (the paper: the optimal layout may consist of
+	// candidates each suboptimal for their phases).
+	sel2, err := adiToy(200).SolveILP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Choice[0] != sel2.Choice[1] {
+		t.Errorf("expensive remap choice = %v, want static", sel2.Choice)
+	}
+	if !approx(sel2.Cost, 110) {
+		t.Errorf("cost = %v, want 110", sel2.Cost)
+	}
+}
+
+func TestSingleCandidatePhases(t *testing.T) {
+	g := &Graph{NodeCost: [][]float64{{7}, {3}}}
+	sel, err := g.SolveILP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sel.Cost, 10) {
+		t.Errorf("cost = %v, want 10", sel.Cost)
+	}
+}
+
+func TestDPMatchesILPOnChain(t *testing.T) {
+	g := &Graph{
+		NodeCost: [][]float64{{1, 4}, {6, 2}, {3, 3}},
+		Edges: []*Edge{
+			{FromPhase: 0, ToPhase: 1, Cost: [][]float64{{0, 5}, {5, 0}}},
+			{FromPhase: 1, ToPhase: 2, Cost: [][]float64{{0, 1}, {1, 0}}},
+		},
+	}
+	ilpSel, err := g.SolveILP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpSel, err := g.SolveDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(ilpSel.Cost, dpSel.Cost) {
+		t.Errorf("ILP %v vs DP %v", ilpSel.Cost, dpSel.Cost)
+	}
+}
+
+func TestDPRing(t *testing.T) {
+	g := adiToy(5)
+	dpSel, err := g.SolveDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(dpSel.Cost, 30) {
+		t.Errorf("ring DP cost = %v, want 30", dpSel.Cost)
+	}
+}
+
+func TestDPRejectsGeneralGraphs(t *testing.T) {
+	g := &Graph{
+		NodeCost: [][]float64{{1}, {1}, {1}},
+		Edges: []*Edge{
+			{FromPhase: 0, ToPhase: 2, Cost: [][]float64{{0}}},
+		},
+	}
+	if _, err := g.SolveDP(); err == nil {
+		t.Fatal("expected DP to reject a non-chain graph")
+	}
+	if _, err := g.SolveILP(nil); err != nil {
+		t.Fatalf("ILP should handle it: %v", err)
+	}
+}
+
+func randomGraph(rng *rand.Rand) *Graph {
+	phases := 2 + rng.Intn(4)
+	g := &Graph{NodeCost: make([][]float64, phases)}
+	for p := range g.NodeCost {
+		nc := 1 + rng.Intn(3)
+		g.NodeCost[p] = make([]float64, nc)
+		for i := range g.NodeCost[p] {
+			g.NodeCost[p][i] = float64(rng.Intn(50))
+		}
+	}
+	// Forward chain edges plus occasional back/cross edges.
+	for p := 0; p+1 < phases; p++ {
+		g.Edges = append(g.Edges, randomEdge(rng, g, p, p+1))
+	}
+	extra := rng.Intn(3)
+	for k := 0; k < extra; k++ {
+		from, to := rng.Intn(phases), rng.Intn(phases)
+		if from == to {
+			continue
+		}
+		g.Edges = append(g.Edges, randomEdge(rng, g, from, to))
+	}
+	return g
+}
+
+func randomEdge(rng *rand.Rand, g *Graph, from, to int) *Edge {
+	e := &Edge{FromPhase: from, ToPhase: to}
+	e.Cost = make([][]float64, len(g.NodeCost[from]))
+	for i := range e.Cost {
+		e.Cost[i] = make([]float64, len(g.NodeCost[to]))
+		for j := range e.Cost[i] {
+			if i != j {
+				e.Cost[i][j] = float64(rng.Intn(30))
+			}
+		}
+	}
+	return e
+}
+
+// TestQuickILPMatchesExhaustive cross-checks the 0-1 selection against
+// enumeration on random layout graphs.
+func TestQuickILPMatchesExhaustive(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		ilpSel, err := g.SolveILP(nil)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		exSel, err := g.SolveExhaustive()
+		if err != nil {
+			return false
+		}
+		if !approx(ilpSel.Cost, exSel.Cost) {
+			t.Logf("seed %d: ilp %v vs exhaustive %v", seed, ilpSel.Cost, exSel.Cost)
+			return false
+		}
+		// The reported cost must equal the evaluated choice.
+		return approx(g.evaluate(ilpSel.Choice), ilpSel.Cost)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDPMatchesExhaustiveOnChains validates the DP on random
+// chains and rings.
+func TestQuickDPMatchesExhaustiveOnChains(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phases := 2 + rng.Intn(4)
+		g := &Graph{NodeCost: make([][]float64, phases)}
+		for p := range g.NodeCost {
+			nc := 1 + rng.Intn(3)
+			g.NodeCost[p] = make([]float64, nc)
+			for i := range g.NodeCost[p] {
+				g.NodeCost[p][i] = float64(rng.Intn(50))
+			}
+		}
+		for p := 0; p+1 < phases; p++ {
+			g.Edges = append(g.Edges, randomEdge(rng, g, p, p+1))
+		}
+		if rng.Intn(2) == 1 {
+			g.Edges = append(g.Edges, randomEdge(rng, g, phases-1, 0))
+		}
+		dpSel, err := g.SolveDP()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		exSel, err := g.SolveExhaustive()
+		if err != nil {
+			return false
+		}
+		if !approx(dpSel.Cost, exSel.Cost) {
+			t.Logf("seed %d: dp %v vs exhaustive %v", seed, dpSel.Cost, exSel.Cost)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestILPStatsRecorded(t *testing.T) {
+	sel, err := adiToy(5).SolveILP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Vars == 0 || sel.Constraints == 0 {
+		t.Errorf("stats = %+v, want nonzero sizes", sel)
+	}
+}
+
+func BenchmarkSelectionILP(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	g := &Graph{NodeCost: make([][]float64, 12)}
+	for p := range g.NodeCost {
+		g.NodeCost[p] = make([]float64, 4)
+		for i := range g.NodeCost[p] {
+			g.NodeCost[p][i] = float64(rng.Intn(100))
+		}
+	}
+	for p := 0; p+1 < len(g.NodeCost); p++ {
+		g.Edges = append(g.Edges, randomEdge(rng, g, p, p+1))
+	}
+	g.Edges = append(g.Edges, randomEdge(rng, g, len(g.NodeCost)-1, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SolveILP(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTiesForceEqualChoice(t *testing.T) {
+	// Phase 0 prefers candidate 0, phase 1 prefers candidate 1; a tie
+	// forces a common pick, which must be the cheaper combined one.
+	g := &Graph{
+		NodeCost: [][]float64{{1, 5}, {9, 2}},
+		Ties:     [][2]int{{0, 1}},
+	}
+	sel, err := g.SolveILP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Choice[0] != sel.Choice[1] {
+		t.Fatalf("tie violated: %v", sel.Choice)
+	}
+	// Common 0: 1+9=10; common 1: 5+2=7 -> candidate 1.
+	if sel.Choice[0] != 1 || !approx(sel.Cost, 7) {
+		t.Errorf("choice = %v cost %v, want [1 1] cost 7", sel.Choice, sel.Cost)
+	}
+}
+
+func TestQuickTiesMatchExhaustive(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phases := 3 + rng.Intn(3)
+		nc := 2 + rng.Intn(2)
+		g := &Graph{NodeCost: make([][]float64, phases)}
+		for p := range g.NodeCost {
+			g.NodeCost[p] = make([]float64, nc)
+			for i := range g.NodeCost[p] {
+				g.NodeCost[p][i] = float64(rng.Intn(40))
+			}
+		}
+		for p := 0; p+1 < phases; p++ {
+			g.Edges = append(g.Edges, randomEdge(rng, g, p, p+1))
+		}
+		p := rng.Intn(phases - 1)
+		g.Ties = [][2]int{{p, p + 1}}
+		ilpSel, err := g.SolveILP(nil)
+		if err != nil {
+			return false
+		}
+		exSel, err := g.SolveExhaustive()
+		if err != nil {
+			return false
+		}
+		if ilpSel.Choice[p] != ilpSel.Choice[p+1] {
+			return false
+		}
+		return approx(ilpSel.Cost, exSel.Cost)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPRejectsTies(t *testing.T) {
+	g := &Graph{NodeCost: [][]float64{{1, 2}, {3, 4}}, Ties: [][2]int{{0, 1}}}
+	if _, err := g.SolveDP(); err == nil {
+		t.Fatal("DP should reject tied graphs")
+	}
+}

@@ -1,0 +1,380 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestTextbookMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Hillier-Lieberman).
+	// Optimum: x=2, y=6, obj=36.  We minimize the negation.
+	p := NewProblem()
+	x := p.AddVariable(-3, 0, Inf)
+	y := p.AddVariable(-5, 0, Inf)
+	p.AddConstraint([]Term{{x, 1}}, LE, 4)
+	p.AddConstraint([]Term{{y, 2}}, LE, 12)
+	p.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !approx(sol.Objective, -36, 1e-6) {
+		t.Errorf("objective = %v, want -36", sol.Objective)
+	}
+	if !approx(sol.X[x], 2, 1e-6) || !approx(sol.X[y], 6, 1e-6) {
+		t.Errorf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x >= 3, y >= 2  ->  x=8, y=2, obj=22.
+	p := NewProblem()
+	x := p.AddVariable(2, 0, Inf)
+	y := p.AddVariable(3, 0, Inf)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{x, 1}}, GE, 3)
+	p.AddConstraint([]Term{{y, 1}}, GE, 2)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !approx(sol.Objective, 22, 1e-6) {
+		t.Errorf("objective = %v, want 22", sol.Objective)
+	}
+}
+
+func TestVariableUpperBounds(t *testing.T) {
+	// min -(x+y) with x,y in [0,1], x + y <= 1.5  ->  obj = -1.5.
+	p := NewProblem()
+	x := p.AddBinary(-1)
+	y := p.AddBinary(-1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 1.5)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -1.5, 1e-6) {
+		t.Errorf("objective = %v, want -1.5", sol.Objective)
+	}
+}
+
+func TestBoundFlipOnly(t *testing.T) {
+	// min -x with x in [0, 7] and a vacuous constraint: optimum via a
+	// pure bound flip to the upper bound.
+	p := NewProblem()
+	x := p.AddVariable(-1, 0, 7)
+	y := p.AddVariable(0, 0, Inf)
+	p.AddConstraint([]Term{{y, 1}}, LE, 100)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], 7, 1e-9) {
+		t.Errorf("x = %v, want 7", sol.X[x])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1, 0, Inf)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleBinaryPacking(t *testing.T) {
+	// x + y >= 3 with x,y in [0,1] cannot be satisfied.
+	p := NewProblem()
+	x := p.AddBinary(1)
+	y := p.AddBinary(1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 3)
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(-1, 0, Inf)
+	y := p.AddVariable(0, 0, Inf)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, 5)
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x + y s.t. -x - y <= -4  (i.e. x + y >= 4): obj = 4.
+	p := NewProblem()
+	x := p.AddVariable(1, 0, Inf)
+	y := p.AddVariable(1, 0, Inf)
+	p.AddConstraint([]Term{{x, -1}, {y, -1}}, LE, -4)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 4, 1e-6) {
+		t.Fatalf("got %v obj=%v, want optimal obj=4", sol.Status, sol.Objective)
+	}
+}
+
+func TestDegenerateKleeMintyish(t *testing.T) {
+	// Highly degenerate problem exercising the anti-cycling path.
+	p := NewProblem()
+	x := make([]int, 4)
+	for i := range x {
+		x[i] = p.AddVariable(-1, 0, Inf)
+	}
+	for i := range x {
+		p.AddConstraint([]Term{{x[i], 1}}, LE, 0)
+	}
+	p.AddConstraint([]Term{{x[0], 1}, {x[1], 1}, {x[2], 1}, {x[3], 1}}, LE, 0)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 0, 1e-9) {
+		t.Fatalf("got %v obj=%v, want optimal obj=0", sol.Status, sol.Objective)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x with x free and x >= -5: optimum -5.
+	p := NewProblem()
+	x := p.AddVariable(1, math.Inf(-1), Inf)
+	p.AddConstraint([]Term{{x, 1}}, GE, -5)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, -5, 1e-6) {
+		t.Fatalf("got %v obj=%v, want optimal obj=-5", sol.Status, sol.Objective)
+	}
+}
+
+func TestEqualityChain(t *testing.T) {
+	// Transportation-like equalities.
+	// min sum c_ij x_ij, rows sum to supply, cols to demand.
+	p := NewProblem()
+	c := [2][2]float64{{4, 6}, {5, 3}}
+	var v [2][2]int
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			v[i][j] = p.AddVariable(c[i][j], 0, Inf)
+		}
+	}
+	p.AddConstraint([]Term{{v[0][0], 1}, {v[0][1], 1}}, EQ, 10)
+	p.AddConstraint([]Term{{v[1][0], 1}, {v[1][1], 1}}, EQ, 20)
+	p.AddConstraint([]Term{{v[0][0], 1}, {v[1][0], 1}}, EQ, 15)
+	p.AddConstraint([]Term{{v[0][1], 1}, {v[1][1], 1}}, EQ, 15)
+	sol := solveOK(t, p)
+	// Optimal: x00=10, x10=5, x11=15 -> 40+25+45 = 110.
+	if sol.Status != Optimal || !approx(sol.Objective, 110, 1e-6) {
+		t.Fatalf("got %v obj=%v, want optimal obj=110", sol.Status, sol.Objective)
+	}
+}
+
+// feasible reports whether x satisfies all constraints and bounds of p.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for j := range x {
+		if x[j] < p.lo[j]-tol || x[j] > p.hi[j]+tol {
+			return false
+		}
+	}
+	for _, row := range p.rows {
+		s := 0.0
+		for _, t := range row.Terms {
+			s += t.Coeff * x[t.Var]
+		}
+		switch row.Rel {
+		case LE:
+			if s > row.RHS+tol {
+				return false
+			}
+		case GE:
+			if s < row.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(s-row.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randomBoxLP builds a random LP over [0,1]^n with <= constraints whose
+// RHS is chosen so that the box midpoint is feasible.
+func randomBoxLP(rng *rand.Rand, n, m int) *Problem {
+	p := NewProblem()
+	for j := 0; j < n; j++ {
+		p.AddVariable(rng.Float64()*4-2, 0, 1)
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, n)
+		mid := 0.0
+		for j := 0; j < n; j++ {
+			c := float64(rng.Intn(7) - 3)
+			if c != 0 {
+				terms = append(terms, Term{j, c})
+				mid += c * 0.5
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.AddConstraint(terms, LE, mid+rng.Float64())
+	}
+	return p
+}
+
+// TestQuickOptimalityAndFeasibility checks, on random box LPs, that the
+// solver's answer is feasible and no sampled feasible point beats it.
+func TestQuickOptimalityAndFeasibility(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := randomBoxLP(rng, n, m)
+		sol, err := p.Solve()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if sol.Status != Optimal {
+			// The midpoint construction guarantees feasibility, and the
+			// box bounds rule out unboundedness.
+			t.Logf("seed %d: status %v", seed, sol.Status)
+			return false
+		}
+		if !feasible(p, sol.X, 1e-6) {
+			t.Logf("seed %d: infeasible answer %v", seed, sol.X)
+			return false
+		}
+		// Monte-Carlo optimality check.
+		x := make([]float64, n)
+		for trial := 0; trial < 300; trial++ {
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			if !feasible(p, x, 0) {
+				continue
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.obj[j] * x[j]
+			}
+			if obj < sol.Objective-1e-6 {
+				t.Logf("seed %d: sampled point beats simplex (%v < %v)", seed, obj, sol.Objective)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVertexIntegrality: on assignment-style problems the LP
+// relaxation is integral; verify the simplex lands on 0/1 vertices.
+func TestQuickVertexIntegrality(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := NewProblem()
+		v := make([][]int, n)
+		for i := range v {
+			v[i] = make([]int, n)
+			for j := range v[i] {
+				v[i][j] = p.AddBinary(rng.Float64() * 10)
+			}
+		}
+		for i := 0; i < n; i++ {
+			rowT := make([]Term, n)
+			colT := make([]Term, n)
+			for j := 0; j < n; j++ {
+				rowT[j] = Term{v[i][j], 1}
+				colT[j] = Term{v[j][i], 1}
+			}
+			p.AddConstraint(rowT, EQ, 1)
+			p.AddConstraint(colT, EQ, 1)
+		}
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for _, x := range sol.X {
+			if math.Abs(x) > 1e-7 && math.Abs(x-1) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem()
+	x := p.AddBinary(-1)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	q := p.Clone()
+	q.SetBounds(x, 0, 0)
+	solP := solveOK(t, p)
+	solQ := solveOK(t, q)
+	if !approx(solP.X[x], 1, 1e-9) {
+		t.Errorf("original solution changed: %v", solP.X[x])
+	}
+	if !approx(solQ.X[x], 0, 1e-9) {
+		t.Errorf("clone did not respect new bound: %v", solQ.X[x])
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "=" || GE.String() != ">=" {
+		t.Error("Relation.String mismatch")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status.String mismatch")
+	}
+}
+
+func BenchmarkSimplexAssignment16(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 16
+	build := func() *Problem {
+		p := NewProblem()
+		v := make([][]int, n)
+		for i := range v {
+			v[i] = make([]int, n)
+			for j := range v[i] {
+				v[i][j] = p.AddBinary(rng.Float64() * 10)
+			}
+		}
+		for i := 0; i < n; i++ {
+			rowT := make([]Term, n)
+			colT := make([]Term, n)
+			for j := 0; j < n; j++ {
+				rowT[j] = Term{v[i][j], 1}
+				colT[j] = Term{v[j][i], 1}
+			}
+			p.AddConstraint(rowT, EQ, 1)
+			p.AddConstraint(colT, EQ, 1)
+		}
+		return p
+	}
+	p := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

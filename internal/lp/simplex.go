@@ -1,0 +1,475 @@
+package lp
+
+import "math"
+
+// nonbasic status markers.
+const (
+	atLower int8 = iota
+	atUpper
+	atFree // free variable resting at zero (no finite bound)
+	inBasis
+)
+
+// tableau is the dense working state of one simplex solve.
+type tableau struct {
+	m, n     int         // rows, total columns (structural + slack + artificial)
+	nStruct  int         // structural variable count
+	t        [][]float64 // m x n tableau, kept as B^-1 * A
+	xB       []float64   // current values of basic variables, per row
+	basis    []int       // variable basic in each row
+	status   []int8      // per variable: atLower/atUpper/atFree/inBasis
+	lo, hi   []float64   // per variable bounds
+	cost     []float64   // phase objective, per variable
+	d        []float64   // reduced costs, per variable
+	artFirst int         // first artificial column, or n if none
+	iters    int
+	maxIters int
+}
+
+// Solve runs the two-phase bounded-variable primal simplex on p.
+func (p *Problem) Solve() (*Solution, error) {
+	tb := newTableau(p)
+	if tb.needPhase1() {
+		tb.loadPhase1Cost()
+		st := tb.iterate()
+		if st == nil {
+			return nil, ErrIterationLimit
+		}
+		if *st != Optimal || tb.objective() > 1e-7 {
+			return &Solution{Status: Infeasible, Iterations: tb.iters}, nil
+		}
+		tb.banishArtificials()
+	}
+	tb.loadPhase2Cost(p)
+	st := tb.iterate()
+	if st == nil {
+		return nil, ErrIterationLimit
+	}
+	if *st == Unbounded {
+		return &Solution{Status: Unbounded, Iterations: tb.iters}, nil
+	}
+	x := tb.extract()
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: tb.iters}, nil
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	nStruct := len(p.obj)
+	// Count slacks: one per inequality row.
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.Rel != EQ {
+			nSlack++
+		}
+	}
+	n := nStruct + nSlack + m // artificials allocated lazily, at most one per row
+	tb := &tableau{
+		m:        m,
+		nStruct:  nStruct,
+		t:        make([][]float64, m),
+		xB:       make([]float64, m),
+		basis:    make([]int, m),
+		status:   make([]int8, n),
+		lo:       make([]float64, n),
+		hi:       make([]float64, n),
+		cost:     make([]float64, n),
+		d:        make([]float64, n),
+		maxIters: 200*(m+nStruct) + 20000,
+	}
+	for i := range tb.t {
+		tb.t[i] = make([]float64, n)
+	}
+	// Structural variables: nonbasic at a finite bound (prefer lower).
+	xinit := make([]float64, nStruct)
+	for j := 0; j < nStruct; j++ {
+		tb.lo[j], tb.hi[j] = p.lo[j], p.hi[j]
+		switch {
+		case !math.IsInf(p.lo[j], -1):
+			tb.status[j] = atLower
+			xinit[j] = p.lo[j]
+		case !math.IsInf(p.hi[j], 1):
+			tb.status[j] = atUpper
+			xinit[j] = p.hi[j]
+		default:
+			tb.status[j] = atFree
+			xinit[j] = 0
+		}
+	}
+	// Fill structural part of the tableau and compute row residuals.
+	resid := make([]float64, m)
+	for i, row := range p.rows {
+		r := row.RHS
+		for _, term := range row.Terms {
+			tb.t[i][term.Var] += term.Coeff
+		}
+		for j := 0; j < nStruct; j++ {
+			r -= tb.t[i][j] * xinit[j]
+		}
+		resid[i] = r
+	}
+	// Slacks, then artificials where the slack cannot start basic.
+	col := nStruct
+	tb.artFirst = nStruct + nSlack
+	art := tb.artFirst
+	for i, row := range p.rows {
+		slack := -1
+		if row.Rel == LE {
+			slack = col
+			tb.t[i][col] = 1
+			tb.lo[col], tb.hi[col] = 0, Inf
+			col++
+		} else if row.Rel == GE {
+			slack = col
+			tb.t[i][col] = -1
+			tb.lo[col], tb.hi[col] = 0, Inf
+			col++
+		}
+		switch {
+		case slack >= 0 && row.Rel == LE && resid[i] >= -eps:
+			tb.install(i, slack, math.Max(resid[i], 0))
+		case slack >= 0 && row.Rel == GE && resid[i] <= eps:
+			tb.install(i, slack, math.Max(-resid[i], 0))
+		default:
+			if slack >= 0 {
+				tb.status[slack] = atLower
+			}
+			sign := 1.0
+			if resid[i] < 0 {
+				sign = -1.0
+			}
+			tb.t[i][art] = sign
+			tb.lo[art], tb.hi[art] = 0, Inf
+			tb.install(i, art, math.Abs(resid[i]))
+			art++
+		}
+	}
+	// Unused artificial columns are pinned at zero.
+	for j := art; j < n; j++ {
+		tb.lo[j], tb.hi[j] = 0, 0
+		tb.status[j] = atLower
+	}
+	return tb
+}
+
+// install makes variable v basic in row i with value val, normalizing
+// the row so the basic column is +1.
+func (tb *tableau) install(i, v int, val float64) {
+	tb.basis[i] = v
+	tb.status[v] = inBasis
+	piv := tb.t[i][v]
+	if piv != 1 {
+		inv := 1 / piv
+		for j := range tb.t[i] {
+			tb.t[i][j] *= inv
+		}
+	}
+	tb.xB[i] = val
+}
+
+func (tb *tableau) needPhase1() bool {
+	for i := range tb.basis {
+		if tb.basis[i] >= tb.artFirst {
+			return true
+		}
+	}
+	return false
+}
+
+func (tb *tableau) loadPhase1Cost() {
+	for j := range tb.cost {
+		if j >= tb.artFirst {
+			tb.cost[j] = 1
+		} else {
+			tb.cost[j] = 0
+		}
+	}
+	tb.refreshReducedCosts()
+}
+
+func (tb *tableau) loadPhase2Cost(p *Problem) {
+	for j := range tb.cost {
+		if j < tb.nStruct {
+			tb.cost[j] = p.obj[j]
+		} else {
+			tb.cost[j] = 0
+		}
+	}
+	tb.refreshReducedCosts()
+}
+
+// refreshReducedCosts recomputes d = c - c_B * T from scratch.
+func (tb *tableau) refreshReducedCosts() {
+	copy(tb.d, tb.cost)
+	for i := 0; i < tb.m; i++ {
+		cb := tb.cost[tb.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := tb.t[i]
+		for j := range tb.d {
+			tb.d[j] -= cb * row[j]
+		}
+	}
+	for i := 0; i < tb.m; i++ {
+		tb.d[tb.basis[i]] = 0
+	}
+}
+
+func (tb *tableau) objective() float64 {
+	z := 0.0
+	for i := 0; i < tb.m; i++ {
+		z += tb.cost[tb.basis[i]] * tb.xB[i]
+	}
+	for j, st := range tb.status {
+		switch st {
+		case atLower:
+			z += tb.cost[j] * tb.lo[j]
+		case atUpper:
+			z += tb.cost[j] * tb.hi[j]
+		}
+	}
+	return z
+}
+
+// banishArtificials prevents artificial variables from re-entering the
+// basis after phase 1, pivoting out any that remain basic at zero.
+func (tb *tableau) banishArtificials() {
+	for i := 0; i < tb.m; i++ {
+		v := tb.basis[i]
+		if v < tb.artFirst {
+			continue
+		}
+		// Artificial basic at (numerically) zero: try to replace it by
+		// any non-artificial column with a usable pivot in this row.
+		replaced := false
+		for j := 0; j < tb.artFirst; j++ {
+			if tb.status[j] == inBasis {
+				continue
+			}
+			if math.Abs(tb.t[i][j]) > pivotEps {
+				tb.pivot(i, j, tb.nonbasicValue(j))
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			// Row is redundant; leave the artificial basic but pinned.
+			tb.hi[v] = 0
+		}
+	}
+	for j := tb.artFirst; j < len(tb.lo); j++ {
+		tb.hi[j] = 0
+		if tb.status[j] != inBasis {
+			tb.status[j] = atLower
+		}
+	}
+}
+
+func (tb *tableau) nonbasicValue(j int) float64 {
+	switch tb.status[j] {
+	case atLower:
+		return tb.lo[j]
+	case atUpper:
+		return tb.hi[j]
+	}
+	return 0
+}
+
+// iterate runs simplex pivots until optimal or unbounded.  It returns
+// nil when the iteration limit is exceeded.
+func (tb *tableau) iterate() *Status {
+	stall := 0
+	bland := false
+	for ; tb.iters < tb.maxIters; tb.iters++ {
+		j, dir := tb.chooseEntering(bland)
+		if j < 0 {
+			s := Optimal
+			return &s
+		}
+		step, leaveRow, leaveToUpper := tb.ratioTest(j, dir, bland)
+		if math.IsInf(step, 1) {
+			s := Unbounded
+			return &s
+		}
+		if step < eps {
+			stall++
+			if stall > 40 {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		tb.applyStep(j, dir, step, leaveRow, leaveToUpper)
+	}
+	return nil
+}
+
+// chooseEntering picks an entering variable and its movement direction
+// (+1 when increasing from a lower bound, -1 when decreasing from an
+// upper bound).  Returns (-1, 0) at optimality.
+func (tb *tableau) chooseEntering(bland bool) (j int, dir float64) {
+	best, bestScore := -1, eps
+	var bestDir float64
+	for v, st := range tb.status {
+		var score, d float64
+		switch st {
+		case atLower:
+			if tb.d[v] < -eps && tb.hi[v] > tb.lo[v] {
+				score, d = -tb.d[v], 1
+			}
+		case atUpper:
+			if tb.d[v] > eps && tb.hi[v] > tb.lo[v] {
+				score, d = tb.d[v], -1
+			}
+		case atFree:
+			if tb.d[v] < -eps {
+				score, d = -tb.d[v], 1
+			} else if tb.d[v] > eps {
+				score, d = tb.d[v], -1
+			}
+		}
+		if d == 0 {
+			continue
+		}
+		if bland {
+			return v, d
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = v, score, d
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestDir
+}
+
+// ratioTest determines how far entering variable j can move in
+// direction dir.  It returns the step length, the leaving row (-1 for a
+// bound flip of the entering variable itself) and whether the leaving
+// basic variable departs to its upper bound.
+func (tb *tableau) ratioTest(j int, dir float64, bland bool) (step float64, leaveRow int, toUpper bool) {
+	step = Inf
+	leaveRow = -1
+	// The entering variable may traverse its own range.
+	if span := tb.hi[j] - tb.lo[j]; !math.IsInf(span, 1) {
+		step = span
+	}
+	for i := 0; i < tb.m; i++ {
+		delta := -dir * tb.t[i][j] // d(xB_i)/d(step)
+		b := tb.basis[i]
+		var limit float64
+		var hitsUpper bool
+		switch {
+		case delta < -pivotEps:
+			if math.IsInf(tb.lo[b], -1) {
+				continue
+			}
+			limit = (tb.xB[i] - tb.lo[b]) / -delta
+			hitsUpper = false
+		case delta > pivotEps:
+			if math.IsInf(tb.hi[b], 1) {
+				continue
+			}
+			limit = (tb.hi[b] - tb.xB[i]) / delta
+			hitsUpper = true
+		default:
+			continue
+		}
+		if limit < -eps {
+			limit = 0
+		}
+		better := limit < step-eps
+		if bland && !better && limit < step+eps && leaveRow >= 0 && tb.basis[i] < tb.basis[leaveRow] {
+			better = true // Bland tie-break on smallest variable index
+		}
+		if better {
+			step, leaveRow, toUpper = limit, i, hitsUpper
+		}
+	}
+	if step < 0 {
+		step = 0
+	}
+	return step, leaveRow, toUpper
+}
+
+// applyStep moves entering variable j by step in direction dir,
+// updating basic values and pivoting when a basic variable leaves.
+func (tb *tableau) applyStep(j int, dir, step float64, leaveRow int, toUpper bool) {
+	if step > 0 {
+		for i := 0; i < tb.m; i++ {
+			tb.xB[i] += step * (-dir * tb.t[i][j])
+		}
+	}
+	enterVal := tb.nonbasicValue(j) + step*dir
+	if leaveRow < 0 {
+		// Bound flip: entering variable moves to its opposite bound.
+		if dir > 0 {
+			tb.status[j] = atUpper
+		} else {
+			tb.status[j] = atLower
+		}
+		return
+	}
+	leaving := tb.basis[leaveRow]
+	if toUpper {
+		tb.status[leaving] = atUpper
+		tb.xB[leaveRow] = tb.hi[leaving]
+	} else {
+		tb.status[leaving] = atLower
+		tb.xB[leaveRow] = tb.lo[leaving]
+	}
+	tb.pivot(leaveRow, j, enterVal)
+}
+
+// pivot makes variable j basic in row r with value val.
+func (tb *tableau) pivot(r, j int, val float64) {
+	piv := tb.t[r][j]
+	inv := 1 / piv
+	rowR := tb.t[r]
+	for k := range rowR {
+		rowR[k] *= inv
+	}
+	for i := 0; i < tb.m; i++ {
+		if i == r {
+			continue
+		}
+		f := tb.t[i][j]
+		if f == 0 {
+			continue
+		}
+		rowI := tb.t[i]
+		for k := range rowI {
+			rowI[k] -= f * rowR[k]
+		}
+		rowI[j] = 0
+	}
+	if f := tb.d[j]; f != 0 {
+		for k := range tb.d {
+			tb.d[k] -= f * rowR[k]
+		}
+		tb.d[j] = 0
+	}
+	tb.basis[r] = j
+	tb.status[j] = inBasis
+	tb.xB[r] = val
+}
+
+// extract returns the structural variable values of the current basis.
+func (tb *tableau) extract() []float64 {
+	x := make([]float64, tb.nStruct)
+	for j := 0; j < tb.nStruct; j++ {
+		x[j] = tb.nonbasicValue(j)
+	}
+	for i, v := range tb.basis {
+		if v < tb.nStruct {
+			x[v] = tb.xB[i]
+		}
+	}
+	return x
+}

@@ -1,0 +1,178 @@
+package machine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/fortran"
+)
+
+// WriteTable serializes the model's training sets and operation times
+// in a line-oriented text format:
+//
+//	machine <name>
+//	op <kind> <double-µs> <real-µs>
+//	set <pattern> <procs> <stride> <latency> <startup-µs> <per-byte-µs>
+//
+// The format exists so users can measure their own machine (the
+// paper's "training sets"), edit the numbers, and load them back with
+// ReadTable.
+func (m *Model) WriteTable(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "machine %s\n", m.name)
+	for _, k := range opKinds {
+		fmt.Fprintf(bw, "op %s %g %g\n", opNames[k],
+			m.ops[opKey{k, fortran.Double}], m.ops[opKey{k, fortran.Real}])
+	}
+	for _, ts := range m.Sets() {
+		fmt.Fprintf(bw, "set %s %d %s %s %g %g\n",
+			ts.Pattern, ts.Procs, ts.Stride, ts.Latency, ts.Startup, ts.PerByte)
+	}
+	return bw.Flush()
+}
+
+// ReadTable parses a model previously written by WriteTable (or
+// hand-authored in the same format).  Lines starting with '#' and
+// blank lines are ignored.
+func ReadTable(r io.Reader) (*Model, error) {
+	m := &Model{
+		name: "custom",
+		ops:  map[opKey]float64{},
+		sets: map[setKey][]TrainingSet{},
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "machine":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("machine table line %d: missing name", lineNo)
+			}
+			m.name = strings.Join(fields[1:], " ")
+		case "op":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("machine table line %d: want 'op kind double real'", lineNo)
+			}
+			k, ok := opByName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("machine table line %d: unknown op %q", lineNo, fields[1])
+			}
+			d, err1 := strconv.ParseFloat(fields[2], 64)
+			sp, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("machine table line %d: bad op times", lineNo)
+			}
+			m.ops[opKey{k, fortran.Double}] = d
+			m.ops[opKey{k, fortran.Real}] = sp
+		case "set":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("machine table line %d: want 'set pattern procs stride latency startup perbyte'", lineNo)
+			}
+			pat, ok := patternByName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("machine table line %d: unknown pattern %q", lineNo, fields[1])
+			}
+			procs, err := strconv.Atoi(fields[2])
+			if err != nil || procs < 2 {
+				return nil, fmt.Errorf("machine table line %d: bad procs %q", lineNo, fields[2])
+			}
+			str, ok := strideByName[fields[3]]
+			if !ok {
+				return nil, fmt.Errorf("machine table line %d: unknown stride %q", lineNo, fields[3])
+			}
+			lat, ok := latencyByName[fields[4]]
+			if !ok {
+				return nil, fmt.Errorf("machine table line %d: unknown latency %q", lineNo, fields[4])
+			}
+			startup, err1 := strconv.ParseFloat(fields[5], 64)
+			perByte, err2 := strconv.ParseFloat(fields[6], 64)
+			if err1 != nil || err2 != nil || startup < 0 || perByte < 0 {
+				return nil, fmt.Errorf("machine table line %d: bad costs", lineNo)
+			}
+			key := setKey{pat, str, lat}
+			m.sets[key] = append(m.sets[key], TrainingSet{
+				Pattern: pat, Procs: procs, Stride: str, Latency: lat,
+				Startup: startup, PerByte: perByte,
+			})
+			m.numSets++
+		default:
+			return nil, fmt.Errorf("machine table line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m.numSets == 0 {
+		return nil, fmt.Errorf("machine table: no training sets")
+	}
+	// Every (pattern, stride, latency) combination the framework looks
+	// up must be present.
+	for _, pat := range []Pattern{Shift, SendRecv, Broadcast, Reduction, Transpose} {
+		for _, str := range []Stride{UnitStride, NonUnitStride} {
+			for _, lat := range []Latency{HighLatency, LowLatency} {
+				if len(m.sets[setKey{pat, str, lat}]) == 0 {
+					return nil, fmt.Errorf("machine table: no training sets for %v/%v/%v", pat, str, lat)
+				}
+			}
+		}
+	}
+	for _, k := range opKinds {
+		if _, ok := m.ops[opKey{k, fortran.Double}]; !ok {
+			return nil, fmt.Errorf("machine table: missing op %s", opNames[k])
+		}
+	}
+	for key := range m.sets {
+		ss := m.sets[key]
+		sortSets(ss)
+		for i := 1; i < len(ss); i++ {
+			if ss[i].Procs == ss[i-1].Procs {
+				return nil, fmt.Errorf("machine table: duplicate entry for %v/%v/%v procs %d",
+					key.pat, key.str, key.lat, ss[i].Procs)
+			}
+		}
+	}
+	return m, nil
+}
+
+func sortSets(ss []TrainingSet) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].Procs < ss[j-1].Procs; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+var opKinds = []OpKind{OpAddSub, OpMul, OpDiv, OpSqrt, OpIntrinsic, OpPow, OpLoad, OpStore}
+
+var opNames = map[OpKind]string{
+	OpAddSub: "addsub", OpMul: "mul", OpDiv: "div", OpSqrt: "sqrt",
+	OpIntrinsic: "intrinsic", OpPow: "pow", OpLoad: "load", OpStore: "store",
+}
+
+var opByName = invertOps()
+
+func invertOps() map[string]OpKind {
+	out := map[string]OpKind{}
+	for k, n := range opNames {
+		out[n] = k
+	}
+	return out
+}
+
+var patternByName = map[string]Pattern{
+	"shift": Shift, "sendrecv": SendRecv, "broadcast": Broadcast,
+	"reduction": Reduction, "transpose": Transpose,
+}
+
+var strideByName = map[string]Stride{"unit": UnitStride, "non-unit": NonUnitStride}
+
+var latencyByName = map[string]Latency{"high": HighLatency, "low": LowLatency}

@@ -1,0 +1,398 @@
+package pcfg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fortran"
+)
+
+func build(t *testing.T, src string, opt Options) (*fortran.Unit, *Graph) {
+	t.Helper()
+	u, err := fortran.Analyze(fortran.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(u, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, g
+}
+
+const adiLike = `
+program adi
+  parameter (n = 8)
+  double precision x(n,n), a(n,n), b(n,n)
+  do iter = 1, 10
+    do j = 2, n
+      do i = 1, n
+        x(i,j) = x(i,j) - x(i,j-1)*a(i,j)/b(i,j-1)
+      end do
+    end do
+    do j = 1, n
+      do i = 2, n
+        x(i,j) = x(i,j) - x(i-1,j)*a(i,j)/b(i-1,j)
+      end do
+    end do
+  end do
+end
+`
+
+func TestPhaseRecognitionAdi(t *testing.T) {
+	_, g := build(t, adiLike, Options{})
+	if len(g.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (the two sweeps; iter loop is control)", len(g.Phases))
+	}
+	for _, ph := range g.Phases {
+		if ph.Loop == nil || ph.Loop.Var != "j" {
+			t.Errorf("%v: expected outermost phase loop over j, got %+v", ph, ph.Loop)
+		}
+		if math.Abs(ph.Freq-10) > 1e-9 {
+			t.Errorf("%v freq = %v, want 10 (iter trips)", ph, ph.Freq)
+		}
+		if len(ph.Arrays) != 3 {
+			t.Errorf("%v arrays = %v, want x,a,b", ph, ph.Arrays)
+		}
+	}
+}
+
+func TestEdgeFrequenciesTimeLoop(t *testing.T) {
+	_, g := build(t, adiLike, Options{})
+	// Forward edge 0->1 runs every iteration; back edge 1->0 runs
+	// trip-1 = 9 times.
+	var fwd, back float64
+	for _, e := range g.Edges {
+		switch {
+		case e.From == 0 && e.To == 1:
+			fwd = e.Freq
+		case e.From == 1 && e.To == 0:
+			back = e.Freq
+		}
+	}
+	if math.Abs(fwd-10) > 1e-9 {
+		t.Errorf("forward edge freq = %v, want 10", fwd)
+	}
+	if math.Abs(back-9) > 1e-9 {
+		t.Errorf("back edge freq = %v, want 9", back)
+	}
+}
+
+func TestPhaseIsWholeNest(t *testing.T) {
+	// The outermost loop whose variable subscripts an array is the
+	// phase even when an inner loop also qualifies.
+	src := `
+program p
+  parameter (n = 4)
+  real a(n,n)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = 0.0
+    end do
+  end do
+end
+`
+	_, g := build(t, src, Options{})
+	if len(g.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(g.Phases))
+	}
+	if g.Phases[0].Loop.Var != "j" {
+		t.Errorf("phase root = %s, want j", g.Phases[0].Loop.Var)
+	}
+}
+
+func TestStraightLinePhase(t *testing.T) {
+	src := `
+program p
+  parameter (n = 4)
+  real a(n,n), s
+  s = 0.0
+  a(1,1) = 1.0
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = a(i,j) + s
+    end do
+  end do
+end
+`
+	_, g := build(t, src, Options{})
+	if len(g.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (straight-line + loop)", len(g.Phases))
+	}
+	if g.Phases[0].Loop != nil || len(g.Phases[0].Block) != 2 {
+		t.Errorf("phase 0 = %+v, want 2-stmt straight-line block", g.Phases[0])
+	}
+}
+
+func TestBranchProbabilities(t *testing.T) {
+	src := `
+program p
+  parameter (n = 4)
+  real a(n,n), b(n,n)
+  do it = 1, 8
+    !prob 0.25
+    if (a(1,1) .gt. 0.0) then
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = b(i,j)
+        end do
+      end do
+    else
+      do j = 1, n
+        do i = 1, n
+          b(i,j) = a(i,j)
+        end do
+      end do
+    end if
+  end do
+end
+`
+	_, g := build(t, src, Options{})
+	if len(g.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(g.Phases))
+	}
+	if math.Abs(g.Phases[0].Freq-2) > 1e-9 { // 8 * 0.25
+		t.Errorf("then-phase freq = %v, want 2", g.Phases[0].Freq)
+	}
+	if math.Abs(g.Phases[1].Freq-6) > 1e-9 { // 8 * 0.75
+		t.Errorf("else-phase freq = %v, want 6", g.Phases[1].Freq)
+	}
+
+	// With hints ignored the guess is 50/50.
+	_, g2 := build(t, src, Options{IgnoreProbHints: true})
+	if math.Abs(g2.Phases[0].Freq-4) > 1e-9 || math.Abs(g2.Phases[1].Freq-4) > 1e-9 {
+		t.Errorf("guessed freqs = %v/%v, want 4/4", g2.Phases[0].Freq, g2.Phases[1].Freq)
+	}
+}
+
+func TestUnknownTripUsesHintThenDefault(t *testing.T) {
+	src := `
+program p
+  parameter (n = 4)
+  real a(n)
+  integer m
+  !trip 7
+  do it = 1, m
+    do i = 1, n
+      a(i) = a(i) + 1.0
+    end do
+  end do
+end
+`
+	_, g := build(t, src, Options{})
+	if math.Abs(g.Phases[0].Freq-7) > 1e-9 {
+		t.Errorf("freq = %v, want 7 from trip hint", g.Phases[0].Freq)
+	}
+
+	src2 := `
+program p
+  parameter (n = 4)
+  real a(n)
+  integer m
+  do it = 1, m
+    do i = 1, n
+      a(i) = a(i) + 1.0
+    end do
+  end do
+end
+`
+	_, g2 := build(t, src2, Options{DefaultTrip: 33})
+	if math.Abs(g2.Phases[0].Freq-33) > 1e-9 {
+		t.Errorf("freq = %v, want 33 from default", g2.Phases[0].Freq)
+	}
+}
+
+func TestReversePostorderIsSourceOrder(t *testing.T) {
+	_, g := build(t, adiLike, Options{})
+	rpo := g.ReversePostorder()
+	if len(rpo) != 2 || rpo[0] != 0 || rpo[1] != 1 {
+		t.Errorf("rpo = %v, want [0 1]", rpo)
+	}
+}
+
+func TestEntriesAndExits(t *testing.T) {
+	_, g := build(t, adiLike, Options{})
+	if len(g.Entries) != 1 || g.Entries[0] != 0 {
+		t.Errorf("entries = %v, want [0]", g.Entries)
+	}
+	if len(g.Exits) != 1 || g.Exits[0] != 1 {
+		t.Errorf("exits = %v, want [1]", g.Exits)
+	}
+}
+
+func TestNoPhasesError(t *testing.T) {
+	src := `
+program p
+  real s
+  s = 0.0
+end
+`
+	u, err := fortran.Analyze(fortran.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scalar-only straight-line block still forms a phase, so use a
+	// truly empty body instead.
+	src2 := `
+program q
+  real s
+  do i = 1, 10
+    s = s + 1.0
+  end do
+end
+`
+	u2, err := fortran.Analyze(fortran.MustParse(src2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = u
+	// The loop over i has no array subscripts, and its body is a
+	// scalar assignment: the body straight-line run becomes a phase.
+	g, err := Build(u2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Phases) != 1 {
+		t.Errorf("phases = %d, want 1 straight-line phase", len(g.Phases))
+	}
+}
+
+func TestSequentialPhasesChain(t *testing.T) {
+	src := `
+program p
+  parameter (n = 4)
+  real a(n,n), b(n,n), c(n,n)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = b(i,j)
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      b(i,j) = c(i,j)
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      c(i,j) = a(i,j)
+    end do
+  end do
+end
+`
+	_, g := build(t, src, Options{})
+	if len(g.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(g.Phases))
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %d, want 2 (chain)", len(g.Edges))
+	}
+	for i, e := range g.Edges {
+		if e.From != i || e.To != i+1 || math.Abs(e.Freq-1) > 1e-9 {
+			t.Errorf("edge %d = %+v, want %d->%d freq 1", i, e, i, i+1)
+		}
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	_, g := build(t, adiLike, Options{})
+	succ := g.Successors(0)
+	if len(succ) != 1 || succ[0].To != 1 {
+		t.Errorf("successors(0) = %+v, want [0->1]", succ)
+	}
+}
+
+func TestReversePostorderWithBranches(t *testing.T) {
+	src := `
+program p
+  parameter (n = 4)
+  real a(n,n), b(n,n)
+  do it = 1, 4
+    do j = 1, n
+      do i = 1, n
+        a(i,j) = b(i,j)
+      end do
+    end do
+    if (a(1,1) .gt. 0.0) then
+      do j = 1, n
+        do i = 1, n
+          b(i,j) = a(i,j) + 1.0
+        end do
+      end do
+    else
+      do j = 1, n
+        do i = 1, n
+          b(i,j) = a(i,j) - 1.0
+        end do
+      end do
+    end if
+    do j = 1, n
+      do i = 1, n
+        a(i,j) = b(i,j) * 0.5
+      end do
+    end do
+  end do
+end
+`
+	_, g := build(t, src, Options{})
+	if len(g.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(g.Phases))
+	}
+	rpo := g.ReversePostorder()
+	if len(rpo) != 4 {
+		t.Fatalf("rpo = %v", rpo)
+	}
+	// Phase 0 first; the join phase (3) after both branch arms.
+	pos := map[int]int{}
+	for i, id := range rpo {
+		pos[id] = i
+	}
+	if pos[0] != 0 {
+		t.Errorf("rpo = %v, want phase 0 first", rpo)
+	}
+	if pos[3] < pos[1] || pos[3] < pos[2] {
+		t.Errorf("rpo = %v, join phase must follow both arms", rpo)
+	}
+	// Branch arm frequencies split 50/50 over 4 iterations.
+	if math.Abs(g.Phases[1].Freq-2) > 1e-9 || math.Abs(g.Phases[2].Freq-2) > 1e-9 {
+		t.Errorf("arm freqs = %v/%v, want 2/2", g.Phases[1].Freq, g.Phases[2].Freq)
+	}
+	// Diamond edges: 0->1, 0->2, 1->3, 2->3, back 3->0.
+	want := map[[2]int]bool{{0, 1}: true, {0, 2}: true, {1, 3}: true, {2, 3}: true, {3, 0}: true}
+	if len(g.Edges) != len(want) {
+		t.Fatalf("edges = %v, want 5 diamond+back edges", g.Edges)
+	}
+	for _, e := range g.Edges {
+		if !want[[2]int{e.From, e.To}] {
+			t.Errorf("unexpected edge %d->%d", e.From, e.To)
+		}
+	}
+}
+
+func TestNestedControlLoops(t *testing.T) {
+	// Two nested non-phase loops multiply frequencies.
+	src := `
+program p
+  parameter (n = 4)
+  real a(n)
+  do outer = 1, 3
+    do inner = 1, 5
+      do i = 1, n
+        a(i) = a(i) + 1.0
+      end do
+    end do
+  end do
+end
+`
+	_, g := build(t, src, Options{})
+	if len(g.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(g.Phases))
+	}
+	if math.Abs(g.Phases[0].Freq-15) > 1e-9 {
+		t.Errorf("freq = %v, want 15", g.Phases[0].Freq)
+	}
+	// A phase cannot remap to itself, so self-transitions produce no
+	// edges at all.
+	if len(g.Edges) != 0 {
+		t.Errorf("edges = %v, want none (self-edges are dropped)", g.Edges)
+	}
+}

@@ -1,0 +1,464 @@
+// Package programs provides the four benchmark programs of the paper's
+// evaluation (§4), written in the dialect the front end accepts and
+// parameterized by problem size and element type:
+//
+//   - Adi: an alternating direction implicit integration kernel with
+//     forward/backward sweeps in both grid directions (9 phases; no
+//     alignment conflicts; row vs. column vs. remapped trade-off).
+//   - Erlebacher: an (inlined) 3-D tridiagonal solver based on ADI
+//     integration; three symmetric computations, one per dimension,
+//     sharing a read-only 3-D array (no alignment conflicts; fine vs.
+//     coarse pipeline vs. partial sequentialization vs. one remap).
+//   - Tomcatv: a mesh generation program with an inter-dimensional
+//     alignment conflict between two of its 2-D arrays and control
+//     flow inside the main iteration loop.
+//   - Shallow: a weather prediction benchmark on the shallow-water
+//     equations; two-dimensional stencils parallelizable in either
+//     dimension, where a row distribution needs buffered (non-unit
+//     stride) messages so the column distribution wins slightly.
+//
+// The exact statement bodies are reconstructions: the originals are
+// not distributed with the paper.  What matters for reproduction —
+// sweep directions, loop orders, dependence structure, conflict
+// structure, array counts and read/write sets — follows the paper's
+// descriptions in §4.
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fortran"
+)
+
+// typeName renders the declaration keyword for an element type.
+func typeName(dt fortran.DataType) string {
+	if dt == fortran.Double {
+		return "double precision"
+	}
+	return "real"
+}
+
+// Spec describes one benchmark program.
+type Spec struct {
+	Name string
+	// Source renders the program for a problem size and element type.
+	Source func(n int, dt fortran.DataType) string
+	// DefaultN is the paper's headline problem size.
+	DefaultN int
+	// Rank is the array dimensionality.
+	Rank int
+	// Conflicts reports whether the program has inter-dimensional
+	// alignment conflicts (Tomcatv does).
+	Conflicts bool
+}
+
+// All returns the four benchmark programs.
+func All() []Spec {
+	return []Spec{
+		{Name: "adi", Source: Adi, DefaultN: 512, Rank: 2},
+		{Name: "erlebacher", Source: Erlebacher, DefaultN: 64, Rank: 3},
+		{Name: "tomcatv", Source: Tomcatv, DefaultN: 128, Rank: 2, Conflicts: true},
+		{Name: "shallow", Source: Shallow, DefaultN: 384, Rank: 2},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Adi renders the ADI integration kernel: 9 phases (two initialization
+// phases, then per time step a coefficient reset, forward and backward
+// sweeps along the second dimension, another reset, and forward and
+// backward sweeps along the first dimension, plus a damping update).
+// Row sweeps carry their dependence on the outer j loop (sequentialized
+// under a column layout); column sweeps carry theirs on the inner i
+// loop (fine-grain pipeline under a row layout).
+func Adi(n int, dt fortran.DataType) string {
+	return fmt.Sprintf(`
+program adi
+  parameter (n = %d, niter = 10)
+  %s x(n,n), b(n,n), arow(n), acol(n)
+  do i = 1, n
+    arow(i) = 0.25 + 1.0/(i+1)
+    acol(i) = 0.25 + 1.0/(i+2)
+  end do
+  do j = 1, n
+    do i = 1, n
+      x(i,j) = 1.0 / (i + j)
+    end do
+  end do
+  do iter = 1, niter
+    do j = 1, n
+      do i = 1, n
+        b(i,j) = 2.0 + arow(j)*arow(j)
+      end do
+    end do
+    do j = 2, n
+      do i = 1, n
+        x(i,j) = x(i,j) - x(i,j-1)*b(i,j)/b(i,j-1)
+      end do
+    end do
+    do j = n-1, 1, -1
+      do i = 1, n
+        x(i,j) = (x(i,j) - b(i,j)*x(i,j+1))/b(i,j)
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        b(i,j) = 2.0 + acol(i)*acol(i)
+      end do
+    end do
+    do j = 1, n
+      do i = 2, n
+        x(i,j) = x(i,j) - x(i-1,j)*b(i,j)/b(i-1,j)
+      end do
+    end do
+    do j = 1, n
+      do i = n-1, 1, -1
+        x(i,j) = (x(i,j) - b(i,j)*x(i+1,j))/b(i,j)
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        x(i,j) = 0.5*x(i,j) + 0.125*b(i,j)
+      end do
+    end do
+  end do
+end
+`, n, typeName(dt))
+}
+
+// Erlebacher renders the inlined 3-D tridiagonal solver: an
+// initialization phase, then three symmetric computations — one per
+// dimension — each consisting of a central-difference right-hand side
+// over the shared read-only array f, a forward elimination and a
+// backward substitution along its dimension, and a scaling phase.
+// Loop order is always k (outermost), j, i, so the sweep along dim 1
+// carries on the innermost loop (fine-grain pipeline when dim 1 is
+// distributed), the sweep along dim 2 on the middle loop (coarse-grain
+// pipeline), and the sweep along dim 3 on the outermost loop
+// (sequentialized), exactly as §4 reports.
+func Erlebacher(n int, dt fortran.DataType) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+program erlebacher
+  parameter (n = %d)
+  %s f(n,n,n), d(n,n,n), ux(n,n,n), uy(n,n,n), uz(n,n,n)
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        f(i,j,k) = 1.0 / (i + j + k)
+      end do
+    end do
+  end do
+  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        d(i,j,k) = 0.0
+      end do
+    end do
+  end do
+`, n, typeName(dt))
+	type sweep struct {
+		out            string // output array
+		rhsHi, rhsLo   string // central difference neighbors
+		fwd, bwd       string // sweep-direction neighbors of d
+		fwdHdr, bwdHdr string
+		bdyLo, bdyHi   string // one-sided boundary difference phases
+	}
+	sweeps := []sweep{
+		{
+			out: "ux", rhsHi: "f(i+1,j,k)", rhsLo: "f(i-1,j,k)",
+			fwd: "d(i-1,j,k)", bwd: "d(i+1,j,k)",
+			fwdHdr: "  do k = 1, n\n    do j = 1, n\n      do i = 2, n",
+			bwdHdr: "  do k = 1, n\n    do j = 1, n\n      do i = n-1, 1, -1",
+			bdyLo:  "  do k = 1, n\n    do j = 1, n\n      d(1,j,k) = f(2,j,k) - f(1,j,k)\n    end do\n  end do\n",
+			bdyHi:  "  do k = 1, n\n    do j = 1, n\n      d(n,j,k) = f(n,j,k) - f(n-1,j,k)\n    end do\n  end do\n",
+		},
+		{
+			out: "uy", rhsHi: "f(i,j+1,k)", rhsLo: "f(i,j-1,k)",
+			fwd: "d(i,j-1,k)", bwd: "d(i,j+1,k)",
+			fwdHdr: "  do k = 1, n\n    do j = 2, n\n      do i = 1, n",
+			bwdHdr: "  do k = 1, n\n    do j = n-1, 1, -1\n      do i = 1, n",
+			bdyLo:  "  do k = 1, n\n    do i = 1, n\n      d(i,1,k) = f(i,2,k) - f(i,1,k)\n    end do\n  end do\n",
+			bdyHi:  "  do k = 1, n\n    do i = 1, n\n      d(i,n,k) = f(i,n,k) - f(i,n-1,k)\n    end do\n  end do\n",
+		},
+		{
+			out: "uz", rhsHi: "f(i,j,k+1)", rhsLo: "f(i,j,k-1)",
+			fwd: "d(i,j,k-1)", bwd: "d(i,j,k+1)",
+			fwdHdr: "  do k = 2, n\n    do j = 1, n\n      do i = 1, n",
+			bwdHdr: "  do k = n-1, 1, -1\n    do j = 1, n\n      do i = 1, n",
+			bdyLo:  "  do j = 1, n\n    do i = 1, n\n      d(i,j,1) = f(i,j,2) - f(i,j,1)\n    end do\n  end do\n",
+			bdyHi:  "  do j = 1, n\n    do i = 1, n\n      d(i,j,n) = f(i,j,n) - f(i,j,n-1)\n    end do\n  end do\n",
+		},
+	}
+	for _, s := range sweeps {
+		// One-sided boundary differences.
+		b.WriteString(s.bdyLo)
+		b.WriteString(s.bdyHi)
+		// Right-hand side: central difference of the shared array.
+		fmt.Fprintf(&b, `  do k = 2, n-1
+    do j = 2, n-1
+      do i = 2, n-1
+        d(i,j,k) = 0.5*(%s - %s)
+      end do
+    end do
+  end do
+`, s.rhsHi, s.rhsLo)
+		// Forward elimination along the sweep dimension.
+		fmt.Fprintf(&b, `%s
+        d(i,j,k) = d(i,j,k) - 0.25*%s
+      end do
+    end do
+  end do
+`, s.fwdHdr, s.fwd)
+		// Backward substitution.
+		fmt.Fprintf(&b, `%s
+        d(i,j,k) = 0.8*(d(i,j,k) - 0.25*%s)
+      end do
+    end do
+  end do
+`, s.bwdHdr, s.bwd)
+		// Scale into the output array.
+		fmt.Fprintf(&b, `  do k = 1, n
+    do j = 1, n
+      do i = 1, n
+        %s(i,j,k) = d(i,j,k) + f(i,j,k)
+      end do
+    end do
+  end do
+`, s.out)
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+// Tomcatv renders the mesh generation program: initialization, then a
+// main iteration with residual computation, a maximum-residual
+// reduction guarded by control flow (the paper's 50%-guess branch), a
+// tridiagonal solve that accesses the residual arrays *transposed*
+// (rx(j,i) coupling with aa(i,j)) — the inter-dimensional alignment
+// conflict §4 reports for two of Tomcatv's 2-D arrays — and the
+// coordinate update.  The !prob annotation carries the actual branch
+// probability; the prototype's guess is exercised by ignoring hints.
+func Tomcatv(n int, dt fortran.DataType) string {
+	return fmt.Sprintf(`
+program tomcatv
+  parameter (n = %d, niter = 8)
+  %s x(n,n), y(n,n), rx(n,n), ry(n,n), aa(n,n), dd(n,n)
+  %s rtmp
+  do j = 1, n
+    do i = 1, n
+      x(i,j) = i - 0.5
+      y(i,j) = j - 0.5
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      rx(i,j) = 0.0
+      ry(i,j) = 0.0
+    end do
+  end do
+  do iter = 1, niter
+    do j = 2, n-1
+      do i = 2, n-1
+        rx(i,j) = x(i+1,j) - 2.0*x(i,j) + x(i-1,j) + x(i,j+1) - 2.0*x(i,j) + x(i,j-1)
+        ry(i,j) = y(i+1,j) - 2.0*y(i,j) + y(i-1,j) + y(i,j+1) - 2.0*y(i,j) + y(i,j-1)
+      end do
+    end do
+    rtmp = 0.0
+    do j = 2, n-1
+      do i = 2, n-1
+        rtmp = max(rtmp, abs(rx(i,j)) + abs(ry(i,j)))
+      end do
+    end do
+    !prob 0.9
+    if (rtmp .gt. 0.0001) then
+      do j = 2, n-1
+        do i = 2, n-1
+          aa(i,j) = -0.5*rx(j,i) + dd(i,j)
+          dd(i,j) = 1.0 + 0.25*ry(j,i)
+        end do
+      end do
+      do j = 2, n-1
+        do i = 2, n-1
+          aa(i,j) = aa(i,j) - 0.25*aa(i-1,j)/dd(i-1,j)
+          dd(i,j) = dd(i,j) - 0.25*aa(i-1,j)
+        end do
+      end do
+      do j = 2, n-1
+        do i = n-1, 2, -1
+          aa(i,j) = (aa(i,j) - 0.25*aa(i+1,j))/dd(i,j)
+        end do
+      end do
+    end if
+    do j = 2, n-1
+      do i = 2, n-1
+        x(i,j) = x(i,j) + 0.7*aa(i,j)
+        y(i,j) = y(i,j) + 0.7*aa(i,j)
+      end do
+    end do
+  end do
+end
+`, n, typeName(dt), typeName(dt))
+}
+
+// Shallow renders the shallow-water weather benchmark: initialization
+// of the stream function and velocities, then a time loop computing
+// capital-letter intermediate fields (cu, cv, z, h) from five-point
+// couplings, periodic boundary phases (one-dimensional loops copying
+// edge planes), the new-value update stencils, and time smoothing.
+// Every stencil parallelizes in either dimension; under a row
+// distribution the exchanged boundary rows are non-contiguous in
+// column-major storage and must be buffered, so the column distribution
+// should perform slightly better (§4).
+func Shallow(n int, dt fortran.DataType) string {
+	return fmt.Sprintf(`
+program shallow
+  parameter (n = %d, niter = 6)
+  %s u(n,n), v(n,n), p(n,n)
+  %s unew(n,n), vnew(n,n), pnew(n,n)
+  %s uold(n,n), vold(n,n), pold(n,n)
+  %s cu(n,n), cv(n,n), z(n,n), h(n,n), psi(n,n)
+  do j = 1, n
+    do i = 1, n
+      psi(i,j) = 3.14159 * (i + j) / n
+    end do
+  end do
+  do j = 1, n
+    do i = 2, n
+      u(i,j) = -(psi(i,j) - psi(i-1,j))
+    end do
+  end do
+  do j = 2, n
+    do i = 1, n
+      v(i,j) = psi(i,j) - psi(i,j-1)
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      p(i,j) = 50000.0
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      uold(i,j) = u(i,j)
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      vold(i,j) = v(i,j)
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      pold(i,j) = p(i,j)
+    end do
+  end do
+  do ncycle = 1, niter
+    do j = 1, n-1
+      do i = 2, n
+        cu(i,j) = 0.5*(p(i,j) + p(i-1,j))*u(i,j)
+      end do
+    end do
+    do j = 2, n
+      do i = 1, n-1
+        cv(i,j) = 0.5*(p(i,j) + p(i,j-1))*v(i,j)
+      end do
+    end do
+    do j = 1, n-1
+      do i = 2, n
+        z(i,j) = (v(i,j+1) - v(i-1,j+1) + u(i-1,j+1) - u(i-1,j))/(p(i-1,j) + p(i,j))
+      end do
+    end do
+    do j = 2, n
+      do i = 1, n-1
+        h(i,j) = p(i,j) + 0.25*(u(i+1,j)*u(i+1,j) + v(i,j)*v(i,j))
+      end do
+    end do
+    do j = 1, n
+      cu(1,j) = cu(n,j)
+      cv(1,j) = cv(n,j)
+    end do
+    do i = 1, n
+      cu(i,1) = cu(i,n)
+      cv(i,1) = cv(i,n)
+    end do
+    do j = 1, n
+      z(1,j) = z(n,j)
+      h(1,j) = h(n,j)
+    end do
+    do i = 1, n
+      z(i,1) = z(i,n)
+      h(i,1) = h(i,n)
+    end do
+    do j = 1, n-1
+      do i = 1, n-1
+        unew(i,j) = uold(i,j) + 0.2*(z(i+1,j+1) + z(i+1,j))*(cv(i+1,j) + cv(i,j)) - 0.3*(h(i+1,j) - h(i,j))
+      end do
+    end do
+    do j = 1, n-1
+      do i = 1, n-1
+        vnew(i,j) = vold(i,j) - 0.2*(z(i+1,j+1) + z(i,j+1))*(cu(i,j+1) + cu(i,j)) - 0.3*(h(i,j+1) - h(i,j))
+      end do
+    end do
+    do j = 1, n-1
+      do i = 1, n-1
+        pnew(i,j) = pold(i,j) - 0.3*(cu(i+1,j) - cu(i,j)) - 0.3*(cv(i,j+1) - cv(i,j))
+      end do
+    end do
+    do j = 1, n
+      unew(n,j) = unew(1,j)
+      pnew(n,j) = pnew(1,j)
+    end do
+    do i = 1, n
+      vnew(i,n) = vnew(i,1)
+      pnew(i,n) = pnew(i,1)
+    end do
+    ptot = 0.0
+    do j = 1, n
+      do i = 1, n
+        ptot = ptot + pnew(i,j)
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        uold(i,j) = u(i,j) + 0.1*(unew(i,j) - 2.0*u(i,j) + uold(i,j))
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        vold(i,j) = v(i,j) + 0.1*(vnew(i,j) - 2.0*v(i,j) + vold(i,j))
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        pold(i,j) = p(i,j) + 0.1*(pnew(i,j) - 2.0*p(i,j) + pold(i,j))
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        u(i,j) = unew(i,j)
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        v(i,j) = vnew(i,j)
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        p(i,j) = pnew(i,j)
+      end do
+    end do
+  end do
+end
+`, n, typeName(dt), typeName(dt), typeName(dt), typeName(dt))
+}

@@ -1,0 +1,315 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/execmodel"
+	"repro/internal/fortran"
+	"repro/internal/layout"
+)
+
+func run(t *testing.T, src string, procs int) *core.Result {
+	t.Helper()
+	res, err := core.AutoLayout(src, core.Options{Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// distributedDim returns the template dimension a candidate layout
+// distributes (-1 if none).
+func distributedDim(l *layout.Layout) int {
+	dims := l.DistributedTemplateDims()
+	if len(dims) != 1 {
+		return -1
+	}
+	return dims[0]
+}
+
+func TestAdiStructure(t *testing.T) {
+	res := run(t, Adi(64, fortran.Double), 8)
+	if got := len(res.PCFG.Phases); got != 9 {
+		t.Errorf("phases = %d, want 9 (paper: 'The program has 9 phases')", got)
+	}
+	if len(res.Spaces.Classes) != 1 {
+		t.Errorf("classes = %d, want 1 (no inter-dimensional alignment conflicts)", len(res.Spaces.Classes))
+	}
+	if len(res.AlignStats) != 0 {
+		t.Errorf("alignment ILP solves = %d, want 0", len(res.AlignStats))
+	}
+	// Each phase's search space: two 1-D block layouts (row, column).
+	for _, pr := range res.Phases {
+		if len(pr.Candidates) != 2 {
+			t.Errorf("phase %d candidates = %d, want 2", pr.Phase.ID, len(pr.Candidates))
+		}
+	}
+}
+
+func TestAdiSweepSchedules(t *testing.T) {
+	res := run(t, Adi(64, fortran.Double), 8)
+	// Find the forward row sweep (writes x reading x(i,j-1)) and the
+	// forward column sweep; verify schedules under row/col candidates.
+	for _, pr := range res.Phases {
+		var rowCand, colCand *core.Candidate
+		for _, c := range pr.Candidates {
+			switch distributedDim(c.Layout) {
+			case 0:
+				rowCand = c
+			case 1:
+				colCand = c
+			}
+		}
+		if rowCand == nil || colCand == nil {
+			t.Fatalf("phase %d lacks row/col candidates", pr.Phase.ID)
+		}
+		deps := pr.Info.FlowDeps()
+		if len(deps) == 0 {
+			continue // init/reset/damp phases: fully parallel
+		}
+		dim := deps[0].ArrayDims[0]
+		switch dim {
+		case 1: // row sweep: dependence along dim 2
+			if rowCand.Estimate.Schedule != execmodel.LooselySynchronous {
+				t.Errorf("phase %d row layout = %v, want loosely synchronous", pr.Phase.ID, rowCand.Estimate.Schedule)
+			}
+			if colCand.Estimate.Schedule != execmodel.Sequentialized {
+				t.Errorf("phase %d col layout = %v, want sequentialized", pr.Phase.ID, colCand.Estimate.Schedule)
+			}
+		case 0: // column sweep: dependence along dim 1
+			if rowCand.Estimate.Schedule != execmodel.FinePipeline {
+				t.Errorf("phase %d row layout = %v, want fine pipeline", pr.Phase.ID, rowCand.Estimate.Schedule)
+			}
+			if colCand.Estimate.Schedule != execmodel.LooselySynchronous {
+				t.Errorf("phase %d col layout = %v, want loosely synchronous", pr.Phase.ID, colCand.Estimate.Schedule)
+			}
+		}
+	}
+}
+
+func TestAdiNeverPicksColumnEverywhere(t *testing.T) {
+	// The paper: column layout was always the worst choice.  Whatever
+	// the tool picks (static row or remapped), the all-column static
+	// layout must cost more.
+	res := run(t, Adi(128, fortran.Double), 16)
+	colCost, _, err := res.EvaluatePinned(func(pr *core.PhaseResult) int {
+		for i, c := range pr.Candidates {
+			if distributedDim(c.Layout) == 1 {
+				return i
+			}
+		}
+		return -1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost >= colCost {
+		t.Errorf("selected cost %v not better than all-column %v", res.TotalCost, colCost)
+	}
+	rowCost, _, err := res.EvaluatePinned(func(pr *core.PhaseResult) int {
+		for i, c := range pr.Candidates {
+			if distributedDim(c.Layout) == 0 {
+				return i
+			}
+		}
+		return -1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowCost >= colCost {
+		t.Errorf("row layout (%v) should beat column (%v) for Adi", rowCost, colCost)
+	}
+	// The tool's selection is at least as good as the best static.
+	if res.TotalCost > rowCost+1e-6 {
+		t.Errorf("selected %v worse than static row %v", res.TotalCost, rowCost)
+	}
+}
+
+func TestErlebacherStructure(t *testing.T) {
+	res := run(t, Erlebacher(16, fortran.Double), 8)
+	if got := len(res.PCFG.Phases); got != 20 {
+		t.Errorf("phases = %d, want 20 (paper's inlined version: 40; see EXPERIMENTS.md)", got)
+	}
+	if len(res.Spaces.Classes) != 1 {
+		t.Errorf("classes = %d, want 1 (no alignment conflicts)", len(res.Spaces.Classes))
+	}
+	// 3-D template: three 1-D block candidates per phase.
+	for _, pr := range res.Phases {
+		if len(pr.Candidates) != 3 {
+			t.Errorf("phase %d candidates = %d, want 3", pr.Phase.ID, len(pr.Candidates))
+			break
+		}
+	}
+}
+
+func TestErlebacherSweepGranularities(t *testing.T) {
+	res := run(t, Erlebacher(16, fortran.Double), 4)
+	// Forward sweeps read d(i-1,..), d(i,j-1,..), d(i,j,k-1): find each
+	// and check the schedule under the matching distribution.
+	want := map[int]execmodel.Schedule{
+		0: execmodel.FinePipeline,   // dim 1 sweep, dim 1 distributed
+		1: execmodel.CoarsePipeline, // dim 2 sweep, dim 2 distributed
+		2: execmodel.Sequentialized, // dim 3 sweep, dim 3 distributed
+	}
+	found := map[int]bool{}
+	for _, pr := range res.Phases {
+		deps := pr.Info.FlowDeps()
+		if len(deps) == 0 {
+			continue
+		}
+		dim := deps[0].ArrayDims[0]
+		sched, ok := want[dim]
+		if !ok || found[dim] {
+			continue
+		}
+		for _, c := range pr.Candidates {
+			if distributedDim(c.Layout) == dim {
+				if c.Estimate.Schedule != sched {
+					t.Errorf("dim-%d sweep under dim-%d distribution = %v, want %v",
+						dim+1, dim+1, c.Estimate.Schedule, sched)
+				}
+				found[dim] = true
+			}
+		}
+	}
+	for dim, sched := range want {
+		if !found[dim] {
+			t.Errorf("no sweep phase found for dim %d (%v)", dim+1, sched)
+		}
+	}
+}
+
+func TestTomcatvConflictAndClasses(t *testing.T) {
+	res := run(t, Tomcatv(64, fortran.Double), 8)
+	if len(res.Spaces.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2 (paper: 'partitioned the 17 phases into two classes')", len(res.Spaces.Classes))
+	}
+	if len(res.AlignStats) == 0 {
+		t.Error("expected 0-1 alignment solves for the conflicts")
+	}
+	// Alignment search spaces have two entries; with two distributions
+	// most phases get up to four candidate layouts.
+	maxCands := 0
+	for _, pr := range res.Phases {
+		if len(pr.Candidates) > maxCands {
+			maxCands = len(pr.Candidates)
+		}
+	}
+	if maxCands != 4 {
+		t.Errorf("max candidates = %d, want 4", maxCands)
+	}
+}
+
+func TestTomcatvPicksColumnWise(t *testing.T) {
+	// The paper: "In all cases the prototype tool selected the
+	// column-wise data layout" — the layout under which the tridiagonal
+	// solve (sweeping along the first dimension of aa) runs without
+	// pipelining.  With the alignment conflict statically resolved, the
+	// meaningful invariants are: aa is distributed along its second
+	// dimension everywhere, and no chosen phase is pipelined or
+	// sequentialized.
+	res := run(t, Tomcatv(128, fortran.Double), 8)
+	for _, pr := range res.Phases {
+		l := pr.ChosenLayout()
+		if dims := l.DistributedDims("aa"); len(dims) != 1 || dims[0] != 1 {
+			t.Errorf("phase %d: aa distributed %v, want second dimension", pr.Phase.ID, dims)
+		}
+		c := pr.Candidates[pr.Chosen]
+		if c.Estimate.Schedule == execmodel.FinePipeline ||
+			c.Estimate.Schedule == execmodel.CoarsePipeline ||
+			c.Estimate.Schedule == execmodel.Sequentialized {
+			t.Errorf("phase %d: chosen schedule %v, want unserialized", pr.Phase.ID, c.Estimate.Schedule)
+		}
+	}
+	// The selection must be static: the conflict is resolved by
+	// alignment, not by remapping every iteration.
+	if res.Dynamic {
+		t.Errorf("selection uses %d remaps; the paper's Tomcatv layout is static", len(res.Remaps))
+	}
+}
+
+func TestTomcatvPhaseCount(t *testing.T) {
+	res := run(t, Tomcatv(64, fortran.Double), 8)
+	// Ours: 2 init + residuals(1) + rtmp straight-line + reduction +
+	// 3 solve + update = 9 (the paper's source splits into 17; see
+	// EXPERIMENTS.md for the inventory).
+	if got := len(res.PCFG.Phases); got != 9 {
+		t.Errorf("phases = %d, want 9", got)
+	}
+}
+
+func TestShallowStructure(t *testing.T) {
+	res := run(t, Shallow(64, fortran.Real), 4)
+	if got := len(res.PCFG.Phases); got != 28 {
+		t.Errorf("phases = %d, want 28 (paper: 'Shallow has 28 phases')", got)
+	}
+	if len(res.Spaces.Classes) != 1 {
+		t.Errorf("classes = %d, want 1 (no alignment conflicts)", len(res.Spaces.Classes))
+	}
+}
+
+func TestShallowPicksColumn(t *testing.T) {
+	// The paper: column distribution wins (row needs buffered
+	// messages); the tool always picked column.
+	res := run(t, Shallow(128, fortran.Real), 8)
+	colCost, _, err := res.EvaluatePinned(func(pr *core.PhaseResult) int {
+		for i, c := range pr.Candidates {
+			if distributedDim(c.Layout) == 1 || len(pr.Candidates) == 1 {
+				return i
+			}
+		}
+		return -1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowCost, _, err := res.EvaluatePinned(func(pr *core.PhaseResult) int {
+		for i, c := range pr.Candidates {
+			if distributedDim(c.Layout) == 0 || len(pr.Candidates) == 1 {
+				return i
+			}
+		}
+		return -1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colCost >= rowCost {
+		t.Errorf("column (%v) should beat row (%v) for Shallow", colCost, rowCost)
+	}
+	if res.TotalCost > colCost+1e-6 {
+		t.Errorf("selected %v worse than static column %v", res.TotalCost, colCost)
+	}
+}
+
+func TestAllProgramsParseAtAllSizes(t *testing.T) {
+	for _, spec := range All() {
+		for _, n := range []int{16, 32, spec.DefaultN} {
+			for _, dt := range []fortran.DataType{fortran.Real, fortran.Double} {
+				src := spec.Source(n, dt)
+				prog, err := fortran.Parse(src)
+				if err != nil {
+					t.Fatalf("%s n=%d %v: %v", spec.Name, n, dt, err)
+				}
+				if _, err := fortran.Analyze(prog); err != nil {
+					t.Fatalf("%s n=%d %v: %v", spec.Name, n, dt, err)
+				}
+				if !strings.Contains(src, "parameter (n = ") {
+					t.Errorf("%s: missing size parameter", spec.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("adi"); !ok {
+		t.Error("adi missing")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("phantom program")
+	}
+}

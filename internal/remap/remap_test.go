@@ -1,0 +1,100 @@
+package remap
+
+import (
+	"testing"
+
+	"repro/internal/fortran"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+func mk2D(n, p, tdim int, arrays ...string) *layout.Layout {
+	a := layout.NewAlignment()
+	for _, name := range arrays {
+		a.Set(name, []int{0, 1})
+	}
+	dd := []layout.DimDist{{Kind: layout.Star, Procs: 1}, {Kind: layout.Star, Procs: 1}}
+	dd[tdim] = layout.DimDist{Kind: layout.Block, Procs: p}
+	return layout.NewLayout(layout.Template{Extents: []int{n, n}}, a, dd)
+}
+
+func arrs(n int, names ...string) (map[string]*fortran.Array, []string) {
+	m := map[string]*fortran.Array{}
+	for _, name := range names {
+		m[name] = &fortran.Array{Name: name, Type: fortran.Double, Extents: []int{n, n}}
+	}
+	return m, names
+}
+
+func TestNoMoveSameLayout(t *testing.T) {
+	m, names := arrs(64, "x", "a")
+	row := mk2D(64, 8, 0, "x", "a")
+	if got := Moved(row, mk2D(64, 8, 0, "x", "a"), names); len(got) != 0 {
+		t.Errorf("moved = %v, want none", got)
+	}
+	if c := Cost(row, mk2D(64, 8, 0, "x", "a"), m, names, machine.IPSC860()); c != 0 {
+		t.Errorf("cost = %v, want 0", c)
+	}
+}
+
+func TestRowToColumnMovesAll(t *testing.T) {
+	m, names := arrs(64, "x", "a")
+	row := mk2D(64, 8, 0, "x", "a")
+	col := mk2D(64, 8, 1, "x", "a")
+	moved := Moved(row, col, names)
+	if len(moved) != 2 {
+		t.Fatalf("moved = %v, want both arrays", moved)
+	}
+	c := Cost(row, col, m, names, machine.IPSC860())
+	if c <= 0 {
+		t.Fatalf("cost = %v, want positive", c)
+	}
+	// Cost is additive over arrays.
+	single := Cost(row, col, m, names[:1], machine.IPSC860())
+	if diff := c - 2*single; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cost not additive: %v vs 2*%v", c, single)
+	}
+}
+
+func TestOrientationSymmetryFreeRemap(t *testing.T) {
+	// Transposed alignment + row distribution places arrays exactly as
+	// canonical alignment + column distribution: remapping is free.
+	m, names := arrs(64, "x")
+	canonCol := mk2D(64, 8, 1, "x")
+	trans := layout.NewAlignment()
+	trans.Set("x", []int{1, 0})
+	transRow := layout.NewLayout(layout.Template{Extents: []int{64, 64}},
+		trans, []layout.DimDist{{Kind: layout.Block, Procs: 8}, {Kind: layout.Star, Procs: 1}})
+	if c := Cost(canonCol, transRow, m, names, machine.IPSC860()); c != 0 {
+		t.Errorf("cost = %v, want 0 (same placement)", c)
+	}
+}
+
+func TestBiggerArraysCostMore(t *testing.T) {
+	mSmall, names := arrs(64, "x")
+	mBig, _ := arrs(512, "x")
+	cSmall := Cost(mk2D(64, 8, 0, "x"), mk2D(64, 8, 1, "x"), mSmall, names, machine.IPSC860())
+	cBig := Cost(mk2D(512, 8, 0, "x"), mk2D(512, 8, 1, "x"), mBig, names, machine.IPSC860())
+	if cBig <= cSmall {
+		t.Errorf("bigger remap not more expensive: %v vs %v", cBig, cSmall)
+	}
+}
+
+func TestUnknownArraysIgnored(t *testing.T) {
+	m, _ := arrs(64, "x")
+	row := mk2D(64, 8, 0, "x")
+	col := mk2D(64, 8, 1, "x")
+	if got := Moved(row, col, []string{"ghost"}); len(got) != 0 {
+		t.Errorf("moved = %v, want none for unknown array", got)
+	}
+	if c := Cost(row, col, m, []string{"ghost"}, machine.IPSC860()); c != 0 {
+		t.Errorf("cost = %v, want 0", c)
+	}
+}
+
+func TestSingleProcessorFree(t *testing.T) {
+	m, names := arrs(64, "x")
+	if c := Cost(mk2D(64, 1, 0, "x"), mk2D(64, 1, 1, "x"), m, names, machine.IPSC860()); c != 0 {
+		t.Errorf("cost = %v, want 0 on one processor", c)
+	}
+}

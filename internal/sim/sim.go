@@ -1,0 +1,104 @@
+// Package sim is a discrete-event simulator of a distributed-memory
+// message-passing machine: it executes the per-processor operation
+// streams produced by package spmd and reports the makespan.
+//
+// The simulator substitutes for the Intel iPSC/860 runs that produced
+// the paper's "measured" curves (§4).  It prices operations with the
+// same synthesized machine model the estimator uses, but executes the
+// exact per-processor schedule: blocking receives, sender occupancy,
+// pipeline fill/drain, boundary processors, and block remainders all
+// emerge from the event ordering rather than from closed-form
+// formulas, so simulated and estimated times differ realistically.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// sendOverheadFraction is the share of a message's cost that occupies
+// the sender; the rest is wire/receive time that overlaps with the
+// sender's subsequent work (blocking sends with DMA drain).
+const sendOverheadFraction = 0.5
+
+// Result reports one simulation.
+type Result struct {
+	// Makespan is the completion time of the last processor (µs).
+	Makespan float64
+	// PerProc is each processor's completion time.
+	PerProc []float64
+	// Messages is the total message count.
+	Messages int
+	// BytesMoved is the total payload volume.
+	BytesMoved int
+}
+
+// Run executes the program to completion.  It returns an error on
+// deadlock (a receive whose message never arrives).
+func Run(p *spmd.Program, m *machine.Model) (*Result, error) {
+	procs := p.Procs
+	clock := make([]float64, procs)
+	index := make([]int, procs)
+	type queueKey struct{ from, to int }
+	queues := map[queueKey][]float64{} // arrival times, FIFO
+	res := &Result{PerProc: clock}
+
+	for {
+		progress := false
+		blocked := 0
+		for proc := 0; proc < procs; proc++ {
+			stream := p.Streams[proc]
+			for index[proc] < len(stream) {
+				op := stream[index[proc]]
+				switch op := op.(type) {
+				case spmd.Compute:
+					clock[proc] += op.T
+				case spmd.Send:
+					cost := m.MsgTime(machine.SendRecv, procs, op.Bytes, op.Stride, machine.HighLatency)
+					arrive := clock[proc] + cost
+					clock[proc] += cost * sendOverheadFraction
+					k := queueKey{proc, op.To}
+					queues[k] = append(queues[k], arrive)
+					res.Messages++
+					res.BytesMoved += op.Bytes
+				case spmd.Recv:
+					k := queueKey{op.From, proc}
+					q := queues[k]
+					if len(q) == 0 {
+						// Not yet sent: stall this processor.
+						goto stalled
+					}
+					if q[0] > clock[proc] {
+						clock[proc] = q[0]
+					}
+					queues[k] = q[1:]
+				}
+				index[proc]++
+				progress = true
+			}
+			continue
+		stalled:
+			blocked++
+		}
+		done := true
+		for proc := 0; proc < procs; proc++ {
+			if index[proc] < len(p.Streams[proc]) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("sim: deadlock with %d blocked processors", blocked)
+		}
+	}
+	for _, c := range clock {
+		if c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	return res, nil
+}

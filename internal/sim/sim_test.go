@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func mkProg(procs int, build func(p *spmd.Program)) *spmd.Program {
+	p := &spmd.Program{Procs: procs, Streams: make([][]spmd.Op, procs)}
+	build(p)
+	return p
+}
+
+func add(p *spmd.Program, proc int, ops ...spmd.Op) {
+	p.Streams[proc] = append(p.Streams[proc], ops...)
+}
+
+func TestComputeOnly(t *testing.T) {
+	p := mkProg(3, func(p *spmd.Program) {
+		add(p, 0, spmd.Compute{T: 10})
+		add(p, 1, spmd.Compute{T: 30})
+		add(p, 2, spmd.Compute{T: 20})
+	})
+	r, err := Run(p, machine.IPSC860())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 30 {
+		t.Errorf("makespan = %v, want 30 (slowest processor)", r.Makespan)
+	}
+}
+
+func TestSendRecvSynchronizes(t *testing.T) {
+	m := machine.IPSC860()
+	p := mkProg(2, func(p *spmd.Program) {
+		add(p, 0, spmd.Compute{T: 100}, spmd.Send{To: 1, Bytes: 1000, Stride: machine.UnitStride})
+		add(p, 1, spmd.Recv{From: 0}, spmd.Compute{T: 50})
+	})
+	r, err := Run(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := m.MsgTime(machine.SendRecv, 2, 1000, machine.UnitStride, machine.HighLatency)
+	want := 100 + cost + 50
+	if math.Abs(r.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", r.Makespan, want)
+	}
+	if r.Messages != 1 || r.BytesMoved != 1000 {
+		t.Errorf("messages/bytes = %d/%d", r.Messages, r.BytesMoved)
+	}
+}
+
+func TestRecvBeforeSendStallsNotDeadlocks(t *testing.T) {
+	// Processor 1 reaches its receive long before processor 0 sends.
+	p := mkProg(2, func(p *spmd.Program) {
+		add(p, 0, spmd.Compute{T: 500}, spmd.Send{To: 1, Bytes: 8, Stride: machine.UnitStride})
+		add(p, 1, spmd.Recv{From: 0})
+	})
+	if _, err := Run(p, machine.IPSC860()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p := mkProg(2, func(p *spmd.Program) {
+		add(p, 0, spmd.Recv{From: 1})
+		add(p, 1, spmd.Recv{From: 0})
+	})
+	if _, err := Run(p, machine.IPSC860()); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestFIFOOrderPerChannel(t *testing.T) {
+	m := machine.IPSC860()
+	p := mkProg(2, func(p *spmd.Program) {
+		add(p, 0,
+			spmd.Send{To: 1, Bytes: 10000, Stride: machine.UnitStride},
+			spmd.Send{To: 1, Bytes: 8, Stride: machine.UnitStride})
+		add(p, 1, spmd.Recv{From: 0}, spmd.Recv{From: 0}, spmd.Compute{T: 1})
+	})
+	r, err := Run(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second (small) message departs after the sender's overhead
+	// window and arrives before the first big one completes; the
+	// receiver is bound by the big transfer, then computes.
+	c1 := m.MsgTime(machine.SendRecv, 2, 10000, machine.UnitStride, machine.HighLatency)
+	want := c1 + 1
+	if math.Abs(r.Makespan-want) > 1e-6 {
+		t.Errorf("makespan = %v, want %v", r.Makespan, want)
+	}
+}
+
+func TestPipelineFillDrain(t *testing.T) {
+	// A 4-processor, 8-stage pipeline: makespan ≈ (stages + P - 1) ×
+	// (chunk + overhead) — the classic fill/drain shape.
+	m := machine.IPSC860()
+	procs, stages := 4, 8
+	chunk := 1000.0
+	p := mkProg(procs, func(p *spmd.Program) {
+		for proc := 0; proc < procs; proc++ {
+			for s := 0; s < stages; s++ {
+				if proc > 0 {
+					add(p, proc, spmd.Recv{From: proc - 1})
+				}
+				add(p, proc, spmd.Compute{T: chunk})
+				if proc < procs-1 {
+					add(p, proc, spmd.Send{To: proc + 1, Bytes: 8, Stride: machine.UnitStride})
+				}
+			}
+		}
+	})
+	r, err := Run(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := float64(stages) * chunk // perfect overlap lower bound
+	upper := float64(stages+procs-1) * (chunk + m.MsgTime(machine.SendRecv, procs, 8, machine.UnitStride, machine.HighLatency))
+	if r.Makespan < lower || r.Makespan > upper {
+		t.Errorf("makespan = %v, want within [%v, %v]", r.Makespan, lower, upper)
+	}
+	// And the pipeline must beat fully sequential execution.
+	if seq := float64(procs*stages) * chunk; r.Makespan >= seq {
+		t.Errorf("pipeline (%v) not faster than sequential (%v)", r.Makespan, seq)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := mkProg(4, func(p *spmd.Program) {})
+	r, err := Run(p, machine.IPSC860())
+	if err != nil || r.Makespan != 0 {
+		t.Errorf("empty program: %v, %v", r, err)
+	}
+}
+
+// TestQuickMakespanLowerBound: the makespan is at least every
+// processor's total compute plus send-overhead time (communication can
+// only add waiting).
+func TestQuickMakespanLowerBound(t *testing.T) {
+	m := machine.IPSC860()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 2 + rng.Intn(6)
+		p := mkProg(procs, func(p *spmd.Program) {
+			// Random ring pipeline with random compute.
+			stages := 1 + rng.Intn(6)
+			for proc := 0; proc < procs; proc++ {
+				for s := 0; s < stages; s++ {
+					if proc > 0 {
+						add(p, proc, spmd.Recv{From: proc - 1})
+					}
+					add(p, proc, spmd.Compute{T: float64(rng.Intn(500))})
+					if proc < procs-1 {
+						add(p, proc, spmd.Send{To: proc + 1, Bytes: rng.Intn(4096), Stride: machine.UnitStride})
+					}
+				}
+			}
+		})
+		r, err := Run(p, m)
+		if err != nil {
+			return false
+		}
+		for proc := 0; proc < procs; proc++ {
+			lower := 0.0
+			for _, op := range p.Streams[proc] {
+				switch op := op.(type) {
+				case spmd.Compute:
+					lower += op.T
+				case spmd.Send:
+					lower += sendOverheadFraction * m.MsgTime(machine.SendRecv, procs, op.Bytes, op.Stride, machine.HighLatency)
+				}
+			}
+			if r.PerProc[proc] < lower-1e-9 {
+				t.Logf("seed %d proc %d: clock %v below floor %v", seed, proc, r.PerProc[proc], lower)
+				return false
+			}
+		}
+		return r.Makespan >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterminism: two runs of the same program agree exactly.
+func TestQuickDeterminism(t *testing.T) {
+	m := machine.IPSC860()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 2 + rng.Intn(5)
+		p := mkProg(procs, func(p *spmd.Program) {
+			for proc := 0; proc < procs; proc++ {
+				n := rng.Intn(5)
+				for k := 0; k < n; k++ {
+					add(p, proc, spmd.Compute{T: float64(rng.Intn(100))})
+					if to := (proc + 1) % procs; rng.Intn(2) == 0 {
+						add(p, proc, spmd.Send{To: to, Bytes: 64, Stride: machine.UnitStride})
+						add(p, to, spmd.Recv{From: proc})
+					}
+				}
+			}
+		})
+		r1, err1 := Run(p, m)
+		r2, err2 := Run(p, m)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true // deterministic deadlock is fine
+		}
+		return r1.Makespan == r2.Makespan && r1.Messages == r2.Messages
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotoneInCompute: adding compute work to any processor cannot
+// reduce the makespan.
+func TestMonotoneInCompute(t *testing.T) {
+	m := machine.IPSC860()
+	build := func(extra float64) *spmd.Program {
+		return mkProg(3, func(p *spmd.Program) {
+			add(p, 0, spmd.Compute{T: 100 + extra}, spmd.Send{To: 1, Bytes: 8, Stride: machine.UnitStride})
+			add(p, 1, spmd.Recv{From: 0}, spmd.Compute{T: 50}, spmd.Send{To: 2, Bytes: 8, Stride: machine.UnitStride})
+			add(p, 2, spmd.Recv{From: 1}, spmd.Compute{T: 25})
+		})
+	}
+	r1, err := Run(build(0), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(build(500), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Makespan <= r1.Makespan {
+		t.Errorf("adding work reduced makespan: %v -> %v", r1.Makespan, r2.Makespan)
+	}
+}

@@ -1,0 +1,51 @@
+
+program adi
+  parameter (n = 128, niter = 10)
+  double precision x(n,n), b(n,n), arow(n), acol(n)
+  do i = 1, n
+    arow(i) = 0.25 + 1.0/(i+1)
+    acol(i) = 0.25 + 1.0/(i+2)
+  end do
+  do j = 1, n
+    do i = 1, n
+      x(i,j) = 1.0 / (i + j)
+    end do
+  end do
+  do iter = 1, niter
+    do j = 1, n
+      do i = 1, n
+        b(i,j) = 2.0 + arow(j)*arow(j)
+      end do
+    end do
+    do j = 2, n
+      do i = 1, n
+        x(i,j) = x(i,j) - x(i,j-1)*b(i,j)/b(i,j-1)
+      end do
+    end do
+    do j = n-1, 1, -1
+      do i = 1, n
+        x(i,j) = (x(i,j) - b(i,j)*x(i,j+1))/b(i,j)
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        b(i,j) = 2.0 + acol(i)*acol(i)
+      end do
+    end do
+    do j = 1, n
+      do i = 2, n
+        x(i,j) = x(i,j) - x(i-1,j)*b(i,j)/b(i-1,j)
+      end do
+    end do
+    do j = 1, n
+      do i = n-1, 1, -1
+        x(i,j) = (x(i,j) - b(i,j)*x(i+1,j))/b(i,j)
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        x(i,j) = 0.5*x(i,j) + 0.125*b(i,j)
+      end do
+    end do
+  end do
+end
