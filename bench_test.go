@@ -14,7 +14,10 @@
 package repro_test
 
 import (
+	"errors"
+	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/cag"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fortran"
 	"repro/internal/ilp"
+	"repro/internal/layoutgraph"
 	"repro/internal/machine"
 	"repro/internal/programs"
 )
@@ -369,4 +373,63 @@ func BenchmarkAblationPhaseMerging(b *testing.B) {
 	b.ReportMetric(float64(merged.MergedPairs), "tied-pairs")
 	b.ReportMetric(merged.TotalCost/1e6, "s-est-merged")
 	b.ReportMetric(plain.TotalCost/1e6, "s-est-plain")
+}
+
+// BenchmarkSelectionUnderDeadline measures graceful degradation on a
+// selection graph far beyond the paper's sizes: a ring of phases with
+// extra chords (so the chain DP does not apply and the LP relaxation is
+// fractional), solved under a 50 ms wall-clock budget.  The metrics
+// report the incumbent's cost, the proven optimality gap and the node
+// count reached before the deadline.
+func BenchmarkSelectionUnderDeadline(b *testing.B) {
+	const phases, cands = 12, 10
+	rng := rand.New(rand.NewSource(7))
+	g := &layoutgraph.Graph{NodeCost: make([][]float64, phases)}
+	for p := range g.NodeCost {
+		g.NodeCost[p] = make([]float64, cands)
+		for i := range g.NodeCost[p] {
+			g.NodeCost[p][i] = 10 + 90*rng.Float64()
+		}
+	}
+	edge := func(from, to int) {
+		e := &layoutgraph.Edge{FromPhase: from, ToPhase: to, Cost: make([][]float64, cands)}
+		for i := range e.Cost {
+			e.Cost[i] = make([]float64, cands)
+			for j := range e.Cost[i] {
+				if i != j {
+					e.Cost[i][j] = 5 + 45*rng.Float64()
+				}
+			}
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	for p := 0; p < phases; p++ {
+		edge(p, (p+1)%phases) // ring
+	}
+	for p := 0; p < phases; p += 3 {
+		edge(p, (p+5)%phases) // chords: not a chain, not a plain ring
+	}
+
+	var sel *layoutgraph.Selection
+	for i := 0; i < b.N; i++ {
+		var err error
+		sel, err = g.SolveILP(&ilp.Solver{MaxTime: 50 * time.Millisecond})
+		var noInc *layoutgraph.NoIncumbentError
+		if errors.As(err, &noInc) {
+			// The budget expired before any incumbent: the same greedy
+			// fallback core takes keeps the pipeline alive.
+			sel, err = g.SolveGreedy(), nil
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sel.Cost, "incumbent-cost")
+	b.ReportMetric(sel.Gap, "opt-gap")
+	b.ReportMetric(float64(sel.BBNodes), "bb-nodes")
+	if sel.Degraded {
+		b.ReportMetric(1, "degraded")
+	} else {
+		b.ReportMetric(0, "degraded")
+	}
 }

@@ -11,6 +11,11 @@
 // With no file argument the program is read from standard input.  The
 // -spaces flag dumps each phase's explicit candidate search space —
 // the browsing interface §2 envisions for the assistant tool.
+//
+// -timeout bounds the 0-1 solver wall-clock; when the budget expires
+// the tool keeps the best feasible answer and reports the degradation
+// (with its optimality gap) as "! degraded:" comment lines.  -strict
+// turns any such degradation into a hard failure instead.
 package main
 
 import (
@@ -38,6 +43,8 @@ func main() {
 	useDP := flag.Bool("dp", false, "use the chain DP instead of 0-1 selection where possible")
 	greedy := flag.Bool("greedy-align", false, "use greedy alignment conflict resolution instead of 0-1")
 	guess := flag.Bool("guess-probs", false, "ignore !prob annotations (always guess 50%)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the 0-1 solves; on expiry the tool degrades to the best feasible answer (0 = none)")
+	strict := flag.Bool("strict", false, "fail instead of degrading when a 0-1 solve is cut off")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -50,6 +57,8 @@ func main() {
 		MultiDim: *multiDim,
 		UseDP:    *useDP,
 		Align:    alignpkg.Options{Greedy: *greedy},
+		Timeout:  *timeout,
+		Strict:   *strict,
 	}
 	opt.PCFG.IgnoreProbHints = *guess
 	switch {
@@ -81,6 +90,11 @@ func main() {
 	fmt.Printf("! tool time: %v (alignment 0-1 solves: %d, selection 0-1: %d vars / %d constraints in %v)\n",
 		res.Elapsed.Round(1e6), len(res.AlignStats),
 		res.Selection.Vars, res.Selection.Constraints, res.Selection.Duration.Round(1e5))
+	for _, line := range strings.Split(strings.TrimRight(res.ExplainDegradations(), "\n"), "\n") {
+		if line != "" {
+			fmt.Println("! degraded:", line)
+		}
+	}
 	if *spaces {
 		dumpSpaces(res)
 	}

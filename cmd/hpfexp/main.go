@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -24,8 +26,10 @@ func main() {
 	table := flag.String("table", "", "table to reproduce: ilp, summary, cases or ablation")
 	all := flag.Bool("all", false, "reproduce every figure and table")
 	csv := flag.Bool("csv", false, "emit figure series as CSV (figures 4-7)")
+	timeout := flag.Duration("timeout", 0, "per-case wall-clock budget for the 0-1 solves in -table summary/cases; expired cases degrade gracefully (0 = none)")
 	flag.Parse()
 	emitCSV = *csv
+	solveTimeout = *timeout
 
 	if *all {
 		for _, f := range []int{2, 3, 4, 5, 6, 7, 8} {
@@ -59,7 +63,15 @@ func main() {
 	os.Exit(2)
 }
 
-var emitCSV bool
+var (
+	emitCSV      bool
+	solveTimeout time.Duration
+)
+
+// withTimeout applies the -timeout budget to one case run.
+func withTimeout(o *core.Options) {
+	o.Timeout = solveTimeout
+}
 
 func render(f *experiments.Figure) {
 	if emitCSV {
@@ -135,7 +147,7 @@ func renderTable(name string) error {
 		results := make([]*experiments.CaseResult, 0, len(cases))
 		for i, c := range cases {
 			fmt.Fprintf(os.Stderr, "\r[%3d/%d] %-40v", i+1, len(cases), c)
-			cr, err := experiments.Run(c, nil)
+			cr, err := experiments.Run(c, withTimeout)
 			if err != nil {
 				return fmt.Errorf("%v: %w", c, err)
 			}

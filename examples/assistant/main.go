@@ -39,9 +39,12 @@ func main() {
 	// and adds it to phase 0's search space.
 	a := layout.NewAlignment()
 	a.Set("x", []int{0, 1})
-	cyclic := layout.NewLayout(res.Template, a, []layout.DimDist{
+	cyclic, err := layout.NewLayout(res.Template, a, []layout.DimDist{
 		{Kind: layout.Cyclic, Procs: 8}, {Kind: layout.Star, Procs: 1},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	idx, err := res.InsertCandidate(0, cyclic, "user experiment")
 	if err != nil {
 		log.Fatal(err)

@@ -118,6 +118,18 @@ type PhaseCandidate struct {
 	Origin string
 }
 
+// Degradation records one alignment solve that was cut off by a
+// node/time budget and fell back to an incumbent or the greedy
+// heuristic.
+type Degradation struct {
+	// Where identifies the solve ("phase 3", "class 0", "import 1->2").
+	Where string
+	// Reason describes the cutoff and the fallback used.
+	Reason string
+	// Gap is the relative optimality gap when known; negative when not.
+	Gap float64
+}
+
 // Spaces is the result of alignment search space construction.
 type Spaces struct {
 	Classes    []*Class
@@ -126,6 +138,10 @@ type Spaces struct {
 	PerPhase map[int][]*PhaseCandidate
 	// Stats collects one entry per 0-1 conflict resolution performed.
 	Stats []cag.Stats
+	// Degradations lists the solves that were cut off by a budget and
+	// degraded to an incumbent or the greedy heuristic (empty when every
+	// resolution was proven optimal).
+	Degradations []Degradation
 	// TemplateRank is the program template dimensionality used.
 	TemplateRank int
 }
@@ -156,7 +172,7 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 		pi := infos[ph.ID]
 		pg := BuildCAG(u, pi, ph.Freq)
 		if pg.HasConflict() {
-			res, err := sp.resolve(pg, d, opt)
+			res, err := sp.resolve(pg, d, opt, fmt.Sprintf("phase %d", ph.ID))
 			if err != nil {
 				return nil, fmt.Errorf("align: phase %d: %w", ph.ID, err)
 			}
@@ -194,7 +210,7 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 
 	// Base candidate per class: the class CAG's own alignment.
 	for _, c := range sp.Classes {
-		res, err := sp.resolve(c.CAG, d, opt)
+		res, err := sp.resolve(c.CAG, d, opt, fmt.Sprintf("class %d", c.ID))
 		if err != nil {
 			return nil, fmt.Errorf("align: class %d: %w", c.ID, err)
 		}
@@ -214,7 +230,7 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 			scaled := src.CAG.Clone()
 			scaled.ScaleWeights(opt.ImportScale)
 			merged := scaled.Merge(sink.CAG)
-			res, err := sp.resolve(merged, d, opt)
+			res, err := sp.resolve(merged, d, opt, fmt.Sprintf("import %d->%d", src.ID, sink.ID))
 			if err != nil {
 				return nil, fmt.Errorf("align: import %d->%d: %w", src.ID, sink.ID, err)
 			}
@@ -270,8 +286,9 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 	return sp, nil
 }
 
-// resolve dispatches to the ILP or greedy resolver and records stats.
-func (sp *Spaces) resolve(g *cag.Graph, d int, opt Options) (*cag.Resolution, error) {
+// resolve dispatches to the ILP or greedy resolver, recording stats
+// and any budget-induced degradation under the given location label.
+func (sp *Spaces) resolve(g *cag.Graph, d int, opt Options, where string) (*cag.Resolution, error) {
 	if opt.Greedy {
 		return cag.ResolveGreedy(g, d)
 	}
@@ -281,6 +298,13 @@ func (sp *Spaces) resolve(g *cag.Graph, d int, opt Options) (*cag.Resolution, er
 	}
 	if res.Stats.Vars > 0 {
 		sp.Stats = append(sp.Stats, res.Stats)
+	}
+	if res.Degraded {
+		sp.Degradations = append(sp.Degradations, Degradation{
+			Where:  where,
+			Reason: res.DegradeReason,
+			Gap:    res.Gap,
+		})
 	}
 	return res, nil
 }

@@ -33,6 +33,19 @@ type Resolution struct {
 	// Stats describes the ILP solve (zero for conflict-free inputs,
 	// which need no solve).
 	Stats Stats
+	// Degraded reports that the 0-1 solve was cut off by a node or
+	// wall-clock limit and the resolution is the best feasible
+	// incumbent found — or the greedy heuristic when no incumbent
+	// existed.  The assignment is always valid; only optimality of the
+	// cut weight is forfeited.
+	Degraded bool
+	// DegradeReason describes the cutoff and fallback ("" when not
+	// degraded).
+	DegradeReason string
+	// Gap is the relative optimality gap of the degraded solution
+	// (incumbent vs the LP bound); negative when unknown (e.g. greedy
+	// fallback).  Zero when not degraded.
+	Gap float64
 }
 
 // Resolve solves the inter-dimensional alignment problem for g with a
@@ -49,13 +62,14 @@ func Resolve(g *Graph, d int, solver *ilp.Solver) (*Resolution, error) {
 		}
 	}
 	if !g.HasConflict() {
-		res := &Resolution{Aligned: g.Partitioning(), CutWeight: 0}
-		asg, err := colorComponents(g, res.Aligned, d)
-		if err != nil {
-			return nil, err
+		aligned := g.Partitioning()
+		if asg, cerr := colorComponents(g, aligned, d); cerr == nil {
+			return &Resolution{Assignment: asg, Aligned: aligned, CutWeight: 0}, nil
 		}
-		res.Assignment = asg
-		return res, nil
+		// A conflict-free CAG can still be non-orientable: its parts
+		// may need more than d template dimensions (the part-conflict
+		// graph is not always d-colorable).  Fall through to the ILP,
+		// which cuts the cheapest edges to restore orientability.
 	}
 	if solver == nil {
 		solver = &ilp.Solver{}
@@ -210,19 +224,37 @@ func Resolve(g *Graph, d int, solver *ilp.Solver) (*Resolution, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res.Status != ilp.Optimal {
-		return nil, fmt.Errorf("cag: alignment ILP %v", res.Status)
+	stats := Stats{
+		Vars:        prob.NumVariables(),
+		Constraints: constraints,
+		BBNodes:     res.Nodes,
+		LPPivots:    res.LPPivots,
+		Duration:    time.Since(start),
 	}
-
-	out := &Resolution{
-		Assignment: map[Node]int{},
-		Stats: Stats{
-			Vars:        prob.NumVariables(),
-			Constraints: constraints,
-			BBNodes:     res.Nodes,
-			LPPivots:    res.LPPivots,
-			Duration:    time.Since(start),
-		},
+	out := &Resolution{Assignment: map[Node]int{}, Stats: stats}
+	switch {
+	case res.Status == ilp.Optimal:
+	case res.Status.Limited() && res.X != nil:
+		// Cut off with a feasible incumbent: a valid (if possibly
+		// suboptimal) assignment — the paper explicitly accepts bounded
+		// suboptimality when exact search is too expensive.
+		out.Degraded = true
+		out.DegradeReason = fmt.Sprintf("alignment ILP stopped at %v; using feasible incumbent", res.Status)
+		out.Gap = res.Gap()
+	case res.Status.Limited():
+		// Cut off before any incumbent: fall back to the greedy
+		// heuristic, which always yields a valid assignment.
+		fallback, gerr := ResolveGreedy(g, d)
+		if gerr != nil {
+			return nil, gerr
+		}
+		fallback.Stats = stats
+		fallback.Degraded = true
+		fallback.DegradeReason = fmt.Sprintf("alignment ILP stopped at %v with no incumbent; greedy fallback", res.Status)
+		fallback.Gap = -1
+		return fallback, nil
+	default:
+		return nil, fmt.Errorf("cag: alignment ILP %v", res.Status)
 	}
 	for _, n := range nodes {
 		for k := 0; k < d; k++ {
@@ -362,7 +394,25 @@ func ResolveGreedy(g *Graph, d int) (*Resolution, error) {
 	p := NewPartitioning(parts)
 	asg, err := colorComponents(g, p, d)
 	if err != nil {
-		return nil, err
+		// The merged parts may not orient into d template dimensions.
+		// Retreat to singleton parts, which always orient when every
+		// array's rank is at most d, and recompute the cut from the
+		// resulting assignment.
+		parts = parts[:0]
+		for _, n := range g.Nodes() {
+			parts = append(parts, []Node{n})
+		}
+		p = NewPartitioning(parts)
+		asg, err = colorComponents(g, p, d)
+		if err != nil {
+			return nil, err
+		}
+		cut = 0
+		for _, e := range g.Edges() {
+			if asg[e.From] != asg[e.To] {
+				cut += e.Weight
+			}
+		}
 	}
 	return &Resolution{Assignment: asg, Aligned: p, CutWeight: cut}, nil
 }

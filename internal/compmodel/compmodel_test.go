@@ -39,7 +39,7 @@ func dist1D(u *fortran.Unit, t, p int) *layout.Layout {
 		dd[k] = layout.DimDist{Kind: layout.Star, Procs: 1}
 	}
 	dd[t] = layout.DimDist{Kind: layout.Block, Procs: p}
-	return layout.NewLayout(tpl, a, dd)
+	return layout.MustLayout(tpl, a, dd)
 }
 
 const adiRowSweep = `
@@ -395,7 +395,7 @@ func TestCyclicShiftMovesWholeSection(t *testing.T) {
 			}
 			a.Set(name, dims)
 		}
-		return layout.NewLayout(tpl, a, []layout.DimDist{
+		return layout.MustLayout(tpl, a, []layout.DimDist{
 			{Kind: layout.Cyclic, Procs: 8}, {Kind: layout.Star, Procs: 1},
 		})
 	}

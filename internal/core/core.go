@@ -20,6 +20,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -70,6 +72,16 @@ type Options struct {
 	Solver *ilp.Solver
 	// DefaultTrip for dependence analysis (0 ⇒ 100).
 	DefaultTrip int
+	// Timeout bounds the wall-clock time spent in 0-1 solves across the
+	// whole run (alignment and selection share the budget; zero means
+	// none).  When it expires the tool degrades gracefully — feasible
+	// incumbents, the exact chain DP, or greedy heuristics — and records
+	// what happened in Result.Degradations.
+	Timeout time.Duration
+	// Strict disables graceful degradation: any solve that would have
+	// fallen back to a suboptimal answer fails instead with a
+	// *StrictError naming the subsystem.
+	Strict bool
 }
 
 // Candidate is one evaluated candidate layout of a phase.
@@ -137,13 +149,29 @@ type Result struct {
 	// phase-merging preprocessing (Options.MergePhases).
 	MergedPairs int
 
+	// Degradations lists every graceful fallback taken during the run
+	// (empty for a fully optimal solve).  The layouts are valid either
+	// way; entries describe forfeited optimality, with gaps when known.
+	Degradations []Degradation
+
 	// opt retains the invocation options for re-selection after search
 	// space edits.
 	opt Options
+	// alignDegs retains the alignment-stage degradations so Reselect
+	// can rebuild Degradations (the selection entries change per call).
+	alignDegs []Degradation
 }
 
 // AutoLayout runs the complete framework on dialect source code.
 func AutoLayout(src string, opt Options) (*Result, error) {
+	return AutoLayoutContext(context.Background(), src, opt)
+}
+
+// AutoLayoutContext is AutoLayout under a context: cancellation stops
+// the run with a hard error (use Options.Timeout instead to degrade
+// gracefully when the budget runs out).
+func AutoLayoutContext(ctx context.Context, src string, opt Options) (res *Result, err error) {
+	defer guard(&err)
 	prog, err := fortran.Parse(src)
 	if err != nil {
 		return nil, err
@@ -152,21 +180,42 @@ func AutoLayout(src string, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return AutoLayoutUnit(u, opt)
+	return AutoLayoutUnitContext(ctx, u, opt)
 }
 
 // AutoLayoutUnit runs the framework on an analyzed program.
 func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
+	return AutoLayoutUnitContext(context.Background(), u, opt)
+}
+
+// AutoLayoutUnitContext is AutoLayoutUnit under a context.  The context
+// and Options.Timeout are plumbed into every 0-1 solve: a canceled or
+// expired context fails the run, while an exhausted Timeout degrades it
+// (see Result.Degradations).
+func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (res *Result, err error) {
+	defer guard(&err)
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Procs < 2 {
-		return nil, fmt.Errorf("core: Procs = %d, need at least 2", opt.Procs)
+		return nil, &ValidationError{Msg: fmt.Sprintf("Procs = %d, need at least 2", opt.Procs)}
 	}
 	if opt.Machine == nil {
 		opt.Machine = machine.IPSC860()
 	}
+	if err := opt.Machine.Validate(); err != nil {
+		return nil, err
+	}
 	if opt.DefaultTrip == 0 {
 		opt.DefaultTrip = 100
 	}
+
+	// One solver budget shared by every 0-1 solve in the run: the
+	// alignment resolutions and the final selection race the same
+	// deadline, so a stuck alignment cannot starve selection of its
+	// error handling — it just leaves less budget.
+	budget := solverBudget(&opt, ctx, start)
 
 	// Step 1: phases and PCFG.
 	g, err := pcfg.Build(u, opt.PCFG)
@@ -179,14 +228,33 @@ func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
 	}
 
 	// Step 2a: alignment search spaces.
-	spaces, err := align.BuildSearchSpaces(u, g, infos, opt.Align)
+	alignOpt := opt.Align
+	if alignOpt.Solver == nil {
+		alignOpt.Solver = budget
+	}
+	spaces, err := align.BuildSearchSpaces(u, g, infos, alignOpt)
 	if err != nil {
 		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: canceled during alignment: %w", cerr)
+	}
+	var alignDegs []Degradation
+	for _, d := range spaces.Degradations {
+		deg := Degradation{
+			Subsystem: "alignment",
+			Detail:    fmt.Sprintf("%s: %s", d.Where, d.Reason),
+			Gap:       d.Gap,
+		}
+		if opt.Strict {
+			return nil, &StrictError{Deg: deg}
+		}
+		alignDegs = append(alignDegs, deg)
 	}
 
 	// Step 2b: distribution search spaces (cross product).
 	tpl := layout.Template{Extents: u.TemplateExtents()}
-	res := &Result{
+	res = &Result{
 		Unit:       u,
 		PCFG:       g,
 		Template:   tpl,
@@ -194,9 +262,13 @@ func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
 		Spaces:     spaces,
 		Machine:    opt.Machine,
 		opt:        opt,
+		alignDegs:  alignDegs,
 	}
 	dOpt := distrib.Options{Procs: opt.Procs, Cyclic: opt.Cyclic, MultiDim: opt.MultiDim}
 	for _, ph := range g.Phases {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: canceled during estimation: %w", cerr)
+		}
 		// Candidate layouts are *complete* data layouts: arrays the
 		// phase (or its class) never couples get canonical embeddings,
 		// so transitions account for every array that actually moves.
@@ -206,7 +278,7 @@ func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
 		space := distrib.BuildSpace(tpl, spaces.PerPhase[ph.ID], dOpt)
 		space = filterUserConstraints(u, space)
 		if len(space) == 0 {
-			return nil, fmt.Errorf("core: phase %d: user directives eliminate every candidate layout", ph.ID)
+			return nil, &ValidationError{Msg: fmt.Sprintf("phase %d: user directives eliminate every candidate layout", ph.ID)}
 		}
 		pr := &PhaseResult{Phase: ph, Info: infos[ph.ID], DataType: phaseType(u, ph)}
 		// Step 3: performance estimation per candidate.
@@ -227,19 +299,46 @@ func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
 	res.LiveIn = liveness(g, infos)
 
 	// Step 4: layout selection over the data layout graph.
-	if err := res.Reselect(); err != nil {
+	if err := res.reselect(ctx, budget); err != nil {
 		return nil, err
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
+// solverBudget derives the shared 0-1 solver for one run: the caller's
+// Solver settings plus the run's context and the Options.Timeout
+// deadline (whichever cutoff is earliest wins inside the solver).
+func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solver {
+	s := ilp.Solver{}
+	if opt.Solver != nil {
+		s = *opt.Solver
+	}
+	s.Context = ctx
+	if opt.Timeout > 0 {
+		if dl := start.Add(opt.Timeout); s.Deadline.IsZero() || dl.Before(s.Deadline) {
+			s.Deadline = dl
+		}
+	}
+	return &s
+}
+
 // Reselect re-solves the final layout selection over the current
 // candidate search spaces.  The tool's envisioned use (§2) lets the
 // user browse the explicit search spaces and insert or delete
 // candidates; call Reselect afterwards to recompute the optimal
-// selection, total cost and remapping decisions.
-func (r *Result) Reselect() error {
+// selection, total cost and remapping decisions.  Each call gets a
+// fresh Options.Timeout budget.
+func (r *Result) Reselect() (err error) {
+	defer guard(&err)
+	ctx := context.Background()
+	return r.reselect(ctx, solverBudget(&r.opt, ctx, time.Now()))
+}
+
+// reselect solves the selection with the given budget, degrading to
+// the exact chain DP or the greedy per-phase heuristic when the ILP is
+// cut off without an incumbent, and rebuilds Result.Degradations.
+func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 	lg := &layoutgraph.Graph{NodeCost: make([][]float64, len(r.Phases))}
 	for p, pr := range r.Phases {
 		lg.NodeCost[p] = make([]float64, len(pr.Candidates))
@@ -270,13 +369,41 @@ func (r *Result) Reselect() error {
 	if r.opt.UseDP {
 		sel, err = lg.SolveDP()
 		if err != nil {
-			sel, err = lg.SolveILP(r.opt.Solver)
+			sel, err = lg.SolveILP(solver)
 		}
 	} else {
-		sel, err = lg.SolveILP(r.opt.Solver)
+		sel, err = lg.SolveILP(solver)
+	}
+	var noInc *layoutgraph.NoIncumbentError
+	if errors.As(err, &noInc) {
+		// The ILP was cut off before finding any feasible choice.
+		// Degrade: the chain/ring DP is exact when the graph has that
+		// shape; otherwise the greedy per-phase argmin always answers.
+		if dp, dperr := lg.SolveDP(); dperr == nil {
+			sel, err = dp, nil
+			sel.Degraded = true
+			sel.DegradeReason = fmt.Sprintf("%v; exact chain DP fallback", noInc)
+			sel.Gap = 0
+		} else {
+			sel, err = lg.SolveGreedy(), nil
+			sel.DegradeReason = fmt.Sprintf("%v; %s", noInc, sel.DegradeReason)
+		}
 	}
 	if err != nil {
 		return err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancellation is a hard stop even when an incumbent exists;
+		// deadline-based degradation goes through Options.Timeout.
+		return fmt.Errorf("core: canceled during selection: %w", cerr)
+	}
+	r.Degradations = append([]Degradation(nil), r.alignDegs...)
+	if sel.Degraded {
+		deg := Degradation{Subsystem: "selection", Detail: sel.DegradeReason, Gap: sel.Gap}
+		if r.opt.Strict {
+			return &StrictError{Deg: deg}
+		}
+		r.Degradations = append(r.Degradations, deg)
 	}
 	r.Selection = sel
 	r.TotalCost = sel.Cost
@@ -377,12 +504,19 @@ func (r *Result) mergeTies(lg *layoutgraph.Graph) [][2]int {
 // models as the generated candidates.  Missing arrays get canonical
 // embeddings.  It returns the new candidate's index; call Reselect to
 // fold it into the selection.
-func (r *Result) InsertCandidate(phase int, l *layout.Layout, origin string) (int, error) {
+func (r *Result) InsertCandidate(phase int, l *layout.Layout, origin string) (idx int, err error) {
+	defer guard(&err)
 	if phase < 0 || phase >= len(r.Phases) {
 		return 0, fmt.Errorf("core: no phase %d", phase)
 	}
+	if l == nil {
+		return 0, &ValidationError{Msg: "nil candidate layout"}
+	}
 	l = l.Clone()
 	extendAlignment(r.Unit, l.Align)
+	if verr := l.Validate(); verr != nil {
+		return 0, &ValidationError{Msg: fmt.Sprintf("candidate layout: %v", verr)}
+	}
 	pr := r.Phases[phase]
 	for i, c := range pr.Candidates {
 		if c.Layout.Key() == l.Key() {

@@ -317,7 +317,7 @@ func TestInsertCandidateAndReselect(t *testing.T) {
 	// Insert a cyclic layout the 1-D BLOCK prototype never generates.
 	a := layout.NewAlignment()
 	a.Set("x", []int{0, 1})
-	l := layout.NewLayout(res.Template, a, []layout.DimDist{
+	l := layout.MustLayout(res.Template, a, []layout.DimDist{
 		{Kind: layout.Cyclic, Procs: 4}, {Kind: layout.Star, Procs: 1},
 	})
 	idx, err := res.InsertCandidate(0, l, "user")

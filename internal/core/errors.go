@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Degradation records one graceful fallback taken while solving: a
+// subsystem's exact 0-1 search was cut off by the wall-clock or node
+// budget and the tool continued with the best answer it had (a feasible
+// incumbent, the exact chain DP, or a greedy heuristic) instead of
+// failing.  The layouts in the Result remain valid; only proven
+// optimality is forfeited.
+type Degradation struct {
+	// Subsystem names the solve that degraded: "alignment" or
+	// "selection".
+	Subsystem string
+	// Detail describes the cutoff and the fallback taken.
+	Detail string
+	// Gap is the relative optimality gap between the reported answer
+	// and the best proven bound: 0 when the fallback is exact, negative
+	// when no bound is known (e.g. a greedy fallback).
+	Gap float64
+}
+
+func (d Degradation) String() string {
+	if d.Gap >= 0 {
+		return fmt.Sprintf("%s: %s (gap <= %.1f%%)", d.Subsystem, d.Detail, d.Gap*100)
+	}
+	return fmt.Sprintf("%s: %s (gap unknown)", d.Subsystem, d.Detail)
+}
+
+// InternalError wraps a violated internal invariant (a panic recovered
+// at the package boundary): callers get a typed error with the original
+// message and stack instead of a crash.  Encountering one is a bug in
+// the tool, not in the input program.
+type InternalError struct {
+	Msg   string
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("core: internal error: %s", e.Msg)
+}
+
+// ValidationError reports invalid input: options or directives the
+// framework cannot proceed from (too few processors, user constraints
+// that eliminate every candidate, ...).
+type ValidationError struct {
+	Msg string
+}
+
+func (e *ValidationError) Error() string { return "core: " + e.Msg }
+
+// StrictError is returned instead of a Degradation when
+// Options.Strict is set: the solve would have continued with a
+// suboptimal fallback, and strict mode turns that into a hard failure
+// naming the subsystem.
+type StrictError struct {
+	Deg Degradation
+}
+
+func (e *StrictError) Error() string {
+	return fmt.Sprintf("core: strict mode: %s solve degraded: %s", e.Deg.Subsystem, e.Deg.Detail)
+}
+
+// guard converts a panic escaping the framework into a typed
+// *InternalError on the named return.  Deferred at every public entry
+// point so no input, however malformed, can crash the caller.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = &InternalError{Msg: fmt.Sprint(r), Stack: debug.Stack()}
+	}
+}

@@ -73,6 +73,21 @@ func (r *Result) ExplainPhase(phase int) (string, error) {
 	return b.String(), nil
 }
 
+// ExplainDegradations renders the graceful fallbacks the run took, one
+// per line ("" when the solve was fully optimal): which subsystem was
+// cut off, what answered instead, and the proven optimality gap when
+// one is known.
+func (r *Result) ExplainDegradations() string {
+	if len(r.Degradations) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range r.Degradations {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	return b.String()
+}
+
 // Explain renders ExplainPhase for every phase.
 func (r *Result) Explain() string {
 	var b strings.Builder

@@ -1,11 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/execmodel"
+	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/pcfg"
 )
 
 // TestRank1Program: a purely 1-D program (vector template).
@@ -282,5 +288,221 @@ end
 		if ka != kb {
 			t.Errorf("phase %d: x placed %s vs %s", p, ka, kb)
 		}
+	}
+}
+
+// TestProcsValidation: too few processors is a typed validation error,
+// not a plain string or a crash.
+func TestProcsValidationTyped(t *testing.T) {
+	for _, procs := range []int{-1, 0, 1} {
+		_, err := AutoLayout(adiSmall, Options{Procs: procs})
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("Procs=%d: err = %v (%T), want *ValidationError", procs, err, err)
+		}
+	}
+}
+
+// TestZeroTripLoops: loops whose bounds make them never execute must
+// not break phase construction or estimation.
+func TestZeroTripLoops(t *testing.T) {
+	src := `
+program p
+  parameter (n = 16)
+  real a(n,n), b(n,n)
+  do j = 5, 4
+    do i = 1, n
+      a(i,j) = b(i,j)
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      b(i,j) = a(i,j) + 1.0
+    end do
+  end do
+end
+`
+	res, err := AutoLayout(src, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost < 0 {
+		t.Errorf("negative cost %v", res.TotalCost)
+	}
+}
+
+// TestDegenerateSinglePhase: a one-phase, one-statement program still
+// runs end to end (the selection graph has one node and no edges).
+func TestDegenerateSinglePhase(t *testing.T) {
+	src := `
+program p
+  parameter (n = 8)
+  real a(n)
+  do i = 1, n
+    a(i) = 0.0
+  end do
+end
+`
+	res, err := AutoLayout(src, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(res.Phases))
+	}
+	if len(res.Degradations) != 0 {
+		t.Errorf("unexpected degradations: %v", res.Degradations)
+	}
+}
+
+// TestConflictingUserDirectives: directives that eliminate every
+// candidate layout are a typed validation error naming the phase.
+func TestConflictingUserDirectives(t *testing.T) {
+	src := `
+program p
+!hpf$ distribute x(block,block)
+  parameter (n = 16)
+  real x(n,n)
+  do j = 1, n
+    do i = 1, n
+      x(i,j) = 1.0
+    end do
+  end do
+end
+`
+	// The prototype search space is 1-D BLOCK only, so BLOCK x BLOCK
+	// matches no candidate.
+	_, err := AutoLayout(src, Options{Procs: 4})
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("err = %v (%T), want *ValidationError", err, err)
+	}
+	if !strings.Contains(err.Error(), "phase") {
+		t.Errorf("error does not name the phase: %v", err)
+	}
+}
+
+// TestTimeoutDegradesGracefully is the headline acceptance test: an
+// immediately-expired budget still yields a complete, feasible layout,
+// with the forfeited optimality recorded in Result.Degradations.
+func TestTimeoutDegradesGracefully(t *testing.T) {
+	res, err := AutoLayout(adiSmall, Options{Procs: 8, Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degradations) == 0 {
+		t.Fatal("no degradations recorded under a 1ns budget")
+	}
+	for _, d := range res.Degradations {
+		if d.Subsystem == "" || d.Detail == "" {
+			t.Errorf("incomplete degradation record: %+v", d)
+		}
+	}
+	if res.Selection == nil || len(res.Selection.Choice) != len(res.Phases) {
+		t.Fatal("degraded run did not produce a full selection")
+	}
+	for p, pr := range res.Phases {
+		if pr.Chosen < 0 || pr.Chosen >= len(pr.Candidates) {
+			t.Errorf("phase %d chose invalid candidate %d", p, pr.Chosen)
+		}
+	}
+	if res.ExplainDegradations() == "" {
+		t.Error("ExplainDegradations returned nothing")
+	}
+	// The same run at full budget must match or beat the degraded cost.
+	full, err := AutoLayout(adiSmall, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Degradations) != 0 {
+		t.Errorf("unbudgeted run degraded: %v", full.Degradations)
+	}
+	if res.TotalCost+1e-9 < full.TotalCost {
+		t.Errorf("degraded cost %v beats optimal %v", res.TotalCost, full.TotalCost)
+	}
+}
+
+// TestStrictModeFailsHard: with Strict set, the same expired budget is
+// a typed error naming the degraded subsystem instead of a fallback.
+func TestStrictModeFailsHard(t *testing.T) {
+	_, err := AutoLayout(adiSmall, Options{Procs: 8, Timeout: time.Nanosecond, Strict: true})
+	var serr *StrictError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %v (%T), want *StrictError", err, err)
+	}
+	if serr.Deg.Subsystem != "alignment" && serr.Deg.Subsystem != "selection" {
+		t.Errorf("strict error names subsystem %q", serr.Deg.Subsystem)
+	}
+}
+
+// TestCanceledContext: cancellation is a hard stop, not a degradation.
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AutoLayoutContext(ctx, adiSmall, Options{Procs: 8})
+	if err == nil {
+		t.Fatal("canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+}
+
+// TestRecoveryBoundary: an internal invariant violation (here: a phase
+// with no candidates reaching selection) surfaces as *InternalError
+// with the recovered message, not a panic.
+func TestRecoveryBoundary(t *testing.T) {
+	r := &Result{
+		PCFG:   &pcfg.Graph{},
+		Phases: []*PhaseResult{{Phase: &pcfg.Phase{}}},
+	}
+	err := r.Reselect()
+	var ierr *InternalError
+	if !errors.As(err, &ierr) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if !strings.Contains(ierr.Msg, "no candidates") {
+		t.Errorf("recovered message %q does not describe the invariant", ierr.Msg)
+	}
+	if len(ierr.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+}
+
+// TestInsertCandidateValidates: a structurally broken user layout is
+// rejected with a typed error instead of corrupting the search space.
+func TestInsertCandidateValidates(t *testing.T) {
+	res, err := AutoLayout(adiSmall, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := layout.NewAlignment()
+	a.Set("x", []int{0, 5}) // template dim 5 does not exist
+	bad := &layout.Layout{Template: res.Template, Align: a,
+		Dist: []layout.DimDist{{Kind: layout.Block, Procs: 4}, {Kind: layout.Star, Procs: 1}}}
+	if _, err := res.InsertCandidate(0, bad, "user"); err == nil {
+		t.Fatal("invalid layout accepted")
+	} else {
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("err = %v (%T), want *ValidationError", err, err)
+		}
+	}
+	if _, err := res.InsertCandidate(0, nil, "user"); err == nil {
+		t.Fatal("nil layout accepted")
+	}
+}
+
+// TestInvalidMachineModel: an incomplete machine table is caught at
+// entry by Model.Validate, not deep inside estimation.
+func TestInvalidMachineModel(t *testing.T) {
+	m, err := machine.ReadTable(strings.NewReader(
+		"machine broken\nset shift 4 unit high 50 0.3\n"))
+	if m != nil || err == nil {
+		t.Fatal("incomplete table accepted by ReadTable")
+	}
+	var merr *machine.ModelError
+	if !errors.As(err, &merr) {
+		t.Errorf("err = %v (%T), want *machine.ModelError", err, err)
 	}
 }

@@ -100,7 +100,7 @@ func BuildSpace(t layout.Template, aligns []*align.PhaseCandidate, opt Options) 
 	var out []*PhaseLayout
 	for _, ac := range aligns {
 		for _, dd := range dists {
-			l := layout.NewLayout(t, ac.Align, dd)
+			l := layout.MustLayout(t, ac.Align, dd)
 			key := l.Key()
 			if seen[key] {
 				continue

@@ -35,7 +35,7 @@ func evaluate(t *testing.T, src string, tdim, procs int, opt compmodel.Options) 
 		dd[k] = layout.DimDist{Kind: layout.Star, Procs: 1}
 	}
 	dd[tdim] = layout.DimDist{Kind: layout.Block, Procs: procs}
-	l := layout.NewLayout(tpl, a, dd)
+	l := layout.MustLayout(tpl, a, dd)
 	plan := compmodel.Analyze(u, pi, l, opt)
 	return Evaluate(plan, dt, machine.IPSC860(), opt)
 }

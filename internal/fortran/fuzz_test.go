@@ -1,0 +1,41 @@
+package fortran
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse asserts the parser's error contract: Parse either succeeds
+// or returns a *SyntaxError — it never panics and never returns an
+// untyped error, whatever bytes it is fed.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("program p\ninteger i\nend\n")
+	f.Add(`      program adi
+      real x(64,64)
+      do 10 j = 2, 64
+      do 10 i = 1, 64
+      x(i,j) = x(i,j-1)
+ 10   continue
+      end
+`)
+	f.Add("program p\nreal a(8)\ncall s(a)\nend\nsubroutine s(b)\nreal b(8)\nend\n")
+	f.Add("!hpf$ distribute x(block,*)\nprogram p\nreal x(4,4)\nend\n")
+	f.Add("program p\nx = 1.e\nend\n")
+	f.Add("program p\ndo 10 i = 1,\nend\n")
+	f.Add("program p\ncall nosuch(1)\nend\n")
+	f.Add("parameter (n = 4)\nprogram p\nreal x(n)\nend\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse error is %T, want *SyntaxError: %v", err, err)
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+	})
+}

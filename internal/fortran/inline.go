@@ -82,7 +82,7 @@ type inliner struct {
 // expand replaces CALL statements in stmts, recursively.
 func (in *inliner) expand(stmts []Stmt, depth int) ([]Stmt, error) {
 	if depth > maxInlineDepth {
-		return nil, fmt.Errorf("fortran: inlining exceeds depth %d (recursive subroutines?)", maxInlineDepth)
+		return nil, &SyntaxError{Line: 1, Msg: fmt.Sprintf("inlining exceeds depth %d (recursive subroutines?)", maxInlineDepth)}
 	}
 	var out []Stmt
 	for _, s := range stmts {
@@ -124,11 +124,11 @@ func (in *inliner) expand(stmts []Stmt, depth int) ([]Stmt, error) {
 func (in *inliner) inlineCall(call *CallStmt, depth int) ([]Stmt, error) {
 	sub := in.file.Sub(call.Name)
 	if sub == nil {
-		return nil, fmt.Errorf("line %d: call to unknown subroutine %s", call.Line, call.Name)
+		return nil, &SyntaxError{Line: call.Line, Msg: fmt.Sprintf("call to unknown subroutine %s", call.Name)}
 	}
 	if len(call.Args) != len(sub.Formals) {
-		return nil, fmt.Errorf("line %d: %s expects %d arguments, got %d",
-			call.Line, sub.Name, len(sub.Formals), len(call.Args))
+		return nil, &SyntaxError{Line: call.Line, Msg: fmt.Sprintf("%s expects %d arguments, got %d",
+			sub.Name, len(sub.Formals), len(call.Args))}
 	}
 
 	formal := map[string]bool{}
@@ -149,10 +149,10 @@ func (in *inliner) inlineCall(call *CallStmt, depth int) ([]Stmt, error) {
 		// Expression actual: only legal when the body treats the
 		// formal as a read-only scalar.
 		if isArrayFormal(sub, p) {
-			return nil, fmt.Errorf("line %d: argument %d of %s must be an array name", call.Line, i+1, sub.Name)
+			return nil, &SyntaxError{Line: call.Line, Msg: fmt.Sprintf("argument %d of %s must be an array name", i+1, sub.Name)}
 		}
 		if assigned[p] {
-			return nil, fmt.Errorf("line %d: argument %d of %s is assigned; pass a variable", call.Line, i+1, sub.Name)
+			return nil, &SyntaxError{Line: call.Line, Msg: fmt.Sprintf("argument %d of %s is assigned; pass a variable", i+1, sub.Name)}
 		}
 		subst[p] = a
 	}

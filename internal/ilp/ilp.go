@@ -10,6 +10,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,9 +27,16 @@ const (
 	Optimal Status = iota
 	// Infeasible means no 0-1 assignment satisfies the constraints.
 	Infeasible
-	// NodeLimit means the search was cut off; Result carries the best
-	// incumbent found, which may be suboptimal.
+	// NodeLimit means the search was cut off by MaxNodes; Result
+	// carries the best incumbent found, which may be suboptimal.
 	NodeLimit
+	// TimeLimit means the wall-clock budget (MaxTime, Deadline or the
+	// Context's deadline) expired; Result carries the best incumbent
+	// found, if any.
+	TimeLimit
+	// Canceled means the solver's Context was canceled mid-search;
+	// Result carries the best incumbent found, if any.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -39,8 +47,19 @@ func (s Status) String() string {
 		return "infeasible"
 	case NodeLimit:
 		return "node-limit"
+	case TimeLimit:
+		return "time-limit"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Limited reports whether the search was cut off before it could prove
+// optimality or infeasibility; the result may still carry a feasible
+// incumbent.
+func (s Status) Limited() bool {
+	return s == NodeLimit || s == TimeLimit || s == Canceled
 }
 
 // Result is the outcome of a branch-and-bound run.
@@ -48,15 +67,44 @@ type Result struct {
 	Status    Status
 	Objective float64       // objective of X (minimization)
 	X         []float64     // one value per problem variable; binaries are exactly 0 or 1
+	Bound     float64       // proven objective bound: -Inf/+Inf when unknown, Objective when optimal
 	Nodes     int           // branch-and-bound nodes explored
 	LPPivots  int           // total simplex iterations across all nodes
 	Duration  time.Duration // wall-clock solve time
+}
+
+// Gap returns the relative optimality gap between the incumbent
+// objective and the best proven bound: 0 for a proven optimum, a
+// negative value when no incumbent or no finite bound exists.
+func (r *Result) Gap() float64 {
+	if r.Status == Optimal {
+		return 0
+	}
+	if r.X == nil || math.IsInf(r.Bound, 0) || math.IsNaN(r.Bound) {
+		return -1
+	}
+	gap := math.Abs(r.Objective-r.Bound) / math.Max(1, math.Abs(r.Objective))
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
 }
 
 // Solver configures branch and bound.  The zero value is usable.
 type Solver struct {
 	// MaxNodes caps the number of explored nodes (0 means 4_000_000).
 	MaxNodes int
+	// MaxTime caps the wall-clock time of one Solve call (0 means no
+	// per-solve cap).  When the budget expires the solve stops with
+	// Status TimeLimit and the best incumbent found so far.
+	MaxTime time.Duration
+	// Deadline is an absolute wall-clock cutoff shared by successive
+	// Solve calls on the same Solver (zero means none).  The earliest
+	// of MaxTime, Deadline and the Context's deadline applies.
+	Deadline time.Time
+	// Context, when non-nil, cancels the solve: cancellation stops the
+	// search with Status Canceled and the best incumbent so far.
+	Context context.Context
 	// IntTol is the integrality tolerance (0 means 1e-6).
 	IntTol float64
 	// NoPerturb disables the anti-degeneracy objective perturbation.
@@ -65,6 +113,23 @@ type Solver struct {
 	// strictly ordered and the bound actually prunes; the reported
 	// objective is recomputed with the original coefficients.
 	NoPerturb bool
+}
+
+// deadline resolves the effective absolute cutoff for a solve starting
+// at start; the zero time means unlimited.
+func (s *Solver) deadline(start time.Time) time.Time {
+	d := s.Deadline
+	if s.MaxTime > 0 {
+		if t := start.Add(s.MaxTime); d.IsZero() || t.Before(d) {
+			d = t
+		}
+	}
+	if s.Context != nil {
+		if t, ok := s.Context.Deadline(); ok && (d.IsZero() || t.Before(d)) {
+			d = t
+		}
+	}
+	return d
 }
 
 // ErrUnbounded is returned when the LP relaxation is unbounded, which a
@@ -113,17 +178,28 @@ func (s *Solver) Solve(p *lp.Problem, binaries []int) (*Result, error) {
 	}
 
 	bb := &bbState{
-		p:        p,
-		binaries: binaries,
-		tol:      tol,
-		maxNodes: maxNodes,
-		best:     math.Inf(1),
+		p:         p,
+		binaries:  binaries,
+		tol:       tol,
+		maxNodes:  maxNodes,
+		deadline:  s.deadline(start),
+		ctx:       s.Context,
+		best:      math.Inf(1),
+		rootBound: math.Inf(-1),
+	}
+	if !s.NoPerturb {
+		// The root LP bound is computed against the perturbed
+		// objective; discount the largest possible total perturbation so
+		// the bound stays valid for the original coefficients.
+		k := float64(len(binaries))
+		bb.boundSlack = perturbEps * k * (k + 1) / 2
 	}
 	err := bb.dive()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
+		Bound:    bb.rootBound,
 		Nodes:    bb.nodes,
 		LPPivots: bb.pivots,
 		Duration: time.Since(start),
@@ -145,44 +221,87 @@ func (s *Solver) Solve(p *lp.Problem, binaries []int) (*Result, error) {
 	case bb.bestX == nil:
 		res.Status = Infeasible
 		if bb.hitLimit {
-			res.Status = NodeLimit
+			res.Status = bb.limit
 		}
 	case bb.hitLimit:
-		res.Status = NodeLimit
+		res.Status = bb.limit
 		res.Objective = bb.best
 		res.X = bb.bestX
 	default:
 		res.Status = Optimal
 		res.Objective = bb.best
 		res.X = bb.bestX
+		res.Bound = res.Objective
 	}
 	return res, nil
 }
 
 type bbState struct {
-	p        *lp.Problem
-	binaries []int
-	tol      float64
-	maxNodes int
-	nodes    int
-	pivots   int
-	best     float64
-	bestX    []float64
-	hitLimit bool
+	p          *lp.Problem
+	binaries   []int
+	tol        float64
+	maxNodes   int
+	deadline   time.Time // zero means none
+	ctx        context.Context
+	nodes      int
+	pivots     int
+	best       float64
+	bestX      []float64
+	rootBound  float64 // root LP relaxation objective (global lower bound)
+	boundSlack float64 // perturbation discount applied to rootBound
+	hitLimit   bool
+	limit      Status // which limit fired (valid when hitLimit)
+}
+
+// setLimit records the first limit that fired; later limits (e.g. the
+// node cap tripping while unwinding from a timeout) do not overwrite
+// it.
+func (bb *bbState) setLimit(s Status) {
+	if !bb.hitLimit {
+		bb.hitLimit = true
+		bb.limit = s
+	}
+}
+
+// expired checks the wall-clock budget and context, recording the
+// corresponding limit status.  It reports whether the search must stop.
+func (bb *bbState) expired() bool {
+	if bb.hitLimit {
+		return true
+	}
+	if bb.ctx != nil && bb.ctx.Err() != nil {
+		bb.setLimit(Canceled)
+		return true
+	}
+	if !bb.deadline.IsZero() && !time.Now().Before(bb.deadline) {
+		bb.setLimit(TimeLimit)
+		return true
+	}
+	return false
 }
 
 // dive explores the search tree depth-first from the current bounds.
 func (bb *bbState) dive() error {
+	if bb.hitLimit || bb.expired() {
+		return nil
+	}
 	if bb.nodes >= bb.maxNodes {
-		bb.hitLimit = true
+		bb.setLimit(NodeLimit)
 		return nil
 	}
 	bb.nodes++
-	sol, err := bb.p.Solve()
+	sol, err := bb.p.SolveAbort(bb.expired)
+	if errors.Is(err, lp.ErrCanceled) {
+		// expired already recorded which limit fired.
+		return nil
+	}
 	if err != nil {
 		return err
 	}
 	bb.pivots += sol.Iterations
+	if bb.nodes == 1 && sol.Status == lp.Optimal {
+		bb.rootBound = sol.Objective - bb.boundSlack
+	}
 	switch sol.Status {
 	case lp.Infeasible:
 		return nil
@@ -256,6 +375,7 @@ func (s *Solver) Maximize(p *lp.Problem, binaries []int) (*Result, error) {
 		return nil, err
 	}
 	res.Objective = -res.Objective
+	res.Bound = -res.Bound
 	return res, nil
 }
 

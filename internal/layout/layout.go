@@ -154,13 +154,78 @@ type Layout struct {
 	Dist     []DimDist
 }
 
+// Error reports an invalid layout construction.
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "layout: " + e.Msg }
+
 // NewLayout builds a layout; dist must have one entry per template
-// dimension.
-func NewLayout(t Template, a *Alignment, dist []DimDist) *Layout {
-	if len(dist) != t.Rank() {
-		panic(fmt.Sprintf("layout: %d dist entries for template rank %d", len(dist), t.Rank()))
+// dimension.  It returns a *Error when the pieces are structurally
+// inconsistent (see Validate).
+func NewLayout(t Template, a *Alignment, dist []DimDist) (*Layout, error) {
+	l := &Layout{Template: t, Align: a, Dist: append([]DimDist(nil), dist...)}
+	if err := l.Validate(); err != nil {
+		return nil, err
 	}
-	return &Layout{Template: t, Align: a, Dist: append([]DimDist(nil), dist...)}
+	return l, nil
+}
+
+// MustLayout is NewLayout for construction sites that guarantee the
+// invariants by construction; it panics on an invalid layout (callers
+// behind the core recovery boundary surface such panics as internal
+// errors rather than crashes).
+func MustLayout(t Template, a *Alignment, dist []DimDist) *Layout {
+	l, err := NewLayout(t, a, dist)
+	if err != nil {
+		panic(err.Error())
+	}
+	return l
+}
+
+// Validate checks structural consistency: one distribution entry per
+// template dimension, every alignment entry a valid injective embedding
+// into the template, and well-formed distribution formats.  It returns
+// a *Error describing the first violation.
+func (l *Layout) Validate() error {
+	if l.Align == nil || l.Align.Map == nil {
+		return &Error{"nil alignment"}
+	}
+	rank := l.Template.Rank()
+	if len(l.Dist) != rank {
+		return &Error{fmt.Sprintf("%d dist entries for template rank %d", len(l.Dist), rank)}
+	}
+	for _, a := range l.Align.Arrays() {
+		dims := l.Align.Map[a]
+		if len(dims) > rank {
+			return &Error{fmt.Sprintf("array %s has rank %d > template rank %d", a, len(dims), rank)}
+		}
+		seen := make(map[int]bool, len(dims))
+		for k, t := range dims {
+			if t < 0 || t >= rank {
+				return &Error{fmt.Sprintf("array %s dim %d aligned to template dim %d outside [0,%d)", a, k+1, t, rank)}
+			}
+			if seen[t] {
+				return &Error{fmt.Sprintf("array %s aligns two dimensions to template dim %d", a, t)}
+			}
+			seen[t] = true
+		}
+	}
+	for t, d := range l.Dist {
+		switch d.Kind {
+		case Star:
+		case Block, Cyclic:
+			if d.Procs < 1 {
+				return &Error{fmt.Sprintf("template dim %d: %v over %d processors", t, d.Kind, d.Procs)}
+			}
+		case BlockCyclic:
+			if d.Procs < 1 || d.Size < 1 {
+				return &Error{fmt.Sprintf("template dim %d: CYCLIC(%d) over %d processors", t, d.Size, d.Procs)}
+			}
+		default:
+			return &Error{fmt.Sprintf("template dim %d: unknown distribution kind %d", t, int8(d.Kind))}
+		}
+	}
+	return nil
 }
 
 // Procs returns the total processor count (product over dimensions).
@@ -324,7 +389,11 @@ func (l *Layout) String() string {
 
 // Clone returns a deep copy of the layout.
 func (l *Layout) Clone() *Layout {
-	return NewLayout(l.Template, l.Align.Clone(), l.Dist)
+	return &Layout{
+		Template: l.Template,
+		Align:    l.Align.Clone(),
+		Dist:     append([]DimDist(nil), l.Dist...),
+	}
 }
 
 func ceilDiv(a, b int) int {

@@ -15,12 +15,12 @@ func canonical2D(arrays ...string) *Alignment {
 }
 
 func rowLayout(n, p int, arrays ...string) *Layout {
-	return NewLayout(Template{Extents: []int{n, n}}, canonical2D(arrays...),
+	return MustLayout(Template{Extents: []int{n, n}}, canonical2D(arrays...),
 		[]DimDist{{Kind: Block, Procs: p}, {Kind: Star, Procs: 1}})
 }
 
 func colLayout(n, p int, arrays ...string) *Layout {
-	return NewLayout(Template{Extents: []int{n, n}}, canonical2D(arrays...),
+	return MustLayout(Template{Extents: []int{n, n}}, canonical2D(arrays...),
 		[]DimDist{{Kind: Star, Procs: 1}, {Kind: Block, Procs: p}})
 }
 
@@ -55,7 +55,7 @@ func TestOwnerBlock(t *testing.T) {
 
 func TestOwnerBlockRemainder(t *testing.T) {
 	// N=10 on 4 procs: block size ceil(10/4)=3 -> owners 0,0,0,1,1,1,2,2,2,3.
-	l := NewLayout(Template{Extents: []int{10}}, func() *Alignment {
+	l := MustLayout(Template{Extents: []int{10}}, func() *Alignment {
 		a := NewAlignment()
 		a.Set("v", []int{0})
 		return a
@@ -71,7 +71,7 @@ func TestOwnerBlockRemainder(t *testing.T) {
 func TestOwnerCyclic(t *testing.T) {
 	a := NewAlignment()
 	a.Set("v", []int{0})
-	l := NewLayout(Template{Extents: []int{8}}, a, []DimDist{{Kind: Cyclic, Procs: 3}})
+	l := MustLayout(Template{Extents: []int{8}}, a, []DimDist{{Kind: Cyclic, Procs: 3}})
 	want := []int{0, 1, 2, 0, 1, 2, 0, 1}
 	for i, w := range want {
 		if got := l.Owner(0, i); got != w {
@@ -83,7 +83,7 @@ func TestOwnerCyclic(t *testing.T) {
 func TestOwnerBlockCyclic(t *testing.T) {
 	a := NewAlignment()
 	a.Set("v", []int{0})
-	l := NewLayout(Template{Extents: []int{12}}, a,
+	l := MustLayout(Template{Extents: []int{12}}, a,
 		[]DimDist{{Kind: BlockCyclic, Procs: 2, Size: 2}})
 	want := []int{0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1}
 	for i, w := range want {
@@ -103,7 +103,7 @@ func TestQuickOwnerPartition(t *testing.T) {
 		d := DimDist{Kind: kind, Procs: p, Size: 1 + rng.Intn(4)}
 		a := NewAlignment()
 		a.Set("v", []int{0})
-		l := NewLayout(Template{Extents: []int{n}}, a, []DimDist{d})
+		l := MustLayout(Template{Extents: []int{n}}, a, []DimDist{d})
 		counts := make([]int, p)
 		for i := 0; i < n; i++ {
 			o := l.Owner(0, i)
@@ -137,7 +137,7 @@ func TestOrientationSymmetryKey(t *testing.T) {
 	canonCol := colLayout(n, 4, "x")
 	transposed := NewAlignment()
 	transposed.Set("x", []int{1, 0})
-	transRow := NewLayout(Template{Extents: []int{n, n}}, transposed,
+	transRow := MustLayout(Template{Extents: []int{n, n}}, transposed,
 		[]DimDist{{Kind: Block, Procs: 4}, {Kind: Star, Procs: 1}})
 	if canonCol.Key() != transRow.Key() {
 		t.Errorf("keys differ:\n%s\n%s", canonCol.Key(), transRow.Key())
@@ -168,8 +168,8 @@ func TestArrayKeyDistinguishesGridAxes(t *testing.T) {
 	canon.Set("x", []int{0, 1})
 	trans := NewAlignment()
 	trans.Set("x", []int{1, 0})
-	l1 := NewLayout(tpl, canon, dist)
-	l2 := NewLayout(tpl, trans, dist)
+	l1 := MustLayout(tpl, canon, dist)
+	l2 := MustLayout(tpl, trans, dist)
 	if l1.ArrayKey("x") == l2.ArrayKey("x") {
 		t.Error("transposed 2-D placement should differ")
 	}
@@ -178,7 +178,7 @@ func TestArrayKeyDistinguishesGridAxes(t *testing.T) {
 func TestProcsMultiDim(t *testing.T) {
 	a := NewAlignment()
 	a.Set("x", []int{0, 1})
-	l := NewLayout(Template{Extents: []int{32, 32}}, a,
+	l := MustLayout(Template{Extents: []int{32, 32}}, a,
 		[]DimDist{{Kind: Block, Procs: 4}, {Kind: Block, Procs: 2}})
 	if l.Procs() != 8 {
 		t.Errorf("procs = %d, want 8", l.Procs())
@@ -198,7 +198,7 @@ func TestEmbeddingLowerRank(t *testing.T) {
 	a := NewAlignment()
 	a.Set("m", []int{0, 1})
 	a.Set("v", []int{1}) // v aligned with template dim 2
-	l := NewLayout(Template{Extents: []int{16, 16}}, a,
+	l := MustLayout(Template{Extents: []int{16, 16}}, a,
 		[]DimDist{{Kind: Star, Procs: 1}, {Kind: Block, Procs: 4}})
 	if !l.IsDistributed("v", 0) {
 		t.Error("v should be distributed via its embedding")
@@ -226,7 +226,7 @@ func TestQuickKeyMatchesPlacement(t *testing.T) {
 		}
 		dd := []DimDist{{Kind: Star, Procs: 1}, {Kind: Star, Procs: 1}}
 		dd[rng.Intn(2)] = DimDist{Kind: Block, Procs: 4}
-		return NewLayout(Template{Extents: []int{32, 32}}, a, dd)
+		return MustLayout(Template{Extents: []int{32, 32}}, a, dd)
 	}
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -56,6 +56,28 @@ type Selection struct {
 	// (zero for the DP and exhaustive baselines).
 	Vars, Constraints, BBNodes int
 	Duration                   time.Duration
+	// Degraded reports the selection is a feasible incumbent (or a
+	// heuristic fallback) rather than a proven optimum — the solve was
+	// cut off by a node or wall-clock limit.  Cost is still exact for
+	// the reported Choice.
+	Degraded bool
+	// DegradeReason describes the cutoff ("" when not degraded).
+	DegradeReason string
+	// Gap is the relative optimality gap of a degraded selection
+	// (incumbent cost vs the LP bound); negative when unknown, zero
+	// when not degraded.
+	Gap float64
+}
+
+// NoIncumbentError is returned by SolveILP when the search was cut off
+// (node limit, time limit or cancellation) before any feasible
+// incumbent was found; callers can fall back to SolveDP or SolveGreedy.
+type NoIncumbentError struct {
+	Status ilp.Status
+}
+
+func (e *NoIncumbentError) Error() string {
+	return fmt.Sprintf("layoutgraph: selection ILP stopped at %v with no incumbent", e.Status)
 }
 
 // NumPhases returns the phase count.
@@ -185,15 +207,25 @@ func (g *Graph) SolveILP(solver *ilp.Solver) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res.Status != ilp.Optimal {
-		return nil, fmt.Errorf("layoutgraph: selection ILP %v", res.Status)
-	}
 	sel := &Selection{
 		Choice:      make([]int, len(g.NodeCost)),
 		Vars:        prob.NumVariables(),
 		Constraints: constraints,
 		BBNodes:     res.Nodes,
 		Duration:    time.Since(start),
+	}
+	switch {
+	case res.Status == ilp.Optimal:
+	case res.Status.Limited() && res.X != nil:
+		// Budget exhausted with a feasible incumbent: return it marked
+		// degraded rather than failing the whole run.
+		sel.Degraded = true
+		sel.DegradeReason = fmt.Sprintf("selection ILP stopped at %v; using feasible incumbent", res.Status)
+		sel.Gap = res.Gap()
+	case res.Status.Limited():
+		return nil, &NoIncumbentError{Status: res.Status}
+	default:
+		return nil, fmt.Errorf("layoutgraph: selection ILP %v", res.Status)
 	}
 	for p := range g.NodeCost {
 		sel.Choice[p] = -1
@@ -301,6 +333,60 @@ func (g *Graph) SolveDP() (*Selection, error) {
 		return nil, fmt.Errorf("layoutgraph: DP found no selection")
 	}
 	return &Selection{Choice: bestChoice, Cost: g.evaluate(bestChoice)}, nil
+}
+
+// SolveGreedy selects each phase's cheapest candidate independently,
+// ignoring remapping costs (phases tied together pick the common index
+// minimizing their summed node cost).  It is the last-resort fallback
+// when a budget expires before the ILP finds any incumbent and the
+// graph is not a chain: always feasible, never optimal by construction,
+// but the reported Cost (including the ignored edge costs) is exact.
+func (g *Graph) SolveGreedy() *Selection {
+	g.validate()
+	// Union tied phases into groups that must choose one common index.
+	group := make([]int, len(g.NodeCost))
+	for p := range group {
+		group[p] = p
+	}
+	var find func(p int) int
+	find = func(p int) int {
+		for group[p] != p {
+			group[p] = group[group[p]]
+			p = group[p]
+		}
+		return p
+	}
+	for _, t := range g.Ties {
+		group[find(t[0])] = find(t[1])
+	}
+	members := map[int][]int{}
+	for p := range g.NodeCost {
+		members[find(p)] = append(members[find(p)], p)
+	}
+	choice := make([]int, len(g.NodeCost))
+	for root, ps := range members {
+		n := len(g.NodeCost[root])
+		bestI, bestCost := 0, math.Inf(1)
+		for i := 0; i < n; i++ {
+			total := 0.0
+			for _, p := range ps {
+				total += g.NodeCost[p][i]
+			}
+			if total < bestCost {
+				bestCost, bestI = total, i
+			}
+		}
+		for _, p := range ps {
+			choice[p] = bestI
+		}
+	}
+	return &Selection{
+		Choice:        choice,
+		Cost:          g.evaluate(choice),
+		Degraded:      true,
+		DegradeReason: "greedy per-phase selection (remapping costs not optimized)",
+		Gap:           -1,
+	}
 }
 
 // SolveExhaustive enumerates every selection (test oracle); the

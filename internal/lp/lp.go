@@ -186,6 +186,10 @@ type Solution struct {
 // budget, which indicates a cycling or degeneracy pathology.
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// ErrCanceled is returned by SolveAbort when the abort callback
+// reported cancellation before the solve completed.
+var ErrCanceled = errors.New("lp: solve canceled")
+
 const (
 	eps      = 1e-9 // feasibility / reduced-cost tolerance
 	pivotEps = 1e-8 // minimum acceptable pivot magnitude

@@ -24,15 +24,31 @@ type tableau struct {
 	artFirst int         // first artificial column, or n if none
 	iters    int
 	maxIters int
+	abort    func() bool // optional cancellation probe
+	aborted  bool
 }
 
+// abortCheckInterval is how many pivots pass between cancellation
+// probes; checking every pivot would put a time.Now (or channel poll)
+// on the hot loop for no benefit at simplex pivot granularity.
+const abortCheckInterval = 64
+
 // Solve runs the two-phase bounded-variable primal simplex on p.
-func (p *Problem) Solve() (*Solution, error) {
+func (p *Problem) Solve() (*Solution, error) { return p.SolveAbort(nil) }
+
+// SolveAbort is Solve with a cancellation probe: abort is polled
+// periodically inside the pivot loop and a true return stops the solve
+// with ErrCanceled.  A nil abort is never polled.
+func (p *Problem) SolveAbort(abort func() bool) (*Solution, error) {
 	tb := newTableau(p)
+	tb.abort = abort
 	if tb.needPhase1() {
 		tb.loadPhase1Cost()
 		st := tb.iterate()
 		if st == nil {
+			if tb.aborted {
+				return nil, ErrCanceled
+			}
 			return nil, ErrIterationLimit
 		}
 		if *st != Optimal || tb.objective() > 1e-7 {
@@ -43,6 +59,9 @@ func (p *Problem) Solve() (*Solution, error) {
 	tb.loadPhase2Cost(p)
 	st := tb.iterate()
 	if st == nil {
+		if tb.aborted {
+			return nil, ErrCanceled
+		}
 		return nil, ErrIterationLimit
 	}
 	if *st == Unbounded {
@@ -280,11 +299,16 @@ func (tb *tableau) nonbasicValue(j int) float64 {
 }
 
 // iterate runs simplex pivots until optimal or unbounded.  It returns
-// nil when the iteration limit is exceeded.
+// nil when the iteration limit is exceeded or the abort probe fires
+// (distinguished by tb.aborted).
 func (tb *tableau) iterate() *Status {
 	stall := 0
 	bland := false
 	for ; tb.iters < tb.maxIters; tb.iters++ {
+		if tb.abort != nil && tb.iters%abortCheckInterval == 0 && tb.abort() {
+			tb.aborted = true
+			return nil
+		}
 		j, dir := tb.chooseEntering(bland)
 		if j < 0 {
 			s := Optimal

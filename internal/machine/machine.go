@@ -143,6 +143,75 @@ type Model struct {
 // Name returns the model name.
 func (m *Model) Name() string { return m.name }
 
+// ModelError reports an incomplete or inconsistent machine model.
+type ModelError struct {
+	Model string
+	Msg   string
+}
+
+func (e *ModelError) Error() string {
+	return fmt.Sprintf("machine: model %q: %s", e.Model, e.Msg)
+}
+
+// Validate checks that the model backs every lookup the framework
+// performs: a training set for each (pattern, stride, latency)
+// combination and an operation time for every basic operation, all with
+// finite non-negative values.  It returns a *ModelError describing the
+// first gap found, so an incomplete hand-authored table fails up front
+// instead of panicking mid-estimation.
+func (m *Model) Validate() error {
+	if m == nil {
+		return &ModelError{Model: "", Msg: "nil model"}
+	}
+	if m.numSets == 0 {
+		return &ModelError{Model: m.name, Msg: "no training sets"}
+	}
+	for _, pat := range []Pattern{Shift, SendRecv, Broadcast, Reduction, Transpose} {
+		for _, str := range []Stride{UnitStride, NonUnitStride} {
+			for _, lat := range []Latency{HighLatency, LowLatency} {
+				ss := m.sets[setKey{pat, str, lat}]
+				if len(ss) == 0 {
+					return &ModelError{Model: m.name,
+						Msg: fmt.Sprintf("no training sets for %v/%v/%v", pat, str, lat)}
+				}
+				for i, ts := range ss {
+					if ts.Procs < 2 {
+						return &ModelError{Model: m.name,
+							Msg: fmt.Sprintf("training set %v/%v/%v has procs %d < 2", pat, str, lat, ts.Procs)}
+					}
+					if i > 0 && ts.Procs <= ss[i-1].Procs {
+						return &ModelError{Model: m.name,
+							Msg: fmt.Sprintf("duplicate or unsorted entry for %v/%v/%v procs %d", pat, str, lat, ts.Procs)}
+					}
+					if !costOK(ts.Startup) || !costOK(ts.PerByte) {
+						return &ModelError{Model: m.name,
+							Msg: fmt.Sprintf("training set %v/%v/%v procs %d has invalid costs", pat, str, lat, ts.Procs)}
+					}
+				}
+			}
+		}
+	}
+	for _, k := range opKinds {
+		for _, dt := range []fortran.DataType{fortran.Real, fortran.Double} {
+			t, ok := m.ops[opKey{k, dt}]
+			if !ok {
+				return &ModelError{Model: m.name,
+					Msg: fmt.Sprintf("missing op time for %s/%v", opNames[k], dt)}
+			}
+			if !costOK(t) {
+				return &ModelError{Model: m.name,
+					Msg: fmt.Sprintf("invalid op time for %s/%v", opNames[k], dt)}
+			}
+		}
+	}
+	return nil
+}
+
+// costOK reports a finite, non-negative cost.
+func costOK(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
 // NumTrainingSets returns the table size (the paper's prototype uses
 // over 100).
 func (m *Model) NumTrainingSets() int { return m.numSets }

@@ -111,34 +111,14 @@ func ReadTable(r io.Reader) (*Model, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if m.numSets == 0 {
-		return nil, fmt.Errorf("machine table: no training sets")
-	}
-	// Every (pattern, stride, latency) combination the framework looks
-	// up must be present.
-	for _, pat := range []Pattern{Shift, SendRecv, Broadcast, Reduction, Transpose} {
-		for _, str := range []Stride{UnitStride, NonUnitStride} {
-			for _, lat := range []Latency{HighLatency, LowLatency} {
-				if len(m.sets[setKey{pat, str, lat}]) == 0 {
-					return nil, fmt.Errorf("machine table: no training sets for %v/%v/%v", pat, str, lat)
-				}
-			}
-		}
-	}
-	for _, k := range opKinds {
-		if _, ok := m.ops[opKey{k, fortran.Double}]; !ok {
-			return nil, fmt.Errorf("machine table: missing op %s", opNames[k])
-		}
-	}
 	for key := range m.sets {
-		ss := m.sets[key]
-		sortSets(ss)
-		for i := 1; i < len(ss); i++ {
-			if ss[i].Procs == ss[i-1].Procs {
-				return nil, fmt.Errorf("machine table: duplicate entry for %v/%v/%v procs %d",
-					key.pat, key.str, key.lat, ss[i].Procs)
-			}
-		}
+		sortSets(m.sets[key])
+	}
+	// Validate covers everything the framework will look up: every
+	// (pattern, stride, latency) combination, every op time, no
+	// duplicate processor counts, finite non-negative costs.
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -15,7 +15,7 @@ func mk2D(n, p, tdim int, arrays ...string) *layout.Layout {
 	}
 	dd := []layout.DimDist{{Kind: layout.Star, Procs: 1}, {Kind: layout.Star, Procs: 1}}
 	dd[tdim] = layout.DimDist{Kind: layout.Block, Procs: p}
-	return layout.NewLayout(layout.Template{Extents: []int{n, n}}, a, dd)
+	return layout.MustLayout(layout.Template{Extents: []int{n, n}}, a, dd)
 }
 
 func arrs(n int, names ...string) (map[string]*fortran.Array, []string) {
@@ -63,7 +63,7 @@ func TestOrientationSymmetryFreeRemap(t *testing.T) {
 	canonCol := mk2D(64, 8, 1, "x")
 	trans := layout.NewAlignment()
 	trans.Set("x", []int{1, 0})
-	transRow := layout.NewLayout(layout.Template{Extents: []int{64, 64}},
+	transRow := layout.MustLayout(layout.Template{Extents: []int{64, 64}},
 		trans, []layout.DimDist{{Kind: layout.Block, Procs: 8}, {Kind: layout.Star, Procs: 1}})
 	if c := Cost(canonCol, transRow, m, names, machine.IPSC860()); c != 0 {
 		t.Errorf("cost = %v, want 0 (same placement)", c)

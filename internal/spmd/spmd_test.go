@@ -35,7 +35,7 @@ func lower(t *testing.T, src string, tdim, procs int) (*spmd.Program, *compmodel
 		dd[k] = layout.DimDist{Kind: layout.Star, Procs: 1}
 	}
 	dd[tdim] = layout.DimDist{Kind: layout.Block, Procs: procs}
-	l := layout.NewLayout(tpl, a, dd)
+	l := layout.MustLayout(tpl, a, dd)
 	plan := compmodel.Analyze(u, pi, l, compmodel.Options{})
 	m := machine.IPSC860()
 	return spmd.LowerPhase(u, pi, l, plan, dt, m), plan
@@ -215,7 +215,7 @@ func remapLayout(tdim, procs int) *layout.Layout {
 	if tdim >= 0 {
 		dd[tdim] = layout.DimDist{Kind: layout.Block, Procs: procs}
 	}
-	return layout.NewLayout(layout.Template{Extents: []int{64, 64}}, a, dd)
+	return layout.MustLayout(layout.Template{Extents: []int{64, 64}}, a, dd)
 }
 
 func TestLowerRemapAllToAll(t *testing.T) {
