@@ -14,8 +14,11 @@
 package repro_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -301,6 +304,114 @@ func BenchmarkToolRuntime(b *testing.B) {
 				if _, err := core.AutoLayout(src, core.Options{Procs: 16}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// identicalSweeps generates a program of `phases` identical rank-3
+// relaxation sweeps: a long chain PCFG whose phases all share one
+// canonical signature, the shape that stresses candidate pricing (the
+// pipeline's dominant cost) and that the pricing cache collapses.
+func identicalSweeps(phases int) string {
+	var b strings.Builder
+	b.WriteString("program parbench\n  parameter (n = 64)\n  double precision u(n,n,n), v(n,n,n), w(n,n,n), q(n,n,n)\n")
+	for p := 0; p < phases; p++ {
+		b.WriteString(`  do k = 2, n
+    do j = 2, n
+      do i = 2, n
+        u(i,j,k) = 0.2*(v(i,j,k) + v(i-1,j,k) + v(i,j-1,k) + v(i,j,k-1) + w(i,j,k))
+        w(i,j,k) = u(i,j,k) + 0.5*(v(i,j,k) + q(i-1,j,k) + q(i,j-1,k))
+        q(i,j,k) = 0.25*(u(i-1,j,k) + u(i,j-1,k) + u(i,j,k-1) + w(i,j,k))
+        v(i,j,k) = q(i,j,k) + 0.125*(w(i-1,j,k) + w(i,j-1,k) + w(i,j,k-1))
+      end do
+    end do
+  end do
+`)
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+// parBenchOptions is the configuration both pipeline benchmarks share:
+// extended distribution spaces (18 candidates per rank-3 phase on 16
+// processors) and the exact chain DP for selection, so candidate
+// pricing dominates the run the way it does on real inputs.
+func parBenchOptions() core.Options {
+	return core.Options{Procs: 16, Cyclic: true, MultiDim: true, UseDP: true}
+}
+
+// BenchmarkAutoLayoutSeq is the pre-pipeline baseline: one worker and
+// no memoization, i.e. the strictly sequential evaluation the tool
+// used to run.
+func BenchmarkAutoLayoutSeq(b *testing.B) {
+	src := identicalSweeps(12)
+	opt := parBenchOptions()
+	opt.Workers, opt.NoCache = 1, true
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(context.Background(), core.Input{Source: src}, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoLayoutPar is the concurrent cached pipeline on the same
+// input: at least 4 workers plus pricing/remap memoization.  Metrics
+// report the cache hit rates; the final iteration's output is checked
+// byte-identical against the sequential baseline.
+func BenchmarkAutoLayoutPar(b *testing.B) {
+	src := identicalSweeps(12)
+	opt := parBenchOptions()
+	opt.Workers = runtime.NumCPU()
+	if opt.Workers < 4 {
+		opt.Workers = 4
+	}
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.Analyze(context.Background(), core.Input{Source: src}, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.Cache.Pricing.HitRate()*100, "price-hit-%")
+	b.ReportMetric(res.Cache.Remap.HitRate()*100, "remap-hit-%")
+	seqOpt := parBenchOptions()
+	seqOpt.Workers, seqOpt.NoCache = 1, true
+	seq, err := core.Analyze(context.Background(), core.Input{Source: src}, seqOpt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.EmitHPF()+res.Explain() != seq.EmitHPF()+seq.Explain() {
+		b.Fatal("parallel pipeline output differs from the sequential baseline")
+	}
+}
+
+// BenchmarkCacheEffectiveness isolates the memoization layer from the
+// worker pool: the same single-worker pipeline with and without the
+// pricing/remap caches.  The gap between the two sub-benchmarks is the
+// pure cache win on inputs with repeated phase computations.
+func BenchmarkCacheEffectiveness(b *testing.B) {
+	src := identicalSweeps(12)
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{{"cached", false}, {"uncached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := parBenchOptions()
+			opt.Workers, opt.NoCache = 1, mode.noCache
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Analyze(context.Background(), core.Input{Source: src}, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !mode.noCache {
+				b.ReportMetric(res.Cache.Pricing.HitRate()*100, "price-hit-%")
+				b.ReportMetric(res.Cache.Remap.HitRate()*100, "remap-hit-%")
 			}
 		})
 	}

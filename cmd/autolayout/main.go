@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	autolayout -procs 16 [-machine ipsc860|paragon] [-spaces] [file.f]
+//	autolayout -procs 16 [-machine ipsc860|paragon] [-j N] [-spaces] [file.f]
 //
 // With no file argument the program is read from standard input.  The
 // -spaces flag dumps each phase's explicit candidate search space —
@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,9 @@ func main() {
 	guess := flag.Bool("guess-probs", false, "ignore !prob annotations (always guess 50%)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the 0-1 solves; on expiry the tool degrades to the best feasible answer (0 = none)")
 	strict := flag.Bool("strict", false, "fail instead of degrading when a 0-1 solve is cut off")
+	workers := flag.Int("j", 0, "worker goroutines for the evaluation pipeline (0 = all CPUs, 1 = sequential; output is identical either way)")
+	noCache := flag.Bool("no-cache", false, "disable pricing/remapping memoization")
+	stats := flag.Bool("stats", false, "report cache hit rates after the tool-time line")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -59,6 +63,8 @@ func main() {
 		Align:    alignpkg.Options{Greedy: *greedy},
 		Timeout:  *timeout,
 		Strict:   *strict,
+		Workers:  *workers,
+		NoCache:  *noCache,
 	}
 	opt.PCFG.IgnoreProbHints = *guess
 	switch {
@@ -82,7 +88,7 @@ func main() {
 		fatal(fmt.Errorf("unknown machine %q", *machineName))
 	}
 
-	res, err := core.AutoLayout(src, opt)
+	res, err := core.Analyze(context.Background(), core.Input{Source: src}, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -90,6 +96,11 @@ func main() {
 	fmt.Printf("! tool time: %v (alignment 0-1 solves: %d, selection 0-1: %d vars / %d constraints in %v)\n",
 		res.Elapsed.Round(1e6), len(res.AlignStats),
 		res.Selection.Vars, res.Selection.Constraints, res.Selection.Duration.Round(1e5))
+	if *stats {
+		fmt.Printf("! cache: pricing %d hits / %d misses (%.0f%%), remap %d hits / %d misses (%.0f%%)\n",
+			res.Cache.Pricing.Hits, res.Cache.Pricing.Misses, res.Cache.Pricing.HitRate()*100,
+			res.Cache.Remap.Hits, res.Cache.Remap.Misses, res.Cache.Remap.HitRate()*100)
+	}
 	for _, line := range strings.Split(strings.TrimRight(res.ExplainDegradations(), "\n"), "\n") {
 		if line != "" {
 			fmt.Println("! degraded:", line)

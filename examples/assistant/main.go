@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ import (
 
 func main() {
 	src := programs.Adi(128, fortran.Double)
-	res, err := core.AutoLayout(src, core.Options{Procs: 8})
+	res, err := core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,7 +71,7 @@ func main() {
 
 	// Now the whole-program view: the tool splits the phases into two
 	// conflict-free classes and imports alignments between them.
-	tool, err := core.AutoLayout(src, core.Options{Procs: 8})
+	tool, err := core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +30,7 @@ func main() {
 	procs := flag.Int("procs", 8, "processors")
 	flag.Parse()
 
-	res, err := core.AutoLayout(programs.Erlebacher(*n, fortran.Double), core.Options{Procs: *procs})
+	res, err := core.Analyze(context.Background(), core.Input{Source: programs.Erlebacher(*n, fortran.Double)}, core.Options{Procs: *procs})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ end
 `
 
 func main() {
-	res, err := core.AutoLayout(src, core.Options{Procs: 16})
+	res, err := core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: 16})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,7 @@ program stencil
 end
 `, *n)
 
-	res, err := core.AutoLayout(src, core.Options{Procs: *procs})
+	res, err := core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: *procs})
 	if err != nil {
 		log.Fatal(err)
 	}

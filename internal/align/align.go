@@ -6,6 +6,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/fortran"
 	"repro/internal/ilp"
 	"repro/internal/layout"
+	"repro/internal/par"
 	"repro/internal/pcfg"
 )
 
@@ -25,14 +27,23 @@ type Options struct {
 	// Greedy uses the greedy conflict-resolution baseline instead of
 	// the optimal 0-1 formulation (ablation).
 	Greedy bool
-	// Solver is the 0-1 solver (nil for defaults).
+	// Solver is the 0-1 solver (nil for defaults).  One solver value
+	// may be shared by concurrent resolutions: Solve only reads its
+	// configuration, and every resolution builds its own problem.
 	Solver *ilp.Solver
+	// Workers bounds the goroutines used for the independent 0-1
+	// resolutions (per-phase conflicts, class optima, imports) and the
+	// per-phase candidate projection (0 ⇒ runtime.NumCPU()).  Results
+	// are merged in a fixed order, so any worker count produces the
+	// same Spaces.
+	Workers int
 }
 
 func (o Options) defaults() Options {
 	if o.ImportScale == 0 {
 		o.ImportScale = 1000
 	}
+	o.Workers = par.Workers(o.Workers)
 	return o
 }
 
@@ -154,7 +165,14 @@ type Spaces struct {
 //  3. import each class's optimal alignment into every other class's
 //     search space (scale, merge, re-resolve, restrict, ⊑-dedup);
 //  4. project class candidates onto per-phase candidate alignments.
-func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseInfo, opt Options) (*Spaces, error) {
+//
+// The 0-1 resolutions of steps 1 and 3 and the per-class optima are
+// mutually independent, so they fan out over Options.Workers
+// goroutines; their stats, degradations and candidates are merged back
+// in the order the sequential algorithm would have produced them, so
+// the returned Spaces is identical for every worker count.  A canceled
+// ctx aborts the construction between solves.
+func BuildSearchSpaces(ctx context.Context, u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseInfo, opt Options) (*Spaces, error) {
 	opt = opt.defaults()
 	d := u.MaxRank()
 	if d == 0 {
@@ -166,22 +184,36 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 		TemplateRank: d,
 	}
 
-	// Step 1: per-phase conflict-free CAGs.
+	// Step 1: per-phase conflict-free CAGs (independent solves).
 	phaseCAG := map[int]*cag.Graph{}
-	for _, ph := range g.Phases {
-		pi := infos[ph.ID]
-		pg := BuildCAG(u, pi, ph.Freq)
+	phaseRes := make([]*resolution, len(g.Phases))
+	err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		ph := g.Phases[i]
+		pg := BuildCAG(u, infos[ph.ID], ph.Freq)
 		if pg.HasConflict() {
-			res, err := sp.resolve(pg, d, opt, fmt.Sprintf("phase %d", ph.ID))
+			r, err := resolveOne(pg, d, opt, fmt.Sprintf("phase %d", ph.ID))
 			if err != nil {
-				return nil, fmt.Errorf("align: phase %d: %w", ph.ID, err)
+				return fmt.Errorf("align: phase %d: %w", ph.ID, err)
 			}
-			pg = keptGraph(pg, res.Assignment)
+			pg = keptGraph(pg, r.res.Assignment)
+			phaseRes[i] = r
 		}
-		phaseCAG[ph.ID] = pg
+		if phaseRes[i] == nil {
+			phaseRes[i] = &resolution{}
+		}
+		phaseRes[i].graph = pg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ph := range g.Phases {
+		sp.record(phaseRes[i])
+		phaseCAG[ph.ID] = phaseRes[i].graph
 	}
 
-	// Step 2: greedy class partitioning in reverse postorder.
+	// Step 2: greedy class partitioning in reverse postorder (cheap and
+	// inherently order-dependent: it stays sequential).
 	for _, id := range g.ReversePostorder() {
 		pg := phaseCAG[id]
 		placed := false
@@ -208,40 +240,69 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 		}
 	}
 
-	// Base candidate per class: the class CAG's own alignment.
-	for _, c := range sp.Classes {
-		res, err := sp.resolve(c.CAG, d, opt, fmt.Sprintf("class %d", c.ID))
+	// Base candidate per class: the class CAG's own alignment
+	// (independent solves).
+	baseRes := make([]*resolution, len(sp.Classes))
+	err = par.Do(ctx, opt.Workers, len(sp.Classes), func(i int) error {
+		c := sp.Classes[i]
+		r, err := resolveOne(c.CAG, d, opt, fmt.Sprintf("class %d", c.ID))
 		if err != nil {
-			return nil, fmt.Errorf("align: class %d: %w", c.ID, err)
+			return fmt.Errorf("align: class %d: %w", c.ID, err)
 		}
+		baseRes[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range sp.Classes {
+		sp.record(baseRes[i])
 		c.Cands = append(c.Cands, &Candidate{
-			Part:       res.Aligned.Restrict(c.Arrays),
-			Assignment: restrictAssignment(res.Assignment, c.Arrays),
+			Part:       baseRes[i].res.Aligned.Restrict(c.Arrays),
+			Assignment: restrictAssignment(baseRes[i].res.Assignment, c.Arrays),
 			Origin:     fmt.Sprintf("class %d optimal", c.ID),
 		})
 	}
 
-	// Step 3: imports between classes.
-	for _, sink := range sp.Classes {
-		for _, src := range sp.Classes {
-			if src.ID == sink.ID {
-				continue
+	// Step 3: imports between classes.  Every (sink, src) pair is an
+	// independent solve; only the ⊑-dedup against the sink's growing
+	// candidate list is order-dependent, so it runs afterwards in the
+	// sequential sink-major order.
+	type pair struct{ sink, src int }
+	var pairs []pair
+	for si := range sp.Classes {
+		for sj := range sp.Classes {
+			if si != sj {
+				pairs = append(pairs, pair{si, sj})
 			}
-			scaled := src.CAG.Clone()
-			scaled.ScaleWeights(opt.ImportScale)
-			merged := scaled.Merge(sink.CAG)
-			res, err := sp.resolve(merged, d, opt, fmt.Sprintf("import %d->%d", src.ID, sink.ID))
-			if err != nil {
-				return nil, fmt.Errorf("align: import %d->%d: %w", src.ID, sink.ID, err)
-			}
-			cand := &Candidate{
-				Part:       res.Aligned.Restrict(sink.Arrays),
-				Assignment: restrictAssignment(res.Assignment, sink.Arrays),
-				Origin:     fmt.Sprintf("imported from class %d", src.ID),
-			}
-			if !weakerOrEqual(cand, sink.Cands) {
-				sink.Cands = append(sink.Cands, cand)
-			}
+		}
+	}
+	importRes := make([]*resolution, len(pairs))
+	err = par.Do(ctx, opt.Workers, len(pairs), func(i int) error {
+		sink, src := sp.Classes[pairs[i].sink], sp.Classes[pairs[i].src]
+		scaled := src.CAG.Clone()
+		scaled.ScaleWeights(opt.ImportScale)
+		merged := scaled.Merge(sink.CAG)
+		r, err := resolveOne(merged, d, opt, fmt.Sprintf("import %d->%d", src.ID, sink.ID))
+		if err != nil {
+			return fmt.Errorf("align: import %d->%d: %w", src.ID, sink.ID, err)
+		}
+		importRes[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pr := range pairs {
+		sink, src := sp.Classes[pr.sink], sp.Classes[pr.src]
+		sp.record(importRes[i])
+		cand := &Candidate{
+			Part:       importRes[i].res.Aligned.Restrict(sink.Arrays),
+			Assignment: restrictAssignment(importRes[i].res.Assignment, sink.Arrays),
+			Origin:     fmt.Sprintf("imported from class %d", src.ID),
+		}
+		if !weakerOrEqual(cand, sink.Cands) {
+			sink.Cands = append(sink.Cands, cand)
 		}
 	}
 
@@ -250,7 +311,10 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 	// projections collapse), but the resulting alignment keeps the
 	// whole class's arrays so phases of one class place shared arrays
 	// consistently and transitions between them stay remap-free.
-	for _, ph := range g.Phases {
+	// Projections are independent per phase.
+	perPhase := make([][]*PhaseCandidate, len(g.Phases))
+	err = par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		ph := g.Phases[i]
 		c := sp.Classes[sp.PhaseClass[ph.ID]]
 		phaseArrays := map[string]bool{}
 		for _, a := range ph.Arrays {
@@ -281,32 +345,60 @@ func BuildSearchSpaces(u *fortran.Unit, g *pcfg.Graph, infos map[int]*dep.PhaseI
 				cands = append(cands, pc)
 			}
 		}
-		sp.PerPhase[ph.ID] = cands
+		perPhase[i] = cands
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ph := range g.Phases {
+		sp.PerPhase[ph.ID] = perPhase[i]
 	}
 	return sp, nil
 }
 
-// resolve dispatches to the ILP or greedy resolver, recording stats
-// and any budget-induced degradation under the given location label.
-func (sp *Spaces) resolve(g *cag.Graph, d int, opt Options, where string) (*cag.Resolution, error) {
+// resolution bundles one 0-1 solve's outputs so concurrent solves can
+// be merged back into the Spaces in a deterministic order.
+type resolution struct {
+	res   *cag.Resolution
+	graph *cag.Graph // the phase's conflict-free CAG (step 1 only)
+	deg   *Degradation
+}
+
+// resolveOne dispatches to the ILP or greedy resolver.  It is pure with
+// respect to the Spaces under construction: stats and degradations
+// travel in the returned resolution and are recorded later, in
+// sequential order, by record.
+func resolveOne(g *cag.Graph, d int, opt Options, where string) (*resolution, error) {
 	if opt.Greedy {
-		return cag.ResolveGreedy(g, d)
+		res, err := cag.ResolveGreedy(g, d)
+		if err != nil {
+			return nil, err
+		}
+		return &resolution{res: res}, nil
 	}
 	res, err := cag.Resolve(g, d, opt.Solver)
 	if err != nil {
 		return nil, err
 	}
-	if res.Stats.Vars > 0 {
-		sp.Stats = append(sp.Stats, res.Stats)
-	}
+	out := &resolution{res: res}
 	if res.Degraded {
-		sp.Degradations = append(sp.Degradations, Degradation{
-			Where:  where,
-			Reason: res.DegradeReason,
-			Gap:    res.Gap,
-		})
+		out.deg = &Degradation{Where: where, Reason: res.DegradeReason, Gap: res.Gap}
 	}
-	return res, nil
+	return out, nil
+}
+
+// record folds one resolution's stats and degradation into the Spaces.
+func (sp *Spaces) record(r *resolution) {
+	if r == nil || r.res == nil {
+		return
+	}
+	if r.res.Stats.Vars > 0 {
+		sp.Stats = append(sp.Stats, r.res.Stats)
+	}
+	if r.deg != nil {
+		sp.Degradations = append(sp.Degradations, *r.deg)
+	}
 }
 
 // keptGraph drops the edges cut by an assignment, leaving the

@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cag"
@@ -96,7 +97,7 @@ end
 
 func TestSingleClassSingleCandidate(t *testing.T) {
 	u, g, infos := setup(t, canonicalTwoPhase)
-	sp, err := BuildSearchSpaces(u, g, infos, Options{})
+	sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ end
 
 func TestConflictingPhasesSplitClasses(t *testing.T) {
 	u, g, infos := setup(t, tomcatvLike)
-	sp, err := BuildSearchSpaces(u, g, infos, Options{})
+	sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestImportDominanceFollowsScale(t *testing.T) {
 	// With a huge import scale the imported candidate reflects the
 	// source class's (transposed) preference inside the sink class.
 	u, g, infos := setup(t, tomcatvLike)
-	sp, err := BuildSearchSpaces(u, g, infos, Options{ImportScale: 1e6})
+	sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{ImportScale: 1e6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ program p
 end
 `
 	u, g, infos := setup(t, src)
-	sp, err := BuildSearchSpaces(u, g, infos, Options{})
+	sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ end
 
 func TestGreedyOptionRuns(t *testing.T) {
 	u, g, infos := setup(t, tomcatvLike)
-	sp, err := BuildSearchSpaces(u, g, infos, Options{Greedy: true})
+	sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{Greedy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestGreedyOptionRuns(t *testing.T) {
 
 func TestAlignmentCoversPhaseArrays(t *testing.T) {
 	u, g, infos := setup(t, canonicalTwoPhase)
-	sp, err := BuildSearchSpaces(u, g, infos, Options{})
+	sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ program p
 end
 `
 	u, g, infos := setup(t, src)
-	sp, err := BuildSearchSpaces(u, g, infos, Options{})
+	sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,5 +294,62 @@ func TestMatchOrientations(t *testing.T) {
 func TestPermutations(t *testing.T) {
 	if n := len(permutations(3)); n != 6 {
 		t.Errorf("permutations(3) = %d, want 6", n)
+	}
+}
+
+// TestWorkersDeterministic checks that every worker count merges the
+// concurrent 0-1 solves back in the sequential order: stats (modulo
+// wall-clock durations), class candidates and per-phase projections
+// must be identical.
+func TestWorkersDeterministic(t *testing.T) {
+	u, g, infos := setup(t, tomcatvLike)
+	ref, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		sp, err := BuildSearchSpaces(context.Background(), u, g, infos, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(sp.Stats) != len(ref.Stats) {
+			t.Fatalf("workers=%d: %d stats, want %d", workers, len(sp.Stats), len(ref.Stats))
+		}
+		for i := range sp.Stats {
+			a, b := sp.Stats[i], ref.Stats[i]
+			a.Duration, b.Duration = 0, 0
+			if a != b {
+				t.Errorf("workers=%d: stats[%d] = %+v, want %+v", workers, i, a, b)
+			}
+		}
+		if len(sp.Classes) != len(ref.Classes) {
+			t.Fatalf("workers=%d: %d classes, want %d", workers, len(sp.Classes), len(ref.Classes))
+		}
+		for ci, c := range sp.Classes {
+			rc := ref.Classes[ci]
+			if len(c.Cands) != len(rc.Cands) {
+				t.Fatalf("workers=%d: class %d has %d candidates, want %d", workers, ci, len(c.Cands), len(rc.Cands))
+			}
+			for k := range c.Cands {
+				if c.Cands[k].Origin != rc.Cands[k].Origin {
+					t.Errorf("workers=%d: class %d cand %d origin %q, want %q",
+						workers, ci, k, c.Cands[k].Origin, rc.Cands[k].Origin)
+				}
+				if !c.Cands[k].Part.Equal(rc.Cands[k].Part) {
+					t.Errorf("workers=%d: class %d cand %d partition differs", workers, ci, k)
+				}
+			}
+		}
+		for id := range infos {
+			pc, rpc := sp.PerPhase[id], ref.PerPhase[id]
+			if len(pc) != len(rpc) {
+				t.Fatalf("workers=%d: phase %d has %d candidates, want %d", workers, id, len(pc), len(rpc))
+			}
+			for k := range pc {
+				if pc[k].Origin != rpc[k].Origin || !sameAlignment(pc[k].Align, rpc[k].Align) {
+					t.Errorf("workers=%d: phase %d cand %d differs from sequential", workers, id, k)
+				}
+			}
+		}
 	}
 }

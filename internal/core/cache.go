@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compmodel"
+	"repro/internal/execmodel"
+	"repro/internal/layout"
+	"repro/internal/remap"
+)
+
+// CacheStats counts the traffic of one memoization layer.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// CacheSummary reports the effectiveness of the run's memoization
+// layers (see Result.Cache).  With Options.NoCache set both stay zero.
+type CacheSummary struct {
+	// Pricing covers compiler/execution-model candidate evaluations.
+	Pricing CacheStats
+	// Remap covers transition (remapping) cost evaluations.
+	Remap CacheStats
+}
+
+// priceKey identifies one (phase computation, candidate layout)
+// pricing.  The machine model, compiler options and default trip count
+// are fixed per run, so they are not part of the key; the phase
+// signature (its canonical statement rendering) captures everything the
+// compiler model reads from the phase, and the layout's FullKey
+// captures the exact alignment and distribution.  Phases with identical
+// computations — repeated sweeps are the common case — therefore share
+// pricings.
+type priceKey struct {
+	sig    string
+	layout string
+}
+
+// priced is one memoized candidate evaluation.  The Plan is shared by
+// every candidate with the same key; plans are read-only after
+// construction, so sharing is safe.
+type priced struct {
+	plan *compmodel.Plan
+	est  execmodel.Estimate
+}
+
+// priceCache memoizes candidate pricings for one run.  Safe for
+// concurrent use.  A nil priceCache disables memoization (every lookup
+// misses and nothing is stored), which keeps call sites unconditional.
+type priceCache struct {
+	mu     sync.Mutex
+	m      map[priceKey]priced
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPriceCache(disabled bool) *priceCache {
+	if disabled {
+		return nil
+	}
+	return &priceCache{m: map[priceKey]priced{}}
+}
+
+func (c *priceCache) get(k priceKey) (priced, bool) {
+	if c == nil {
+		return priced{}, false
+	}
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *priceCache) put(k priceKey, v priced) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+func (c *priceCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// price evaluates one candidate layout for a phase through the cache:
+// the compiler model simulates the communication the layout induces and
+// the execution model prices the resulting schedule.  Two workers
+// missing the same key concurrently both compute it (the models are
+// pure, so the duplicate work is harmless and the values identical);
+// both count as misses.
+func (r *Result) price(pr *PhaseResult, l *layout.Layout) (*compmodel.Plan, execmodel.Estimate) {
+	k := priceKey{sig: pr.sig, layout: l.FullKey()}
+	if v, ok := r.prices.get(k); ok {
+		return v.plan, v.est
+	}
+	plan := compmodel.Analyze(r.Unit, pr.Info, l, r.opt.Compiler)
+	est := execmodel.Evaluate(plan, pr.DataType, r.Machine, r.opt.Compiler)
+	r.prices.put(k, priced{plan: plan, est: est})
+	return plan, est
+}
+
+// remapKey identifies one transition pricing: the exact source and
+// target layouts plus the live-array list the cost is charged for.  The
+// machine model and the array table are fixed per run.
+type remapKey struct {
+	from, to string
+	names    string
+}
+
+// remapCache memoizes transition costs for one run.  Safe for
+// concurrent use; nil disables it.
+type remapCache struct {
+	mu     sync.Mutex
+	m      map[remapKey]float64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newRemapCache(disabled bool) *remapCache {
+	if disabled {
+		return nil
+	}
+	return &remapCache{m: map[remapKey]float64{}}
+}
+
+func (c *remapCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// remapCost prices moving the named live arrays between two layouts
+// through the cache.  fromKey/toKey are the layouts' FullKeys,
+// precomputed by the caller so hot loops build each key once per
+// candidate instead of once per lookup; they are ignored (and may be
+// empty) when the cache is disabled.
+func (r *Result) remapCost(from, to *layout.Layout, fromKey, toKey string, names []string, joined string) float64 {
+	if r.remaps == nil {
+		return remap.Cost(from, to, r.Unit.Arrays, names, r.Machine)
+	}
+	k := remapKey{from: fromKey, to: toKey, names: joined}
+	r.remaps.mu.Lock()
+	v, ok := r.remaps.m[k]
+	r.remaps.mu.Unlock()
+	if ok {
+		r.remaps.hits.Add(1)
+		return v
+	}
+	r.remaps.misses.Add(1)
+	v = remap.Cost(from, to, r.Unit.Arrays, names, r.Machine)
+	r.remaps.mu.Lock()
+	r.remaps.m[k] = v
+	r.remaps.mu.Unlock()
+	return v
+}
+
+// syncCacheStats snapshots the cache counters into the public Result
+// field; called at the end of every public operation that prices
+// candidates or transitions.
+func (r *Result) syncCacheStats() {
+	r.Cache = CacheSummary{Pricing: r.prices.stats(), Remap: r.remaps.stats()}
+}

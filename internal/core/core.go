@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/align"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/layoutgraph"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/pcfg"
 	"repro/internal/remap"
 )
@@ -82,6 +84,61 @@ type Options struct {
 	// fallen back to a suboptimal answer fails instead with a
 	// *StrictError naming the subsystem.
 	Strict bool
+	// Workers bounds the goroutines the candidate-evaluation pipeline
+	// fans out over: per-phase dependence analysis, the independent
+	// alignment 0-1 solves, search-space construction, candidate
+	// pricing and the transition-cost matrices.  0 means
+	// runtime.NumCPU(); 1 runs the whole pipeline sequentially.
+	// Results are merged in a fixed order, so every worker count
+	// produces byte-identical output.
+	Workers int
+	// NoCache disables the pricing and remapping memoization layer
+	// (every candidate and transition is evaluated from scratch and
+	// Result.Cache stays zero).  The cache is on by default: phases
+	// routinely share identical candidate layouts, so repeated
+	// compiler/execution-model evaluations become map hits.
+	NoCache bool
+}
+
+// Validate checks the options without normalizing them: the processor
+// count must be at least 2, counts and budgets must be non-negative,
+// and a user-supplied machine model must be complete.  Analyze calls it
+// first, so manual calls are needed only to fail early.
+func (o *Options) Validate() error {
+	if o.Procs < 2 {
+		return &ValidationError{Msg: fmt.Sprintf("Procs = %d, need at least 2", o.Procs)}
+	}
+	if o.Workers < 0 {
+		return &ValidationError{Msg: fmt.Sprintf("Workers = %d, need >= 0", o.Workers)}
+	}
+	if o.Timeout < 0 {
+		return &ValidationError{Msg: fmt.Sprintf("Timeout = %v, need >= 0", o.Timeout)}
+	}
+	if o.DefaultTrip < 0 {
+		return &ValidationError{Msg: fmt.Sprintf("DefaultTrip = %d, need >= 0", o.DefaultTrip)}
+	}
+	if o.Machine != nil {
+		if err := o.Machine.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withDefaults returns a copy with every optional field normalized:
+// nil machine ⇒ iPSC/860, DefaultTrip 0 ⇒ 100 (matching the PCFG's own
+// trip default), Workers 0 ⇒ runtime.NumCPU().  It is the single
+// defaulting path shared by Analyze, the deprecated wrappers and the
+// CLIs.
+func (o Options) withDefaults() Options {
+	if o.Machine == nil {
+		o.Machine = machine.IPSC860()
+	}
+	if o.DefaultTrip == 0 {
+		o.DefaultTrip = 100
+	}
+	o.Workers = par.Workers(o.Workers)
+	return o
 }
 
 // Candidate is one evaluated candidate layout of a phase.
@@ -103,6 +160,10 @@ type PhaseResult struct {
 	Chosen int
 	// DataType is the widest element type in the phase.
 	DataType fortran.DataType
+
+	// sig is the phase's canonical statement rendering, the phase
+	// component of the pricing memoization key.
+	sig string
 }
 
 // ChosenLayout returns the selected candidate's layout.
@@ -154,87 +215,153 @@ type Result struct {
 	// way; entries describe forfeited optimality, with gaps when known.
 	Degradations []Degradation
 
+	// Cache reports the hit rates of the pricing and remapping
+	// memoization layers (all zero with Options.NoCache).
+	Cache CacheSummary
+
 	// opt retains the invocation options for re-selection after search
 	// space edits.
 	opt Options
+	// prices and remaps are the run's memoization layers (nil when
+	// Options.NoCache); they stay attached so InsertCandidate and
+	// Reselect keep benefiting from them.
+	prices *priceCache
+	remaps *remapCache
 	// alignDegs retains the alignment-stage degradations so Reselect
 	// can rebuild Degradations (the selection entries change per call).
 	alignDegs []Degradation
 }
 
-// AutoLayout runs the complete framework on dialect source code.
-func AutoLayout(src string, opt Options) (*Result, error) {
-	return AutoLayoutContext(context.Background(), src, opt)
+// Input is the program Analyze works on: dialect source code, or an
+// already parsed and analyzed unit.  Exactly one side is normally set;
+// when both are, Unit wins and Source is ignored.
+type Input struct {
+	// Source is dialect source code; Analyze parses and analyzes it.
+	Source string
+	// Unit is an already analyzed program, bypassing the parser.
+	Unit *fortran.Unit
 }
 
-// AutoLayoutContext is AutoLayout under a context: cancellation stops
-// the run with a hard error (use Options.Timeout instead to degrade
-// gracefully when the budget runs out).
-func AutoLayoutContext(ctx context.Context, src string, opt Options) (res *Result, err error) {
-	defer guard(&err)
-	prog, err := fortran.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	u, err := fortran.Analyze(prog)
-	if err != nil {
-		return nil, err
-	}
-	return AutoLayoutUnitContext(ctx, u, opt)
-}
-
-// AutoLayoutUnit runs the framework on an analyzed program.
-func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
-	return AutoLayoutUnitContext(context.Background(), u, opt)
-}
-
-// AutoLayoutUnitContext is AutoLayoutUnit under a context.  The context
-// and Options.Timeout are plumbed into every 0-1 solve: a canceled or
-// expired context fails the run, while an exhausted Timeout degrades it
-// (see Result.Degradations).
-func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (res *Result, err error) {
+// Analyze runs the complete framework: option validation and
+// defaulting, parsing (when the input is source), phase partitioning,
+// search space construction, candidate pricing and layout selection.
+// It is the single entry point; the AutoLayout* functions are thin
+// deprecated wrappers around it.
+//
+// The context and Options.Timeout are plumbed into every 0-1 solve: a
+// canceled or expired context fails the run with a hard error, while an
+// exhausted Timeout degrades it gracefully (see Result.Degradations).
+// The Timeout clock starts before parsing, so parse time counts against
+// the budget rather than stretching it.
+func Analyze(ctx context.Context, in Input, opt Options) (res *Result, err error) {
 	defer guard(&err)
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if opt.Procs < 2 {
-		return nil, &ValidationError{Msg: fmt.Sprintf("Procs = %d, need at least 2", opt.Procs)}
-	}
-	if opt.Machine == nil {
-		opt.Machine = machine.IPSC860()
-	}
-	if err := opt.Machine.Validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if opt.DefaultTrip == 0 {
-		opt.DefaultTrip = 100
+	opt = opt.withDefaults()
+	u := in.Unit
+	if u == nil {
+		prog, perr := fortran.Parse(in.Source)
+		if perr != nil {
+			return nil, perr
+		}
+		u, err = fortran.Analyze(prog)
+		if err != nil {
+			return nil, err
+		}
 	}
+	return analyze(ctx, start, u, opt)
+}
 
+// AutoLayout runs the complete framework on dialect source code.
+//
+// Deprecated: use Analyze with Input{Source: src}.
+func AutoLayout(src string, opt Options) (*Result, error) {
+	return Analyze(context.Background(), Input{Source: src}, opt)
+}
+
+// AutoLayoutContext is AutoLayout under a context.
+//
+// Deprecated: use Analyze with Input{Source: src}.
+func AutoLayoutContext(ctx context.Context, src string, opt Options) (*Result, error) {
+	return Analyze(ctx, Input{Source: src}, opt)
+}
+
+// AutoLayoutUnit runs the framework on an analyzed program.
+//
+// Deprecated: use Analyze with Input{Unit: u}.
+func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
+	return Analyze(context.Background(), Input{Unit: u}, opt)
+}
+
+// AutoLayoutUnitContext is AutoLayoutUnit under a context.
+//
+// Deprecated: use Analyze with Input{Unit: u}.
+func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (*Result, error) {
+	return Analyze(ctx, Input{Unit: u}, opt)
+}
+
+// pipelineErr normalizes an error escaping a parallel stage: a worker
+// panic surfaces as the same *InternalError a panic on the calling
+// goroutine becomes, and context cancellation is labeled with the stage
+// it interrupted.  Everything else passes through.
+func pipelineErr(stage string, err error) error {
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		return &InternalError{Msg: fmt.Sprint(pe.Value), Stack: pe.Stack}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("core: canceled during %s: %w", stage, err)
+	}
+	return err
+}
+
+// analyze is the pipeline body.  u is analyzed, opt is validated and
+// defaulted, and start anchors the Options.Timeout budget.  The
+// per-phase and per-candidate stages fan out over opt.Workers
+// goroutines into index-addressed slots, then merge sequentially, so
+// the Result is byte-for-byte identical for every worker count.
+func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options) (*Result, error) {
 	// One solver budget shared by every 0-1 solve in the run: the
 	// alignment resolutions and the final selection race the same
 	// deadline, so a stuck alignment cannot starve selection of its
 	// error handling — it just leaves less budget.
 	budget := solverBudget(&opt, ctx, start)
 
-	// Step 1: phases and PCFG.
+	// Step 1: phases and PCFG.  Dependence analysis is independent per
+	// phase.
 	g, err := pcfg.Build(u, opt.PCFG)
 	if err != nil {
 		return nil, err
 	}
+	infoSlots := make([]*dep.PhaseInfo, len(g.Phases))
+	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		infoSlots[i] = dep.Analyze(u, g.Phases[i].Stmts(), opt.DefaultTrip)
+		return nil
+	}); err != nil {
+		return nil, pipelineErr("dependence analysis", err)
+	}
 	infos := map[int]*dep.PhaseInfo{}
-	for _, ph := range g.Phases {
-		infos[ph.ID] = dep.Analyze(u, ph.Stmts(), opt.DefaultTrip)
+	for i, ph := range g.Phases {
+		infos[ph.ID] = infoSlots[i]
 	}
 
-	// Step 2a: alignment search spaces.
+	// Step 2a: alignment search spaces (the 0-1 resolutions fan out
+	// inside BuildSearchSpaces over the same worker count).
 	alignOpt := opt.Align
 	if alignOpt.Solver == nil {
 		alignOpt.Solver = budget
 	}
-	spaces, err := align.BuildSearchSpaces(u, g, infos, alignOpt)
+	if alignOpt.Workers == 0 {
+		alignOpt.Workers = opt.Workers
+	}
+	spaces, err := align.BuildSearchSpaces(ctx, u, g, infos, alignOpt)
 	if err != nil {
-		return nil, err
+		return nil, pipelineErr("alignment", err)
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("core: canceled during alignment: %w", cerr)
@@ -252,9 +379,10 @@ func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (r
 		alignDegs = append(alignDegs, deg)
 	}
 
-	// Step 2b: distribution search spaces (cross product).
+	// Step 2b: distribution search spaces (cross product), independent
+	// per phase.
 	tpl := layout.Template{Extents: u.TemplateExtents()}
-	res = &Result{
+	res := &Result{
 		Unit:       u,
 		PCFG:       g,
 		Template:   tpl,
@@ -263,12 +391,13 @@ func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (r
 		Machine:    opt.Machine,
 		opt:        opt,
 		alignDegs:  alignDegs,
+		prices:     newPriceCache(opt.NoCache),
+		remaps:     newRemapCache(opt.NoCache),
 	}
 	dOpt := distrib.Options{Procs: opt.Procs, Cyclic: opt.Cyclic, MultiDim: opt.MultiDim}
-	for _, ph := range g.Phases {
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, fmt.Errorf("core: canceled during estimation: %w", cerr)
-		}
+	res.Phases = make([]*PhaseResult, len(g.Phases))
+	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		ph := g.Phases[i]
 		// Candidate layouts are *complete* data layouts: arrays the
 		// phase (or its class) never couples get canonical embeddings,
 		// so transitions account for every array that actually moves.
@@ -278,22 +407,44 @@ func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (r
 		space := distrib.BuildSpace(tpl, spaces.PerPhase[ph.ID], dOpt)
 		space = filterUserConstraints(u, space)
 		if len(space) == 0 {
-			return nil, &ValidationError{Msg: fmt.Sprintf("phase %d: user directives eliminate every candidate layout", ph.ID)}
+			return &ValidationError{Msg: fmt.Sprintf("phase %d: user directives eliminate every candidate layout", ph.ID)}
 		}
-		pr := &PhaseResult{Phase: ph, Info: infos[ph.ID], DataType: phaseType(u, ph)}
-		// Step 3: performance estimation per candidate.
-		for _, pl := range space {
-			plan := compmodel.Analyze(u, infos[ph.ID], pl.Layout, opt.Compiler)
-			est := execmodel.Evaluate(plan, pr.DataType, opt.Machine, opt.Compiler)
-			pr.Candidates = append(pr.Candidates, &Candidate{
-				Layout:      pl.Layout,
-				AlignOrigin: pl.AlignOrigin,
-				Plan:        plan,
-				Estimate:    est,
-				Cost:        est.Time * ph.Freq,
-			})
+		pr := &PhaseResult{
+			Phase:      ph,
+			Info:       infos[ph.ID],
+			DataType:   phaseType(u, ph),
+			sig:        fortran.PrintStmts(ph.Stmts()),
+			Candidates: make([]*Candidate, len(space)),
 		}
-		res.Phases = append(res.Phases, pr)
+		for j, pl := range space {
+			pr.Candidates[j] = &Candidate{Layout: pl.Layout, AlignOrigin: pl.AlignOrigin}
+		}
+		res.Phases[i] = pr
+		return nil
+	}); err != nil {
+		return nil, pipelineErr("estimation", err)
+	}
+
+	// Step 3: performance estimation.  Pricing fans out over the
+	// flattened (phase, candidate) pairs — not per phase — so one phase
+	// with a huge space cannot serialize the pool; each job writes its
+	// own slot.
+	type job struct{ p, c int }
+	var jobs []job
+	for p, pr := range res.Phases {
+		for c := range pr.Candidates {
+			jobs = append(jobs, job{p, c})
+		}
+	}
+	if err := par.Do(ctx, opt.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		pr := res.Phases[j.p]
+		cand := pr.Candidates[j.c]
+		cand.Plan, cand.Estimate = res.price(pr, cand.Layout)
+		cand.Cost = cand.Estimate.Time * pr.Phase.Freq
+		return nil
+	}); err != nil {
+		return nil, pipelineErr("estimation", err)
 	}
 
 	res.LiveIn = liveness(g, infos)
@@ -328,7 +479,8 @@ func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solve
 // user browse the explicit search spaces and insert or delete
 // candidates; call Reselect afterwards to recompute the optimal
 // selection, total cost and remapping decisions.  Each call gets a
-// fresh Options.Timeout budget.
+// fresh Options.Timeout budget; transition costs already priced by the
+// original run come from the remap cache.
 func (r *Result) Reselect() (err error) {
 	defer guard(&err)
 	ctx := context.Background()
@@ -337,7 +489,9 @@ func (r *Result) Reselect() (err error) {
 
 // reselect solves the selection with the given budget, degrading to
 // the exact chain DP or the greedy per-phase heuristic when the ILP is
-// cut off without an incumbent, and rebuilds Result.Degradations.
+// cut off without an incumbent, and rebuilds Result.Degradations.  The
+// per-edge transition cost matrices are independent, so they fan out
+// over the worker pool into index-addressed slots.
 func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 	lg := &layoutgraph.Graph{NodeCost: make([][]float64, len(r.Phases))}
 	for p, pr := range r.Phases {
@@ -346,19 +500,47 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 			lg.NodeCost[p][i] = c.Cost
 		}
 	}
-	for _, e := range r.PCFG.Edges {
-		from, to := r.Phases[e.From], r.Phases[e.To]
-		edge := &layoutgraph.Edge{FromPhase: e.From, ToPhase: e.To}
-		edge.Cost = make([][]float64, len(from.Candidates))
-		liveArrays := liveNames(r.LiveIn[e.To])
-		for i, ci := range from.Candidates {
-			edge.Cost[i] = make([]float64, len(to.Candidates))
-			for j, cj := range to.Candidates {
-				c := remap.Cost(ci.Layout, cj.Layout, r.Unit.Arrays, liveArrays, r.Machine)
-				edge.Cost[i][j] = c * e.Freq
+	// Precompute each candidate layout's cache key once: the edge
+	// matrices look every layout up O(edges × candidates) times, and
+	// building the key is comparable in cost to the pricing it saves.
+	var keys [][]string
+	if r.remaps != nil {
+		keys = make([][]string, len(r.Phases))
+		for p, pr := range r.Phases {
+			keys[p] = make([]string, len(pr.Candidates))
+			for i, c := range pr.Candidates {
+				keys[p][i] = c.Layout.FullKey()
 			}
 		}
-		lg.Edges = append(lg.Edges, edge)
+	}
+	key := func(p, i int) string {
+		if keys == nil {
+			return ""
+		}
+		return keys[p][i]
+	}
+	if n := len(r.PCFG.Edges); n > 0 {
+		edges := make([]*layoutgraph.Edge, n)
+		if err := par.Do(ctx, par.Workers(r.opt.Workers), n, func(k int) error {
+			e := r.PCFG.Edges[k]
+			from, to := r.Phases[e.From], r.Phases[e.To]
+			edge := &layoutgraph.Edge{FromPhase: e.From, ToPhase: e.To}
+			edge.Cost = make([][]float64, len(from.Candidates))
+			liveArrays := liveNames(r.LiveIn[e.To])
+			joined := strings.Join(liveArrays, "\x1f")
+			for i, ci := range from.Candidates {
+				edge.Cost[i] = make([]float64, len(to.Candidates))
+				for j, cj := range to.Candidates {
+					c := r.remapCost(ci.Layout, cj.Layout, key(e.From, i), key(e.To, j), liveArrays, joined)
+					edge.Cost[i][j] = c * e.Freq
+				}
+			}
+			edges[k] = edge
+			return nil
+		}); err != nil {
+			return pipelineErr("selection", err)
+		}
+		lg.Edges = edges
 	}
 	if r.opt.MergePhases {
 		lg.Ties = r.mergeTies(lg)
@@ -425,9 +607,12 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 		r.Remaps = append(r.Remaps, RemapDecision{
 			Edge:   e,
 			Arrays: moved,
-			Cost:   remap.Cost(from, to, r.Unit.Arrays, moved, r.Machine) * e.Freq,
+			Cost: r.remapCost(from, to,
+				key(e.From, r.Phases[e.From].Chosen), key(e.To, r.Phases[e.To].Chosen),
+				moved, strings.Join(moved, "\x1f")) * e.Freq,
 		})
 	}
+	r.syncCacheStats()
 	return nil
 }
 
@@ -523,8 +708,7 @@ func (r *Result) InsertCandidate(phase int, l *layout.Layout, origin string) (id
 			return i, fmt.Errorf("core: phase %d already has an identical candidate (index %d)", phase, i)
 		}
 	}
-	plan := compmodel.Analyze(r.Unit, pr.Info, l, r.opt.Compiler)
-	est := execmodel.Evaluate(plan, pr.DataType, r.Machine, r.opt.Compiler)
+	plan, est := r.price(pr, l)
 	pr.Candidates = append(pr.Candidates, &Candidate{
 		Layout:      l,
 		AlignOrigin: origin,
@@ -532,6 +716,7 @@ func (r *Result) InsertCandidate(phase int, l *layout.Layout, origin string) (id
 		Estimate:    est,
 		Cost:        est.Time * pr.Phase.Freq,
 	})
+	r.syncCacheStats()
 	return len(pr.Candidates) - 1, nil
 }
 
@@ -704,7 +889,12 @@ func (r *Result) EvaluatePinned(pick func(pr *PhaseResult) int) (float64, []int,
 	for _, e := range r.PCFG.Edges {
 		from := r.Phases[e.From].Candidates[choice[e.From]].Layout
 		to := r.Phases[e.To].Candidates[choice[e.To]].Layout
-		total += remap.Cost(from, to, r.Unit.Arrays, liveNames(r.LiveIn[e.To]), r.Machine) * e.Freq
+		names := liveNames(r.LiveIn[e.To])
+		var fk, tk string
+		if r.remaps != nil {
+			fk, tk = from.FullKey(), to.FullKey()
+		}
+		total += r.remapCost(from, to, fk, tk, names, strings.Join(names, "\x1f")) * e.Freq
 	}
 	return total, choice, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -62,7 +63,7 @@ func Ablations(n16 bool) ([]AblationRow, error) {
 			if mod != nil {
 				mod(&opt)
 			}
-			res, err := core.AutoLayout(src, opt)
+			res, err := core.Analyze(context.Background(), core.Input{Source: src}, opt)
 			if err != nil {
 				return 0, nil, fmt.Errorf("%s: %w", c.name, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func ablationPoint(t *testing.T, mod func(*core.Options)) *core.Result {
 	if mod != nil {
 		mod(&opt)
 	}
-	res, err := core.AutoLayout(programs.Adi(64, fortran.Double), opt)
+	res, err := core.Analyze(context.Background(), core.Input{Source: programs.Adi(64, fortran.Double)}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

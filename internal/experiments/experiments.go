@@ -19,6 +19,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -91,7 +92,7 @@ func Run(c Case, modify func(*core.Options)) (*CaseResult, error) {
 	if modify != nil {
 		modify(&opt)
 	}
-	res, err := core.AutoLayout(src, opt)
+	res, err := core.Analyze(context.Background(), core.Input{Source: src}, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -228,7 +229,7 @@ func ILPSizes() ([]ILPSizeRow, error) {
 	var rows []ILPSizeRow
 	for _, c := range headline {
 		spec, _ := programs.ByName(c.Program)
-		res, err := core.AutoLayout(spec.Source(c.N, c.Type), core.Options{Procs: c.Procs})
+		res, err := core.Analyze(context.Background(), core.Input{Source: spec.Source(c.N, c.Type)}, core.Options{Procs: c.Procs})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Program, err)
 		}

@@ -36,6 +36,17 @@ func Print(p *Program) string {
 	return b.String()
 }
 
+// PrintStmts renders a statement list in the same form Print uses for
+// a program body.  Two statement lists with equal renderings are
+// structurally identical, including trip and probability hints, so the
+// rendering serves as a canonical signature of a phase's computation
+// (the phase component of core's pricing memoization key).
+func PrintStmts(stmts []Stmt) string {
+	var b strings.Builder
+	printStmts(&b, stmts, 0)
+	return b.String()
+}
+
 func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
 	ind := strings.Repeat("  ", depth)
 	for _, s := range stmts {

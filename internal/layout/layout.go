@@ -342,6 +342,27 @@ func (l *Layout) Key() string {
 	return b.String()
 }
 
+// FullKey is a canonical signature of the layout's exact structure:
+// the distribution of every template dimension plus every array's
+// embedding into the template.  Unlike Key, it distinguishes transposed
+// orientations, so two layouts share a FullKey exactly when the
+// compiler and execution models are guaranteed to price them
+// identically — it is the layout component of the pricing memoization
+// key (see core's cache).
+func (l *Layout) FullKey() string {
+	var b strings.Builder
+	for t, d := range l.Dist {
+		if t > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(d.String())
+	}
+	for _, a := range l.Align.Arrays() {
+		fmt.Fprintf(&b, "|%s:%v", a, l.Align.Map[a])
+	}
+	return b.String()
+}
+
 // ArrayKey is the canonical signature of one array's placement,
 // including which distributed template dimension each array dimension
 // occupies (two arrays whose dimensions land on different processor
@@ -376,7 +397,35 @@ func gridAxis(l *Layout, t int) int {
 // SameArrayPlacement reports whether array is placed identically by l
 // and m (no remapping needed for it on a transition).
 func SameArrayPlacement(l, m *Layout, array string) bool {
-	return l.ArrayKey(array) == m.ArrayKey(array)
+	// Structural comparison equivalent to l.ArrayKey(array) ==
+	// m.ArrayKey(array), without building the strings: this runs once
+	// per (array, layout pair) inside every transition pricing, the
+	// hottest loop of the whole tool.
+	a, b := l.Align.Map[array], m.Align.Map[array]
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		dl, dm := l.Dist[a[k]], m.Dist[b[k]]
+		lSerial := dl.Kind == Star || dl.Procs <= 1
+		mSerial := dm.Kind == Star || dm.Procs <= 1
+		if lSerial || mSerial {
+			if lSerial != mSerial {
+				return false
+			}
+			continue
+		}
+		if dl.Kind != dm.Kind || dl.Procs != dm.Procs {
+			return false
+		}
+		if dl.Kind == BlockCyclic && dl.Size != dm.Size {
+			return false
+		}
+		if gridAxis(l, a[k]) != gridAxis(m, b[k]) {
+			return false
+		}
+	}
+	return true
 }
 
 func (l *Layout) String() string {

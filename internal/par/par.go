@@ -1,0 +1,118 @@
+// Package par is the bounded fan-out primitive of the candidate
+// evaluation pipeline: it runs a fixed number of independent,
+// index-addressed jobs on a capped pool of goroutines.
+//
+// Results are communicated through slots the caller indexes by job
+// number, so completion order never influences output order — parallel
+// and sequential executions of the same job set are byte-identical
+// downstream.  The pool honors context cancellation between jobs and
+// converts worker panics into *PanicError values, keeping the core
+// package's recover-at-the-boundary contract intact across goroutines.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError carries a panic recovered on a worker goroutine so the
+// caller can surface it behind its own recovery boundary instead of
+// crashing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic: %v", e.Value)
+}
+
+// Workers normalizes a worker-count option: n when positive, otherwise
+// runtime.NumCPU().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Do runs job(0) .. job(n-1) on at most workers goroutines and waits
+// for all started jobs to finish.  workers <= 1 runs the jobs on the
+// calling goroutine in index order.
+//
+// The first failure (by job index) is returned; once any job fails or
+// ctx is canceled no further jobs start, though in-flight jobs run to
+// completion.  A nil ctx means context.Background().  When every
+// started job succeeds but the context was canceled, the context's
+// error is returned, so callers observe cancellation even if it landed
+// between jobs.
+func Do(ctx context.Context, workers, n int, job func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(job, i); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+
+	var (
+		next int64 = -1
+		stop atomic.Bool
+		errs = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := run(job, i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// run executes one job, converting a panic into a *PanicError.
+func run(job func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return job(i)
+}

@@ -1,0 +1,136 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		var ran atomic.Int64
+		out := make([]int, n)
+		err := Do(context.Background(), workers, n, func(i int) error {
+			out[i] = i * i
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != int64(n) {
+			t.Fatalf("workers=%d: ran %d of %d jobs", workers, ran.Load(), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	if err := Do(context.Background(), 4, 0, func(int) error {
+		t.Fatal("job ran")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoReturnsError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Do(context.Background(), workers, 20, func(i int) error {
+			if i == 7 {
+				return fmt.Errorf("job %d: %w", i, boom)
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+	}
+}
+
+func TestDoStopsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	err := Do(context.Background(), 1, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("sequential mode ran %d jobs after error at index 3", ran.Load())
+	}
+}
+
+func TestDoCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := Do(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+	}
+}
+
+func TestDoCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Do(ctx, 4, 10000, func(i int) error {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+	if ran.Load() == 10000 {
+		t.Fatal("cancellation did not stop the fan-out early")
+	}
+}
+
+func TestDoPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Do(context.Background(), workers, 10, func(i int) error {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+		if fmt.Sprint(pe.Value) != "kaboom" {
+			t.Fatalf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 {
+		t.Fatal("default worker count must be positive")
+	}
+}
