@@ -544,3 +544,26 @@ func BenchmarkSelectionUnderDeadline(b *testing.B) {
 		b.ReportMetric(0, "degraded")
 	}
 }
+
+// BenchmarkVerifyOverhead measures the price of Options.Verify on a
+// full end-to-end run: the Off/On sub-benchmarks differ only in the
+// certification work (LP/ILP certificates at every 0-1 solve,
+// alignment legality, selection re-walk, and the cache-bypassing cost
+// re-derivation).  Compare the two ns/op figures; the design target is
+// on/off ≤ 1.10.
+func BenchmarkVerifyOverhead(b *testing.B) {
+	src := programs.Shallow(128, fortran.Real)
+	for _, mode := range []struct {
+		name string
+		v    core.VerifyMode
+	}{{"Off", core.VerifyOff}, {"On", core.VerifyOn}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(context.Background(), core.Input{Source: src},
+					core.Options{Procs: 16, Verify: mode.v}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

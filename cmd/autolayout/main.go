@@ -16,10 +16,16 @@
 // the tool keeps the best feasible answer and reports the degradation
 // (with its optimality gap) as "! degraded:" comment lines.  -strict
 // turns any such degradation into a hard failure instead.
+//
+// -verify independently re-certifies every solver product (LP and 0-1
+// solutions, alignment legality, the final selection, and the
+// re-derived costs) before printing anything; a failed certificate
+// prints the claimed-vs-recomputed diff and exits non-zero.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +55,7 @@ func main() {
 	workers := flag.Int("j", 0, "worker goroutines for the evaluation pipeline (0 = all CPUs, 1 = sequential; output is identical either way)")
 	noCache := flag.Bool("no-cache", false, "disable pricing/remapping memoization")
 	stats := flag.Bool("stats", false, "report cache hit rates after the tool-time line")
+	doVerify := flag.Bool("verify", false, "independently certify every solver product; a failed certificate exits non-zero with a claimed-vs-recomputed diff")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -65,6 +72,9 @@ func main() {
 		Strict:   *strict,
 		Workers:  *workers,
 		NoCache:  *noCache,
+	}
+	if *doVerify {
+		opt.Verify = core.VerifyOn
 	}
 	opt.PCFG.IgnoreProbHints = *guess
 	switch {
@@ -90,6 +100,18 @@ func main() {
 
 	res, err := core.Analyze(context.Background(), core.Input{Source: src}, opt)
 	if err != nil {
+		var cerr *core.CertificationError
+		if errors.As(err, &cerr) {
+			fmt.Fprintln(os.Stderr, "autolayout: CERTIFICATION FAILED — the pipeline's claim does not survive independent recomputation")
+			fmt.Fprintf(os.Stderr, "  stage:      %s\n", cerr.Stage)
+			fmt.Fprintf(os.Stderr, "  check:      %s\n", cerr.Check)
+			fmt.Fprintf(os.Stderr, "  claimed:    %g\n", cerr.Claimed)
+			fmt.Fprintf(os.Stderr, "  recomputed: %g\n", cerr.Recomputed)
+			if cerr.Detail != "" {
+				fmt.Fprintf(os.Stderr, "  detail:     %s\n", cerr.Detail)
+			}
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	fmt.Print(res.EmitHPF())

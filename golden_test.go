@@ -1,0 +1,109 @@
+// Golden end-to-end regression corpus: for each program in the corpus
+// the expected data layout and cost live under testdata/golden/, and
+// every run — at Workers=1 and Workers=8 — must reproduce them byte
+// for byte.  A behavior change that shifts a layout or a cost shows up
+// as a readable golden diff instead of a silently different answer.
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestGolden -update
+package repro_test
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fortran"
+	"repro/internal/programs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden/")
+
+// exampleSource extracts the `const src = ...` program literal from an
+// example's main.go, so the corpus tracks exactly what the examples
+// demonstrate without duplicating the programs here.
+func exampleSource(t *testing.T, dir string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("examples", dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile("(?s)const src = `\n(.*?)`").FindSubmatch(b)
+	if m == nil {
+		t.Fatalf("examples/%s/main.go has no `const src` block", dir)
+	}
+	return string(m[1])
+}
+
+// goldenRender is the certified observable of one run: the emitted HPF
+// program, the whole-program cost, and the remapping decisions.
+func goldenRender(res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total_cost_us: %.6f\n", res.TotalCost)
+	fmt.Fprintf(&b, "dynamic: %v\n", res.Dynamic)
+	for _, rd := range res.Remaps {
+		fmt.Fprintf(&b, "remap %d->%d: %s (%.6f us)\n",
+			rd.Edge.From, rd.Edge.To, strings.Join(rd.Arrays, ","), rd.Cost)
+	}
+	b.WriteString(res.EmitHPF())
+	return b.String()
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	adi128, err := os.ReadFile(filepath.Join("testdata", "adi128.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := []struct {
+		name string
+		src  string
+	}{
+		{"adi", programs.Adi(48, fortran.Double)},
+		{"erlebacher", programs.Erlebacher(16, fortran.Double)},
+		{"tomcatv", programs.Tomcatv(32, fortran.Double)},
+		{"shallow", programs.Shallow(32, fortran.Real)},
+		{"adi128", string(adi128)},
+		{"quickstart", exampleSource(t, "quickstart")},
+		{"conflict", exampleSource(t, "conflict")},
+	}
+	for _, tc := range corpus {
+		t.Run(tc.name, func(t *testing.T) {
+			var renders []string
+			for _, workers := range []int{1, 8} {
+				res, err := core.Analyze(context.Background(), core.Input{Source: tc.src},
+					core.Options{Procs: 8, Workers: workers, Verify: core.VerifyOn})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				renders = append(renders, goldenRender(res))
+			}
+			if renders[0] != renders[1] {
+				t.Fatalf("Workers=1 and Workers=8 disagree:\n--- w1 ---\n%s\n--- w8 ---\n%s", renders[0], renders[1])
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(renders[0]), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if renders[0] != string(want) {
+				t.Errorf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", tc.name, renders[0], want)
+			}
+		})
+	}
+}

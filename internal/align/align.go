@@ -12,11 +12,14 @@ import (
 
 	"repro/internal/cag"
 	"repro/internal/dep"
+	"repro/internal/fault"
 	"repro/internal/fortran"
 	"repro/internal/ilp"
 	"repro/internal/layout"
 	"repro/internal/par"
 	"repro/internal/pcfg"
+	"repro/internal/stage"
+	"repro/internal/verify"
 )
 
 // Options configures alignment analysis.
@@ -37,6 +40,15 @@ type Options struct {
 	// are merged in a fixed order, so any worker count produces the
 	// same Spaces.
 	Workers int
+	// Verify enables independent certification of every resolution:
+	// legality of the assignment (orientation completeness, type-2
+	// constraints) and recomputation of the cut weight, for optimal,
+	// degraded and greedy resolutions alike (verify.CheckAlignment).
+	Verify bool
+	// Fault is the chaos fault-injection plan (nil outside tests); the
+	// stage.AlignSolve site fires around every resolution, and its
+	// Corrupt action perturbs the claimed cut weight.
+	Fault *fault.Plan
 }
 
 func (o Options) defaults() Options {
@@ -368,21 +380,31 @@ type resolution struct {
 // resolveOne dispatches to the ILP or greedy resolver.  It is pure with
 // respect to the Spaces under construction: stats and degradations
 // travel in the returned resolution and are recorded later, in
-// sequential order, by record.
+// sequential order, by record.  The stage.AlignSolve fault site fires
+// here, and Options.Verify certifies the resolution — after any
+// injected corruption, so a corrupted resolution cannot escape.
 func resolveOne(g *cag.Graph, d int, opt Options, where string) (*resolution, error) {
-	if opt.Greedy {
-		res, err := cag.ResolveGreedy(g, d)
-		if err != nil {
-			return nil, err
-		}
-		return &resolution{res: res}, nil
+	if err := opt.Fault.Err(stage.AlignSolve); err != nil {
+		return nil, err
 	}
-	res, err := cag.Resolve(g, d, opt.Solver)
+	var res *cag.Resolution
+	var err error
+	if opt.Greedy {
+		res, err = cag.ResolveGreedy(g, d)
+	} else {
+		res, err = cag.Resolve(g, d, opt.Solver)
+	}
 	if err != nil {
 		return nil, err
 	}
+	res.CutWeight = opt.Fault.Corrupt(stage.AlignSolve, res.CutWeight)
+	if opt.Verify {
+		if cerr := verify.CheckAlignment(g, d, res); cerr != nil {
+			return nil, cerr
+		}
+	}
 	out := &resolution{res: res}
-	if res.Degraded {
+	if !opt.Greedy && res.Degraded {
 		out.deg = &Degradation{Where: where, Reason: res.DegradeReason, Gap: res.Gap}
 	}
 	return out, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/execmodel"
 	"repro/internal/layout"
 	"repro/internal/remap"
+	"repro/internal/stage"
 )
 
 // CacheStats counts the traffic of one memoization layer.
@@ -109,13 +110,24 @@ func (c *priceCache) stats() CacheStats {
 // pure, so the duplicate work is harmless and the values identical);
 // both count as misses.
 func (r *Result) price(pr *PhaseResult, l *layout.Layout) (*compmodel.Plan, execmodel.Estimate) {
+	// The cache fault site: price has no error return, so an injected
+	// failure panics and surfaces as the usual typed *InternalError via
+	// the package's recovery boundaries — semantically right for a
+	// broken memoization layer.  Corruption perturbs the estimate a
+	// cached (or fresh) lookup hands back, which the Result certificate
+	// catches by re-deriving costs straight from the models.
+	if ferr := r.opt.Fault.Err(stage.Cache); ferr != nil {
+		panic(ferr)
+	}
 	k := priceKey{sig: pr.sig, layout: l.FullKey()}
 	if v, ok := r.prices.get(k); ok {
+		v.est.Time = r.opt.Fault.Corrupt(stage.Cache, v.est.Time)
 		return v.plan, v.est
 	}
 	plan := compmodel.Analyze(r.Unit, pr.Info, l, r.opt.Compiler)
 	est := execmodel.Evaluate(plan, pr.DataType, r.Machine, r.opt.Compiler)
 	r.prices.put(k, priced{plan: plan, est: est})
+	est.Time = r.opt.Fault.Corrupt(stage.Cache, est.Time)
 	return plan, est
 }
 

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/compmodel"
+	"repro/internal/execmodel"
+	"repro/internal/remap"
+	"repro/internal/stage"
+	"repro/internal/verify"
+)
+
+// certClose reports whether a claimed and a recomputed value agree
+// within verify.Tol at the given scale.
+func certClose(a, b, scale float64) bool {
+	return math.Abs(a-b) <= verify.Tol*math.Max(1, math.Abs(scale))
+}
+
+// Certify independently re-checks the Result against the models it was
+// derived from, sharing no state with the pipeline that produced it:
+// the selection must pick exactly one in-range candidate per phase
+// (with Phases[p].Chosen agreeing), every chosen candidate's cost must
+// match a fresh compiler/execution-model evaluation that bypasses the
+// pricing cache, every recorded remapping's cost must match a fresh
+// remap evaluation that bypasses the remap cache, and TotalCost must
+// equal the fully re-derived whole-program cost.  Analyze and Reselect
+// run it automatically when Options.Verify resolves to on; callers can
+// also invoke it directly (the CLI's -verify flag does).  A failure is
+// a *CertificationError naming the stage whose claim broke.
+func (r *Result) Certify() error {
+	sel := r.Selection
+	if sel == nil {
+		return &CertificationError{Stage: stage.Selection, Check: "selection-missing",
+			Detail: "result carries no selection"}
+	}
+	if len(sel.Choice) != len(r.Phases) {
+		return &CertificationError{Stage: stage.Selection, Check: "choice-shape",
+			Claimed: float64(len(sel.Choice)), Recomputed: float64(len(r.Phases)),
+			Detail: "one candidate choice required per phase"}
+	}
+	total := 0.0
+	for p, pr := range r.Phases {
+		i := sel.Choice[p]
+		if i < 0 || i >= len(pr.Candidates) {
+			return &CertificationError{Stage: stage.Selection, Check: "choice-range",
+				Claimed: float64(i), Recomputed: float64(len(pr.Candidates)),
+				Detail: fmt.Sprintf("phase %d chose candidate %d of %d", p, i, len(pr.Candidates))}
+		}
+		if pr.Chosen != i {
+			return &CertificationError{Stage: stage.Selection, Check: "chosen-sync",
+				Claimed: float64(pr.Chosen), Recomputed: float64(i),
+				Detail: fmt.Sprintf("phase %d: Chosen diverges from Selection.Choice", p)}
+		}
+		c := pr.Candidates[i]
+		// Fresh evaluation straight from the models: a corrupted pricing
+		// or a stale cache entry cannot satisfy this.
+		plan := compmodel.Analyze(r.Unit, pr.Info, c.Layout, r.opt.Compiler)
+		est := execmodel.Evaluate(plan, pr.DataType, r.Machine, r.opt.Compiler)
+		want := est.Time * pr.Phase.Freq
+		if !certClose(c.Cost, want, want) {
+			return &CertificationError{Stage: stage.Pricing, Check: "candidate-cost",
+				Claimed: c.Cost, Recomputed: want,
+				Detail: fmt.Sprintf("phase %d candidate %d (%s)", p, i, c.Layout.Key())}
+		}
+		total += want
+	}
+	for _, e := range r.PCFG.Edges {
+		from := r.Phases[e.From].ChosenLayout()
+		to := r.Phases[e.To].ChosenLayout()
+		names := liveNames(r.LiveIn[e.To])
+		total += remap.Cost(from, to, r.Unit.Arrays, names, r.Machine) * e.Freq
+	}
+	for _, rd := range r.Remaps {
+		from := r.Phases[rd.Edge.From].ChosenLayout()
+		to := r.Phases[rd.Edge.To].ChosenLayout()
+		want := remap.Cost(from, to, r.Unit.Arrays, rd.Arrays, r.Machine) * rd.Edge.Freq
+		if !certClose(rd.Cost, want, want) {
+			return &CertificationError{Stage: stage.Selection, Check: "remap-cost",
+				Claimed: rd.Cost, Recomputed: want,
+				Detail: fmt.Sprintf("edge %d->%d (%s)", rd.Edge.From, rd.Edge.To, strings.Join(rd.Arrays, ","))}
+		}
+	}
+	if !certClose(r.TotalCost, total, total) {
+		return &CertificationError{Stage: stage.Selection, Check: "total-cost",
+			Claimed: r.TotalCost, Recomputed: total,
+			Detail: "whole-program cost re-derived from the models"}
+	}
+	if !certClose(sel.Cost, r.TotalCost, r.TotalCost) {
+		return &CertificationError{Stage: stage.Selection, Check: "total-cost",
+			Claimed: sel.Cost, Recomputed: r.TotalCost,
+			Detail: "Selection.Cost diverges from Result.TotalCost"}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/stage"
+)
+
+// chaosOptions is the configuration every chaos run shares: verification
+// forced on (the invariant under test is "typed error or certified
+// result"), a real worker pool, and a solver budget that bounds every
+// 0-1 solve.
+func chaosOptions(p *fault.Plan) Options {
+	return Options{Procs: 8, Workers: 4, Timeout: time.Second, Verify: VerifyOn, Fault: p}
+}
+
+// typedChaosError reports whether err is one of the typed shapes the
+// pipeline is allowed to fail with: an injected fault, a recovered
+// panic, a failed certificate, a strict-mode degradation, invalid
+// input, or a context cutoff.  Anything else is an untyped leak.
+func typedChaosError(err error) bool {
+	var fe *fault.Error
+	var ie *InternalError
+	var ce *CertificationError
+	var se *StrictError
+	var ve *ValidationError
+	return errors.As(err, &fe) || errors.As(err, &ie) || errors.As(err, &ce) ||
+		errors.As(err, &se) || errors.As(err, &ve) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// corruptibleSites lists the sites whose Corrupt action perturbs a
+// numeric product; corruption there MUST be caught by a certificate.
+// The remaining sites (parse, dep, space-build) have no numeric product
+// and ignore Corrupt.
+var corruptibleSites = map[string]bool{
+	stage.AlignSolve: true,
+	stage.Pricing:    true,
+	stage.ILPRoot:    true,
+	stage.BBNode:     true,
+	stage.Selection:  true,
+	stage.Cache:      true,
+}
+
+// TestChaosSiteCoverage: a plain run under an armed-but-empty plan must
+// visit every named injection site, so the sweep below exercises real
+// code paths rather than dead hooks.
+func TestChaosSiteCoverage(t *testing.T) {
+	plan := fault.NewPlan(1)
+	if _, err := Analyze(context.Background(), Input{Source: adiSmall}, chaosOptions(plan)); err != nil {
+		t.Fatal(err)
+	}
+	hits := plan.Hits()
+	for _, site := range stage.All {
+		if hits[site] == 0 {
+			t.Errorf("site %s never hit during a plain run", site)
+		}
+	}
+}
+
+// TestChaosSweep sweeps every fault site crossed with every action and
+// asserts the pipeline's invariant: Analyze returns either a typed
+// error or a certificate-passing (possibly degraded) result — never a
+// silent wrong answer, and never a hang past the deadline plus slack.
+func TestChaosSweep(t *testing.T) {
+	const (
+		delay = 5 * time.Millisecond
+		// slack bounds a run whose injected delays are outside the solver
+		// budget (the fan-out stages sleep per hit, not per deadline).
+		slack = 15 * time.Second
+	)
+	for _, site := range stage.All {
+		for _, action := range fault.Actions {
+			t.Run(site+"/"+action.String(), func(t *testing.T) {
+				plan := fault.NewPlan(7).Arm(site, fault.Rule{Action: action, Delay: delay})
+				start := time.Now()
+				res, err := Analyze(context.Background(), Input{Source: adiSmall}, chaosOptions(plan))
+				if elapsed := time.Since(start); elapsed > slack {
+					t.Fatalf("run took %v, past deadline+slack", elapsed)
+				}
+				if plan.Hits()[site] == 0 {
+					t.Fatalf("armed site %s never hit", site)
+				}
+				if err != nil {
+					if !typedChaosError(err) {
+						t.Fatalf("untyped error escaped: %v (%T)", err, err)
+					}
+					if res != nil {
+						t.Fatal("non-nil result alongside an error")
+					}
+					return
+				}
+				// No error: the result must be complete and must satisfy an
+				// independent re-certification.
+				if res == nil || res.Selection == nil || len(res.Phases) == 0 {
+					t.Fatal("incomplete result without error")
+				}
+				if cerr := res.Certify(); cerr != nil {
+					t.Fatalf("silent wrong answer: %v", cerr)
+				}
+				// A fault that actually fired must not vanish: fail and
+				// panic cannot produce a clean run.
+				if plan.Fired(site) > 0 && (action == fault.Fail || action == fault.Panic) {
+					t.Fatalf("%v fired %d times at %s yet the run succeeded", action, plan.Fired(site), site)
+				}
+				if action == fault.Corrupt && corruptibleSites[site] && plan.Fired(site) > 0 {
+					t.Fatalf("corruption fired %d times at %s yet the result certified", plan.Fired(site), site)
+				}
+			})
+		}
+	}
+}
+
+// TestCorruptionCaught pins the acceptance criterion: a corrupted value
+// injected at each solver product is caught by the certificates, and
+// the resulting *CertificationError names the stage whose claim broke.
+func TestCorruptionCaught(t *testing.T) {
+	cases := []struct {
+		site string
+		// wantStage is the stage the certificate attributes the failure
+		// to (cache corruption surfaces as a broken pricing claim).
+		wantStage []string
+	}{
+		{stage.Pricing, []string{stage.Pricing}},
+		{stage.Cache, []string{stage.Pricing}},
+		// The incumbent corruptions: a perturbed objective or a flipped
+		// binary, caught by CheckILP at whichever solve fires first.
+		{stage.ILPRoot, []string{stage.ILPRoot}},
+		{stage.BBNode, []string{stage.BBNode, stage.ILPRoot}},
+		{stage.AlignSolve, []string{stage.AlignSolve}},
+		{stage.Selection, []string{stage.Selection}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.site, func(t *testing.T) {
+			plan := fault.NewPlan(13).Arm(tc.site, fault.Rule{Action: fault.Corrupt})
+			_, err := Analyze(context.Background(), Input{Source: adiSmall}, chaosOptions(plan))
+			var ce *CertificationError
+			if !errors.As(err, &ce) {
+				t.Fatalf("corruption at %s not certified away: err = %v (%T)", tc.site, err, err)
+			}
+			ok := false
+			for _, want := range tc.wantStage {
+				if ce.Stage == want {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("certification error names stage %q, want one of %v (check %s)", ce.Stage, tc.wantStage, ce.Check)
+			}
+			if ce.Check == "" {
+				t.Error("certification error carries no check name")
+			}
+		})
+	}
+}
+
+// TestCorruptionEscapesWithoutVerify documents that the certificates
+// are load-bearing: the same pricing corruption that fails a verifying
+// run sails through with Verify off, shifting the reported cost.
+func TestCorruptionEscapesWithoutVerify(t *testing.T) {
+	base, err := Analyze(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, Workers: 4, Verify: VerifyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(13).Arm(stage.Pricing, fault.Rule{Action: fault.Corrupt})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, Workers: 4, Verify: VerifyOff, Fault: plan})
+	if err != nil {
+		t.Fatalf("unverified corrupted run failed: %v", err)
+	}
+	if res.TotalCost == base.TotalCost {
+		t.Fatal("corruption did not change the reported cost; the detection test proves nothing")
+	}
+	if cerr := res.Certify(); cerr == nil {
+		t.Fatal("explicit Certify call missed the corruption")
+	}
+}
+
+// TestVerifyModeResolution: the zero value certifies inside test
+// binaries, VerifyOff never does, VerifyOn always does.
+func TestVerifyModeResolution(t *testing.T) {
+	if !VerifyAuto.enabled() {
+		t.Error("VerifyAuto should resolve to on inside a test binary")
+	}
+	if !VerifyOn.enabled() {
+		t.Error("VerifyOn off")
+	}
+	if VerifyOff.enabled() {
+		t.Error("VerifyOff on")
+	}
+}

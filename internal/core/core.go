@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/align"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/dep"
 	"repro/internal/distrib"
 	"repro/internal/execmodel"
+	"repro/internal/fault"
 	"repro/internal/fortran"
 	"repro/internal/ilp"
 	"repro/internal/layout"
@@ -42,7 +44,36 @@ import (
 	"repro/internal/par"
 	"repro/internal/pcfg"
 	"repro/internal/remap"
+	"repro/internal/stage"
+	"repro/internal/verify"
 )
+
+// VerifyMode selects whether every solver product is independently
+// certified (package verify) before the Result is returned.
+type VerifyMode uint8
+
+const (
+	// VerifyAuto (the zero value) certifies inside test binaries and
+	// skips certification in production runs: tests get the safety net by
+	// default, production pays nothing unless asked.
+	VerifyAuto VerifyMode = iota
+	// VerifyOn always certifies; a failed certificate returns a
+	// *CertificationError instead of the result.
+	VerifyOn
+	// VerifyOff never certifies.
+	VerifyOff
+)
+
+// enabled resolves the mode: VerifyAuto follows testing.Testing().
+func (m VerifyMode) enabled() bool {
+	switch m {
+	case VerifyOn:
+		return true
+	case VerifyOff:
+		return false
+	}
+	return testing.Testing()
+}
 
 // Options parameterizes the tool: the framework is explicitly
 // parameterized by compiler, machine, problem size (in the source) and
@@ -98,6 +129,15 @@ type Options struct {
 	// routinely share identical candidate layouts, so repeated
 	// compiler/execution-model evaluations become map hits.
 	NoCache bool
+	// Verify controls independent certification of every solver product
+	// (package verify): LP and 0-1 solutions, alignment resolutions, the
+	// final selection, and the Result's re-derived costs.  The zero
+	// value, VerifyAuto, certifies in test binaries and skips in
+	// production; a failed certificate surfaces as *CertificationError.
+	Verify VerifyMode
+	// Fault is the fault-injection plan driving chaos tests (package
+	// fault).  nil — the default — disarms every injection site.
+	Fault *fault.Plan
 }
 
 // Validate checks the options without normalizing them: the processor
@@ -254,6 +294,7 @@ type Input struct {
 // The Timeout clock starts before parsing, so parse time counts against
 // the budget rather than stretching it.
 func Analyze(ctx context.Context, in Input, opt Options) (res *Result, err error) {
+	defer promoteCert(&err)
 	defer guard(&err)
 	start := time.Now()
 	if ctx == nil {
@@ -265,6 +306,9 @@ func Analyze(ctx context.Context, in Input, opt Options) (res *Result, err error
 	opt = opt.withDefaults()
 	u := in.Unit
 	if u == nil {
+		if ferr := opt.Fault.Err(stage.Parse); ferr != nil {
+			return nil, ferr
+		}
 		prog, perr := fortran.Parse(in.Source)
 		if perr != nil {
 			return nil, perr
@@ -308,14 +352,16 @@ func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (*
 // pipelineErr normalizes an error escaping a parallel stage: a worker
 // panic surfaces as the same *InternalError a panic on the calling
 // goroutine becomes, and context cancellation is labeled with the stage
-// it interrupted.  Everything else passes through.
-func pipelineErr(stage string, err error) error {
+// it interrupted (st is a package stage constant, the same vocabulary
+// used by Degradation.Subsystem and the fault-injection sites).
+// Everything else passes through.
+func pipelineErr(st string, err error) error {
 	var pe *par.PanicError
 	if errors.As(err, &pe) {
 		return &InternalError{Msg: fmt.Sprint(pe.Value), Stack: pe.Stack}
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return fmt.Errorf("core: canceled during %s: %w", stage, err)
+		return fmt.Errorf("core: canceled during %s: %w", st, err)
 	}
 	return err
 }
@@ -340,10 +386,13 @@ func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options)
 	}
 	infoSlots := make([]*dep.PhaseInfo, len(g.Phases))
 	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		if ferr := opt.Fault.Err(stage.Dep); ferr != nil {
+			return ferr
+		}
 		infoSlots[i] = dep.Analyze(u, g.Phases[i].Stmts(), opt.DefaultTrip)
 		return nil
 	}); err != nil {
-		return nil, pipelineErr("dependence analysis", err)
+		return nil, pipelineErr(stage.Dep, err)
 	}
 	infos := map[int]*dep.PhaseInfo{}
 	for i, ph := range g.Phases {
@@ -359,17 +408,19 @@ func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options)
 	if alignOpt.Workers == 0 {
 		alignOpt.Workers = opt.Workers
 	}
+	alignOpt.Fault = opt.Fault
+	alignOpt.Verify = opt.Verify.enabled()
 	spaces, err := align.BuildSearchSpaces(ctx, u, g, infos, alignOpt)
 	if err != nil {
-		return nil, pipelineErr("alignment", err)
+		return nil, pipelineErr(stage.AlignSolve, err)
 	}
 	if cerr := ctx.Err(); cerr != nil {
-		return nil, fmt.Errorf("core: canceled during alignment: %w", cerr)
+		return nil, fmt.Errorf("core: canceled during %s: %w", stage.AlignSolve, cerr)
 	}
 	var alignDegs []Degradation
 	for _, d := range spaces.Degradations {
 		deg := Degradation{
-			Subsystem: "alignment",
+			Subsystem: stage.AlignSolve,
 			Detail:    fmt.Sprintf("%s: %s", d.Where, d.Reason),
 			Gap:       d.Gap,
 		}
@@ -397,6 +448,9 @@ func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options)
 	dOpt := distrib.Options{Procs: opt.Procs, Cyclic: opt.Cyclic, MultiDim: opt.MultiDim}
 	res.Phases = make([]*PhaseResult, len(g.Phases))
 	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		if ferr := opt.Fault.Err(stage.SpaceBuild); ferr != nil {
+			return ferr
+		}
 		ph := g.Phases[i]
 		// Candidate layouts are *complete* data layouts: arrays the
 		// phase (or its class) never couples get canonical embeddings,
@@ -422,7 +476,7 @@ func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options)
 		res.Phases[i] = pr
 		return nil
 	}); err != nil {
-		return nil, pipelineErr("estimation", err)
+		return nil, pipelineErr(stage.SpaceBuild, err)
 	}
 
 	// Step 3: performance estimation.  Pricing fans out over the
@@ -437,14 +491,17 @@ func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options)
 		}
 	}
 	if err := par.Do(ctx, opt.Workers, len(jobs), func(i int) error {
+		if ferr := opt.Fault.Err(stage.Pricing); ferr != nil {
+			return ferr
+		}
 		j := jobs[i]
 		pr := res.Phases[j.p]
 		cand := pr.Candidates[j.c]
 		cand.Plan, cand.Estimate = res.price(pr, cand.Layout)
-		cand.Cost = cand.Estimate.Time * pr.Phase.Freq
+		cand.Cost = opt.Fault.Corrupt(stage.Pricing, cand.Estimate.Time*pr.Phase.Freq)
 		return nil
 	}); err != nil {
-		return nil, pipelineErr("estimation", err)
+		return nil, pipelineErr(stage.Pricing, err)
 	}
 
 	res.LiveIn = liveness(g, infos)
@@ -453,13 +510,24 @@ func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options)
 	if err := res.reselect(ctx, budget); err != nil {
 		return nil, err
 	}
+	// The final certificate: with verification on, re-derive the
+	// Result's claimed costs from the models (bypassing the caches) and
+	// re-check the selection's shape before handing it to the caller.
+	if opt.Verify.enabled() {
+		if cerr := res.Certify(); cerr != nil {
+			return nil, cerr
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
 // solverBudget derives the shared 0-1 solver for one run: the caller's
 // Solver settings plus the run's context and the Options.Timeout
-// deadline (whichever cutoff is earliest wins inside the solver).
+// deadline (whichever cutoff is earliest wins inside the solver).  It
+// also arms the solver with the run's fault plan and — when
+// verification is on — installs the package verify certificates, so
+// every 0-1 solve in the run is checked at the source.
 func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solver {
 	s := ilp.Solver{}
 	if opt.Solver != nil {
@@ -470,6 +538,11 @@ func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solve
 		if dl := start.Add(opt.Timeout); s.Deadline.IsZero() || dl.Before(s.Deadline) {
 			s.Deadline = dl
 		}
+	}
+	s.Fault = opt.Fault
+	if opt.Verify.enabled() {
+		s.Certify = verify.CheckILP
+		s.CertifyLP = verify.CheckLP
 	}
 	return &s
 }
@@ -482,9 +555,16 @@ func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solve
 // fresh Options.Timeout budget; transition costs already priced by the
 // original run come from the remap cache.
 func (r *Result) Reselect() (err error) {
+	defer promoteCert(&err)
 	defer guard(&err)
 	ctx := context.Background()
-	return r.reselect(ctx, solverBudget(&r.opt, ctx, time.Now()))
+	if err := r.reselect(ctx, solverBudget(&r.opt, ctx, time.Now())); err != nil {
+		return err
+	}
+	if r.opt.Verify.enabled() {
+		return r.Certify()
+	}
+	return nil
 }
 
 // reselect solves the selection with the given budget, degrading to
@@ -538,13 +618,16 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 			edges[k] = edge
 			return nil
 		}); err != nil {
-			return pipelineErr("selection", err)
+			return pipelineErr(stage.Selection, err)
 		}
 		lg.Edges = edges
 	}
 	if r.opt.MergePhases {
 		lg.Ties = r.mergeTies(lg)
 		r.MergedPairs = len(lg.Ties)
+	}
+	if ferr := r.opt.Fault.Err(stage.Selection); ferr != nil {
+		return ferr
 	}
 	var sel *layoutgraph.Selection
 	var err error
@@ -577,11 +660,19 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 	if cerr := ctx.Err(); cerr != nil {
 		// Cancellation is a hard stop even when an incumbent exists;
 		// deadline-based degradation goes through Options.Timeout.
-		return fmt.Errorf("core: canceled during selection: %w", cerr)
+		return fmt.Errorf("core: canceled during %s: %w", stage.Selection, cerr)
+	}
+	// Corruption lands before certification so an injected wrong answer
+	// is always in the checker's line of fire.
+	sel.Cost = r.opt.Fault.Corrupt(stage.Selection, sel.Cost)
+	if r.opt.Verify.enabled() {
+		if cerr := verify.CheckSelection(lg, sel); cerr != nil {
+			return cerr
+		}
 	}
 	r.Degradations = append([]Degradation(nil), r.alignDegs...)
 	if sel.Degraded {
-		deg := Degradation{Subsystem: "selection", Detail: sel.DegradeReason, Gap: sel.Gap}
+		deg := Degradation{Subsystem: stage.Selection, Detail: sel.DegradeReason, Gap: sel.Gap}
 		if r.opt.Strict {
 			return &StrictError{Deg: deg}
 		}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"repro/internal/verify"
 )
 
 // Degradation records one graceful fallback taken while solving: a
@@ -12,8 +15,10 @@ import (
 // failing.  The layouts in the Result remain valid; only proven
 // optimality is forfeited.
 type Degradation struct {
-	// Subsystem names the solve that degraded: "alignment" or
-	// "selection".
+	// Subsystem names the pipeline stage whose solve degraded —
+	// stage.AlignSolve or stage.Selection, from the shared stage
+	// vocabulary (package stage), so degradations, cancellation labels,
+	// fault sites and certification failures all correlate by name.
 	Subsystem string
 	// Detail describes the cutoff and the fallback taken.
 	Detail string
@@ -62,6 +67,54 @@ type StrictError struct {
 
 func (e *StrictError) Error() string {
 	return fmt.Sprintf("core: strict mode: %s solve degraded: %s", e.Deg.Subsystem, e.Deg.Detail)
+}
+
+// CertificationError reports a failed result certificate: with
+// Options.Verify enabled, every solver product is independently
+// re-checked, and a product whose recomputed value disagrees with its
+// claim fails the run with this error instead of silently shipping a
+// wrong-but-plausible answer.  Encountering one means a bug (or an
+// injected fault) in the pipeline, never in the input program.
+type CertificationError struct {
+	// Stage is the pipeline stage whose product failed (package stage).
+	Stage string
+	// Check names the certificate check that failed.
+	Check string
+	// Claimed is the value the pipeline reported; Recomputed is the
+	// independently re-derived value it disagrees with.
+	Claimed, Recomputed float64
+	// Detail pins the failure to a variable, constraint or phase.
+	Detail string
+}
+
+func (e *CertificationError) Error() string {
+	s := fmt.Sprintf("core: certification failed at %s (%s): claimed %g, recomputed %g",
+		e.Stage, e.Check, e.Claimed, e.Recomputed)
+	if e.Detail != "" {
+		s += " — " + e.Detail
+	}
+	return s
+}
+
+// promoteCert rewrites a *verify.Error escaping the pipeline (from the
+// solver certification hooks or the alignment checker) into the public
+// *CertificationError.  Deferred at the API boundaries after guard, so
+// callers see one typed certification error regardless of which layer
+// detected the inconsistency.
+func promoteCert(err *error) {
+	if *err == nil {
+		return
+	}
+	var ve *verify.Error
+	if errors.As(*err, &ve) {
+		*err = &CertificationError{
+			Stage:      ve.Stage,
+			Check:      ve.Check,
+			Claimed:    ve.Claimed,
+			Recomputed: ve.Recomputed,
+			Detail:     ve.Detail,
+		}
+	}
 }
 
 // guard converts a panic escaping the framework into a typed

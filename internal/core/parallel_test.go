@@ -10,6 +10,7 @@ import (
 	"repro/internal/fortran"
 	"repro/internal/par"
 	"repro/internal/programs"
+	"repro/internal/stage"
 )
 
 // render is the full observable output of a run: the emitted HPF
@@ -192,14 +193,14 @@ func TestOptionsValidate(t *testing.T) {
 func TestPipelineErrShapes(t *testing.T) {
 	pe := &par.PanicError{Value: "boom", Stack: []byte("stack")}
 	var ie *InternalError
-	if err := pipelineErr("estimation", pe); !errors.As(err, &ie) || !strings.Contains(ie.Msg, "boom") {
+	if err := pipelineErr(stage.Pricing, pe); !errors.As(err, &ie) || !strings.Contains(ie.Msg, "boom") {
 		t.Fatalf("worker panic not converted to *InternalError: %v", err)
 	}
-	if err := pipelineErr("estimation", context.Canceled); !strings.Contains(err.Error(), "canceled during estimation") || !errors.Is(err, context.Canceled) {
+	if err := pipelineErr(stage.Pricing, context.Canceled); !strings.Contains(err.Error(), "canceled during "+stage.Pricing) || !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancellation not labeled with stage: %v", err)
 	}
 	plain := errors.New("plain")
-	if err := pipelineErr("estimation", plain); err != plain {
+	if err := pipelineErr(stage.Pricing, plain); err != plain {
 		t.Fatalf("plain error not passed through: %v", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/machine"
 	"repro/internal/pcfg"
+	"repro/internal/stage"
 )
 
 // TestRank1Program: a purely 1-D program (vector template).
@@ -430,7 +431,7 @@ func TestStrictModeFailsHard(t *testing.T) {
 	if !errors.As(err, &serr) {
 		t.Fatalf("err = %v (%T), want *StrictError", err, err)
 	}
-	if serr.Deg.Subsystem != "alignment" && serr.Deg.Subsystem != "selection" {
+	if serr.Deg.Subsystem != stage.AlignSolve && serr.Deg.Subsystem != stage.Selection {
 		t.Errorf("strict error names subsystem %q", serr.Deg.Subsystem)
 	}
 }

@@ -16,7 +16,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/lp"
+	"repro/internal/stage"
 )
 
 // Status reports the outcome of a 0-1 solve.
@@ -113,6 +115,23 @@ type Solver struct {
 	// strictly ordered and the bound actually prunes; the reported
 	// objective is recomputed with the original coefficients.
 	NoPerturb bool
+	// Certify, when non-nil, independently re-checks every Result
+	// before Solve returns it: the hook receives the original problem
+	// (bounds and objective restored), the binary variable list and the
+	// result, and a non-nil error fails the solve.  Package core
+	// installs verify.CheckILP here when certification is enabled, so
+	// every 0-1 solve in a run ships with a checked certificate.
+	Certify func(p *lp.Problem, binaries []int, res *Result) error
+	// CertifyLP, when non-nil, re-checks the root LP relaxation (the
+	// solution whose objective becomes the global Bound).  Package core
+	// installs verify.CheckLP here alongside Certify.
+	CertifyLP func(p *lp.Problem, sol *lp.Solution) error
+	// Fault is the chaos fault-injection plan (nil outside tests).  The
+	// solver exposes two sites: stage.ILPRoot at solve entry (its
+	// Corrupt action perturbs the incumbent objective) and stage.BBNode
+	// at every branch-and-bound node (its Corrupt action flips one
+	// binary of the incumbent).
+	Fault *fault.Plan
 }
 
 // deadline resolves the effective absolute cutoff for a solve starting
@@ -139,7 +158,38 @@ var ErrUnbounded = errors.New("ilp: LP relaxation unbounded")
 // Solve minimizes p subject to the listed variables being 0 or 1.
 // Bounds of the binary variables must be within [0,1]; other variables
 // remain continuous.  The problem's bounds are restored before return.
+//
+// With Fault armed, the stage.ILPRoot and stage.BBNode sites fire (see
+// the field docs); with Certify set, the result is independently
+// re-checked — after any injected corruption, so an injected wrong
+// answer cannot escape a certifying solver.
 func (s *Solver) Solve(p *lp.Problem, binaries []int) (*Result, error) {
+	if err := s.Fault.Err(stage.ILPRoot); err != nil {
+		return nil, err
+	}
+	res, err := s.solve(p, binaries)
+	if err != nil {
+		return nil, err
+	}
+	if res.X != nil {
+		if s.Fault.ShouldCorrupt(stage.BBNode) && len(binaries) > 0 {
+			v := binaries[0]
+			res.X[v] = 1 - res.X[v]
+		}
+		res.Objective = s.Fault.Corrupt(stage.ILPRoot, res.Objective)
+	}
+	if s.Certify != nil {
+		if cerr := s.Certify(p, binaries, res); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, nil
+}
+
+// solve is the branch-and-bound body; it restores the problem's bounds
+// and objective before returning, so Solve's certification hook sees
+// the original problem.
+func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
 	start := time.Now()
 	maxNodes := s.MaxNodes
 	if maxNodes == 0 {
@@ -186,6 +236,8 @@ func (s *Solver) Solve(p *lp.Problem, binaries []int) (*Result, error) {
 		ctx:       s.Context,
 		best:      math.Inf(1),
 		rootBound: math.Inf(-1),
+		certifyLP: s.CertifyLP,
+		fault:     s.Fault,
 	}
 	if !s.NoPerturb {
 		// The root LP bound is computed against the perturbed
@@ -251,6 +303,8 @@ type bbState struct {
 	boundSlack float64 // perturbation discount applied to rootBound
 	hitLimit   bool
 	limit      Status // which limit fired (valid when hitLimit)
+	certifyLP  func(*lp.Problem, *lp.Solution) error
+	fault      *fault.Plan
 }
 
 // setLimit records the first limit that fired; later limits (e.g. the
@@ -289,6 +343,9 @@ func (bb *bbState) dive() error {
 		bb.setLimit(NodeLimit)
 		return nil
 	}
+	if err := bb.fault.Err(stage.BBNode); err != nil {
+		return err
+	}
 	bb.nodes++
 	sol, err := bb.p.SolveAbort(bb.expired)
 	if errors.Is(err, lp.ErrCanceled) {
@@ -301,6 +358,11 @@ func (bb *bbState) dive() error {
 	bb.pivots += sol.Iterations
 	if bb.nodes == 1 && sol.Status == lp.Optimal {
 		bb.rootBound = sol.Objective - bb.boundSlack
+		if bb.certifyLP != nil {
+			if cerr := bb.certifyLP(bb.p, sol); cerr != nil {
+				return cerr
+			}
+		}
 	}
 	switch sol.Status {
 	case lp.Infeasible:

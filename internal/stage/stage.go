@@ -1,0 +1,43 @@
+// Package stage is the shared vocabulary of pipeline stage names.
+//
+// One constant set names every stage of the analysis pipeline, so the
+// labels in cancellation errors (core's par fan-outs), the subsystems
+// named by core.Degradation, the sites of the fault-injection registry
+// (package fault) and the stages carried by certification failures
+// (package verify) all correlate: a chaos report, a degradation log
+// line and a certificate error about the same stage use the same word.
+//
+// The package is a leaf: it imports nothing, and everything that names
+// a pipeline stage imports it.
+package stage
+
+// The pipeline stages, in execution order.
+const (
+	// Parse covers parsing and semantic analysis of the input program.
+	Parse = "parse"
+	// Dep is the per-phase dependence analysis fan-out.
+	Dep = "dep"
+	// AlignSolve covers the alignment search-space construction,
+	// including every 0-1 conflict resolution (package align / cag).
+	AlignSolve = "align-solve"
+	// SpaceBuild is the per-phase distribution search-space
+	// construction (cross product, user-constraint filtering).
+	SpaceBuild = "space-build"
+	// Pricing is the per-candidate performance estimation fan-out
+	// (compiler model + execution model).
+	Pricing = "pricing"
+	// ILPRoot is the root of one branch-and-bound solve: the root LP
+	// relaxation that yields the global bound.
+	ILPRoot = "ilp-root"
+	// BBNode is one interior branch-and-bound node.
+	BBNode = "bb-node"
+	// Selection is the final layout selection over the data layout
+	// graph, including the transition-cost matrices.
+	Selection = "selection"
+	// Cache is the pricing/remapping memoization layer.
+	Cache = "cache"
+)
+
+// All lists every stage in execution order; chaos sweeps iterate it so
+// a newly added stage is exercised automatically.
+var All = []string{Parse, Dep, AlignSolve, SpaceBuild, Pricing, ILPRoot, BBNode, Selection, Cache}
