@@ -209,7 +209,7 @@ func benchTotal(b *testing.B, src string, opt core.Options) float64 {
 	var res *core.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = core.AutoLayout(src, opt)
+		res, err = core.Analyze(context.Background(), core.Input{Source: src}, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,7 +301,7 @@ func BenchmarkToolRuntime(b *testing.B) {
 				src = spec.Source(spec.DefaultN, fortran.Real)
 			}
 			for i := 0; i < b.N; i++ {
-				if _, err := core.AutoLayout(src, core.Options{Procs: 16}); err != nil {
+				if _, err := core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: 16}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -472,12 +472,12 @@ func BenchmarkAblationPhaseMerging(b *testing.B) {
 	var merged *core.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		merged, err = core.AutoLayout(src, core.Options{Procs: 16, MergePhases: true})
+		merged, err = core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: 16, MergePhases: true})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	plain, err := core.AutoLayout(src, core.Options{Procs: 16})
+	plain, err := core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: 16})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -562,6 +562,72 @@ func BenchmarkVerifyOverhead(b *testing.B) {
 				if _, err := core.Analyze(context.Background(), core.Input{Source: src},
 					core.Options{Procs: 16, Verify: mode.v}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMachineSweep is the tentpole benchmark for the staged
+// pipeline: re-tuning one program across processor counts, the
+// assistant's interactive loop.  The Cold arm runs a full Analyze per
+// (program, procs) point; the Warm arm reuses a Session's cached
+// machine-independent front half plus a process-wide SharedCache, so
+// only pricing and selection re-run per point.  Both arms produce
+// byte-identical selections (asserted untimed before the measurement);
+// verification is off in both so the timings compare pure pipeline
+// work.
+func BenchmarkMachineSweep(b *testing.B) {
+	cases := []struct{ name, src string }{
+		{"adi", programs.Adi(48, fortran.Double)},
+		{"shallow", programs.Shallow(64, fortran.Real)},
+		{"tomcatv", programs.Tomcatv(32, fortran.Double)},
+	}
+	sweep := []int{2, 4, 8, 16, 32}
+	point := func(p int, shared *core.SharedCache) core.Options {
+		return core.Options{Procs: p, Verify: core.VerifyOff, Cache: shared}
+	}
+	render := func(res *core.Result) string {
+		return res.EmitHPF()
+	}
+	for _, tc := range cases {
+		b.Run("Cold/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range sweep {
+					if _, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, point(p, nil)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run("Warm/"+tc.name, func(b *testing.B) {
+			shared := core.NewSharedCache(0)
+			sess, err := core.NewSession(context.Background(), core.Input{Source: tc.src},
+				core.Options{Procs: sweep[0], Verify: core.VerifyOff})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Untimed warm-up sweep: fills the shared cache and proves
+			// the warm results byte-identical to cold ones.
+			for _, p := range sweep {
+				cold, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, point(p, nil))
+				if err != nil {
+					b.Fatal(err)
+				}
+				warm, err := sess.Analyze(context.Background(), point(p, shared))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if render(cold) != render(warm) {
+					b.Fatalf("procs=%d: warm session selection differs from cold Analyze", p)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range sweep {
+					if _, err := sess.Analyze(context.Background(), point(p, shared)); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

@@ -21,6 +21,14 @@
 // solutions, alignment legality, the final selection, and the
 // re-derived costs) before printing anything; a failed certificate
 // prints the claimed-vs-recomputed diff and exits non-zero.
+//
+// -sweep re-tunes the same program across a comma-separated list of
+// processor counts (e.g. -sweep 2,4,8,16,32): the machine-independent
+// front half of the pipeline — parsing, dependence analysis, the
+// alignment 0-1 solves — runs once (core.Session), and only pricing
+// and selection re-run per point over a shared content-addressed
+// cache.  Each point prints a summary line; add -stats for the
+// per-stage wall-clock breakdown.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -54,8 +63,9 @@ func main() {
 	strict := flag.Bool("strict", false, "fail instead of degrading when a 0-1 solve is cut off")
 	workers := flag.Int("j", 0, "worker goroutines for the evaluation pipeline (0 = all CPUs, 1 = sequential; output is identical either way)")
 	noCache := flag.Bool("no-cache", false, "disable pricing/remapping memoization")
-	stats := flag.Bool("stats", false, "report cache hit rates after the tool-time line")
+	stats := flag.Bool("stats", false, "report cache hit rates and per-stage times after the tool-time line")
 	doVerify := flag.Bool("verify", false, "independently certify every solver product; a failed certificate exits non-zero with a claimed-vs-recomputed diff")
+	sweep := flag.String("sweep", "", "comma-separated processor counts: analyze once, re-tune the layout per count reusing the cached front half (overrides -procs)")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -98,6 +108,13 @@ func main() {
 		fatal(fmt.Errorf("unknown machine %q", *machineName))
 	}
 
+	if *sweep != "" {
+		if err := runSweep(src, opt, *sweep, *stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	res, err := core.Analyze(context.Background(), core.Input{Source: src}, opt)
 	if err != nil {
 		var cerr *core.CertificationError
@@ -122,6 +139,7 @@ func main() {
 		fmt.Printf("! cache: pricing %d hits / %d misses (%.0f%%), remap %d hits / %d misses (%.0f%%)\n",
 			res.Cache.Pricing.Hits, res.Cache.Pricing.Misses, res.Cache.Pricing.HitRate()*100,
 			res.Cache.Remap.Hits, res.Cache.Remap.Misses, res.Cache.Remap.HitRate()*100)
+		fmt.Printf("! stages: %s\n", res.StageTimes)
 	}
 	for _, line := range strings.Split(strings.TrimRight(res.ExplainDegradations(), "\n"), "\n") {
 		if line != "" {
@@ -137,6 +155,48 @@ func main() {
 			fmt.Println("!", line)
 		}
 	}
+}
+
+// runSweep re-tunes the program across processor counts: one Session
+// carries the machine-independent front half, one SharedCache carries
+// the content-addressed pricings, and each grid point re-runs only the
+// machine-dependent back half.
+func runSweep(src string, opt core.Options, grid string, stats bool) error {
+	var counts []int
+	for _, f := range strings.Split(grid, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("-sweep: %w", err)
+		}
+		counts = append(counts, p)
+	}
+	opt.Cache = core.NewSharedCache(0)
+	opt.Procs = counts[0]
+	sess, err := core.NewSession(context.Background(), core.Input{Source: src}, opt)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Printf("! front half (once): %s\n", sess.FrontTimes())
+	}
+	for _, p := range counts {
+		pointOpt := opt
+		pointOpt.Procs = p
+		res, err := sess.Analyze(context.Background(), pointOpt)
+		if err != nil {
+			return fmt.Errorf("procs=%d: %w", p, err)
+		}
+		layout := "static"
+		if res.Dynamic {
+			layout = fmt.Sprintf("dynamic (%d remaps)", len(res.Remaps))
+		}
+		fmt.Printf("! procs %3d: cost %14.3f us, %s, back half %v\n",
+			p, res.TotalCost, layout, res.Elapsed.Round(1e5))
+		if stats {
+			fmt.Printf("!   stages: %s\n", res.StageTimes)
+		}
+	}
+	return nil
 }
 
 func dumpSpaces(res *core.Result) {

@@ -87,6 +87,30 @@ func TestGoldenCorpus(t *testing.T) {
 			if renders[0] != renders[1] {
 				t.Fatalf("Workers=1 and Workers=8 disagree:\n--- w1 ---\n%s\n--- w8 ---\n%s", renders[0], renders[1])
 			}
+			// A warm Session re-run over a shared cache must be
+			// byte-identical to the cold runs above: the cached front
+			// half and the content-addressed pricing layer are pure
+			// reuse, never behavior changes.
+			shared := core.NewSharedCache(0)
+			sess, err := core.NewSession(context.Background(), core.Input{Source: tc.src},
+				core.Options{Procs: 8, Verify: core.VerifyOn, Cache: shared})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 8} {
+				opt := core.Options{Procs: 8, Workers: workers, Verify: core.VerifyOn, Cache: shared}
+				if _, err := sess.Analyze(context.Background(), opt); err != nil {
+					t.Fatalf("session warm-up workers=%d: %v", workers, err)
+				}
+				warm, err := sess.Analyze(context.Background(), opt)
+				if err != nil {
+					t.Fatalf("warm session workers=%d: %v", workers, err)
+				}
+				if got := goldenRender(warm); got != renders[0] {
+					t.Fatalf("warm Session run (workers=%d) differs from cold Analyze:\n--- warm ---\n%s\n--- cold ---\n%s",
+						workers, got, renders[0])
+				}
+			}
 			path := filepath.Join("testdata", "golden", tc.name+".golden")
 			if *updateGolden {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

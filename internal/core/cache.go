@@ -26,12 +26,47 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // CacheSummary reports the effectiveness of the run's memoization
-// layers (see Result.Cache).  With Options.NoCache set both stay zero.
+// layers (see Result.Cache).  With Options.NoCache set all stay zero.
 type CacheSummary struct {
 	// Pricing covers compiler/execution-model candidate evaluations.
 	Pricing CacheStats
 	// Remap covers transition (remapping) cost evaluations.
 	Remap CacheStats
+	// SharedPricing and SharedRemap count this run's traffic against
+	// the injected process-wide cache (Options.Cache): a shared lookup
+	// happens only after a per-run miss, so Pricing.Misses bounds
+	// SharedPricing.Hits + SharedPricing.Misses.  Both stay zero when
+	// no shared cache was injected.
+	SharedPricing CacheStats
+	SharedRemap   CacheStats
+	// SharedSelection counts selection-solve reuse: a hit means the
+	// final 0-1 solve was skipped because an identical problem (same
+	// program, machine, compiler, spaces and selection options) was
+	// already solved under this shared cache.  Selection reuse is
+	// gated to runs without a timeout, custom solver or fault plan.
+	SharedSelection CacheStats
+}
+
+// sharedLayer is one run's view of the injected SharedCache: the
+// precomputed content-hash key prefixes plus per-run traffic counters
+// (the SharedCache's own counters span its whole lifetime).
+type sharedLayer struct {
+	cache *SharedCache
+	keys  sharedKeys
+
+	priceHits, priceMisses atomic.Int64
+	remapHits, remapMisses atomic.Int64
+	selHits, selMisses     atomic.Int64
+}
+
+// priceEntryKey builds the full shared-cache key for one pricing.
+func (sl *sharedLayer) priceEntryKey(k priceKey) string {
+	return sl.keys.price + "\x1f" + k.sig + "\x1f" + k.layout
+}
+
+// remapEntryKey builds the full shared-cache key for one transition.
+func (sl *sharedLayer) remapEntryKey(k remapKey) string {
+	return sl.keys.remap + "\x1f" + k.from + "\x1f" + k.to + "\x1f" + k.names
 }
 
 // priceKey identifies one (phase computation, candidate layout)
@@ -124,11 +159,50 @@ func (r *Result) price(pr *PhaseResult, l *layout.Layout) (*compmodel.Plan, exec
 		v.est.Time = r.opt.Fault.Corrupt(stage.Cache, v.est.Time)
 		return v.plan, v.est
 	}
+	// Per-run miss: consult the shared cross-run layer before paying
+	// for a model evaluation.
+	if v, ok := r.sharedPriceGet(k); ok {
+		r.prices.put(k, v)
+		return v.plan, v.est
+	}
 	plan := compmodel.Analyze(r.Unit, pr.Info, l, r.opt.Compiler)
 	est := execmodel.Evaluate(plan, pr.DataType, r.Machine, r.opt.Compiler)
 	r.prices.put(k, priced{plan: plan, est: est})
+	if sl := r.shared; sl != nil {
+		sl.cache.put(sl.priceEntryKey(k), priced{plan: plan, est: est})
+	}
 	est.Time = r.opt.Fault.Corrupt(stage.Cache, est.Time)
 	return plan, est
+}
+
+// sharedPriceGet looks a pricing up in the process-wide shared cache.
+// The cache-shared fault site fires on every lookup (so chaos sweeps
+// exercise the layer even when cold), and its Corrupt action poisons
+// the estimate a hit serves — which the Result certificate catches by
+// re-deriving costs straight from the models.
+func (r *Result) sharedPriceGet(k priceKey) (priced, bool) {
+	sl := r.shared
+	if sl == nil {
+		return priced{}, false
+	}
+	if ferr := r.opt.Fault.Err(stage.CacheShared); ferr != nil {
+		panic(ferr)
+	}
+	v, ok := sl.cache.get(sl.priceEntryKey(k))
+	if !ok {
+		sl.priceMisses.Add(1)
+		return priced{}, false
+	}
+	p, good := v.(priced)
+	if !good {
+		// A foreign value under our key can only mean a corrupted
+		// cache; treat it as a miss and recompute.
+		sl.priceMisses.Add(1)
+		return priced{}, false
+	}
+	sl.priceHits.Add(1)
+	p.est.Time = r.opt.Fault.Corrupt(stage.CacheShared, p.est.Time)
+	return p, true
 }
 
 // remapKey identifies one transition pricing: the exact source and
@@ -180,11 +254,44 @@ func (r *Result) remapCost(from, to *layout.Layout, fromKey, toKey string, names
 		return v
 	}
 	r.remaps.misses.Add(1)
+	if sv, sok := r.sharedRemapGet(k); sok {
+		r.remaps.mu.Lock()
+		r.remaps.m[k] = sv
+		r.remaps.mu.Unlock()
+		return sv
+	}
 	v = remap.Cost(from, to, r.Unit.Arrays, names, r.Machine)
 	r.remaps.mu.Lock()
 	r.remaps.m[k] = v
 	r.remaps.mu.Unlock()
+	if sl := r.shared; sl != nil {
+		sl.cache.put(sl.remapEntryKey(k), v)
+	}
 	return v
+}
+
+// sharedRemapGet looks a transition cost up in the process-wide shared
+// cache; same fault-site semantics as sharedPriceGet.
+func (r *Result) sharedRemapGet(k remapKey) (float64, bool) {
+	sl := r.shared
+	if sl == nil {
+		return 0, false
+	}
+	if ferr := r.opt.Fault.Err(stage.CacheShared); ferr != nil {
+		panic(ferr)
+	}
+	v, ok := sl.cache.get(sl.remapEntryKey(k))
+	if !ok {
+		sl.remapMisses.Add(1)
+		return 0, false
+	}
+	c, good := v.(float64)
+	if !good {
+		sl.remapMisses.Add(1)
+		return 0, false
+	}
+	sl.remapHits.Add(1)
+	return r.opt.Fault.Corrupt(stage.CacheShared, c), true
 }
 
 // syncCacheStats snapshots the cache counters into the public Result
@@ -192,4 +299,9 @@ func (r *Result) remapCost(from, to *layout.Layout, fromKey, toKey string, names
 // candidates or transitions.
 func (r *Result) syncCacheStats() {
 	r.Cache = CacheSummary{Pricing: r.prices.stats(), Remap: r.remaps.stats()}
+	if sl := r.shared; sl != nil {
+		r.Cache.SharedPricing = CacheStats{Hits: sl.priceHits.Load(), Misses: sl.priceMisses.Load()}
+		r.Cache.SharedRemap = CacheStats{Hits: sl.remapHits.Load(), Misses: sl.remapMisses.Load()}
+		r.Cache.SharedSelection = CacheStats{Hits: sl.selHits.Load(), Misses: sl.selMisses.Load()}
+	}
 }

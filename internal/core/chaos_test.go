@@ -12,10 +12,12 @@ import (
 
 // chaosOptions is the configuration every chaos run shares: verification
 // forced on (the invariant under test is "typed error or certified
-// result"), a real worker pool, and a solver budget that bounds every
-// 0-1 solve.
+// result"), a real worker pool, a solver budget that bounds every 0-1
+// solve, and a fresh shared cache so the cache-shared site is on the
+// visited path (a cold cache still performs lookups).
 func chaosOptions(p *fault.Plan) Options {
-	return Options{Procs: 8, Workers: 4, Timeout: time.Second, Verify: VerifyOn, Fault: p}
+	return Options{Procs: 8, Workers: 4, Timeout: time.Second, Verify: VerifyOn, Fault: p,
+		Cache: NewSharedCache(0)}
 }
 
 // typedChaosError reports whether err is one of the typed shapes the
@@ -35,8 +37,12 @@ func typedChaosError(err error) bool {
 
 // corruptibleSites lists the sites whose Corrupt action perturbs a
 // numeric product; corruption there MUST be caught by a certificate.
-// The remaining sites (parse, dep, space-build) have no numeric product
-// and ignore Corrupt.
+// The remaining sites either have no numeric product (parse, dep,
+// space-build) or cannot guarantee their corruption reaches the final
+// claims: cache-shared only perturbs values served from shared hits,
+// and in a cold run those are worker races that may land entirely off
+// the chosen path.  TestChaosSharedCachePoison warms the cache first,
+// where every lookup hits, and asserts detection there.
 var corruptibleSites = map[string]bool{
 	stage.AlignSolve: true,
 	stage.Pricing:    true,
@@ -179,6 +185,47 @@ func TestCorruptionEscapesWithoutVerify(t *testing.T) {
 	if cerr := res.Certify(); cerr == nil {
 		t.Fatal("explicit Certify call missed the corruption")
 	}
+}
+
+// TestChaosSharedCachePoison pins the cross-run safety property: a
+// poisoned process-wide cache must be caught by the certificates, not
+// served.  The first run warms the shared cache; the second run reads
+// it with the cache-shared site armed, so hits actually occur and the
+// injected corruption lands on served values.
+func TestChaosSharedCachePoison(t *testing.T) {
+	shared := NewSharedCache(0)
+	warm := chaosOptions(fault.NewPlan(1))
+	warm.Cache = shared
+	if _, err := Analyze(context.Background(), Input{Source: adiSmall}, warm); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("corrupt", func(t *testing.T) {
+		plan := fault.NewPlan(13).Arm(stage.CacheShared, fault.Rule{Action: fault.Corrupt})
+		opt := chaosOptions(plan)
+		opt.Cache = shared
+		_, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+		if plan.Fired(stage.CacheShared) == 0 {
+			t.Fatal("warm shared cache served no hits; the poison never landed")
+		}
+		var ce *CertificationError
+		if !errors.As(err, &ce) {
+			t.Fatalf("poisoned shared-cache value not certified away: err = %v (%T)", err, err)
+		}
+	})
+
+	t.Run("fail", func(t *testing.T) {
+		plan := fault.NewPlan(13).Arm(stage.CacheShared, fault.Rule{Action: fault.Fail})
+		opt := chaosOptions(plan)
+		opt.Cache = shared
+		res, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+		if err == nil {
+			t.Fatalf("failing shared cache produced a clean run (res = %v)", res != nil)
+		}
+		if !typedChaosError(err) {
+			t.Fatalf("untyped error escaped the shared-cache layer: %v (%T)", err, err)
+		}
+	})
 }
 
 // TestVerifyModeResolution: the zero value certifies inside test

@@ -17,23 +17,36 @@
 // A partially specified user layout (!hpf$ directives in the source)
 // constrains the search spaces, implementing the paper's "extend a
 // partially specified data layout" use case.
+//
+// # Staged-artifact pipeline
+//
+// The pipeline is an explicit sequence of typed stage functions named
+// by the package stage vocabulary (parse → dep → align-solve →
+// space-build → pricing → selection; see stages.go), each consuming
+// and producing immutable artifact values carrying content-hash keys
+// (package artifact).  Two consequences:
+//
+//   - The front half (parse, dependence analysis, PCFG, alignment
+//     search spaces) is machine-independent, so a Session can cache it
+//     once and re-run only the back half under different machine
+//     models and processor counts — the assistant's interactive
+//     re-tuning loop (§1).
+//   - Pricing and remapping evaluations are content-addressed, so a
+//     process-wide SharedCache (Options.Cache) can be reused across
+//     concurrent and successive runs without invalidation.
 package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"math"
-	"sort"
-	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/align"
+	"repro/internal/artifact"
 	"repro/internal/cag"
 	"repro/internal/compmodel"
 	"repro/internal/dep"
-	"repro/internal/distrib"
 	"repro/internal/execmodel"
 	"repro/internal/fault"
 	"repro/internal/fortran"
@@ -43,9 +56,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/par"
 	"repro/internal/pcfg"
-	"repro/internal/remap"
 	"repro/internal/stage"
-	"repro/internal/verify"
 )
 
 // VerifyMode selects whether every solver product is independently
@@ -123,12 +134,20 @@ type Options struct {
 	// Results are merged in a fixed order, so every worker count
 	// produces byte-identical output.
 	Workers int
-	// NoCache disables the pricing and remapping memoization layer
-	// (every candidate and transition is evaluated from scratch and
-	// Result.Cache stays zero).  The cache is on by default: phases
+	// NoCache disables every memoization layer — the per-run pricing
+	// and remapping caches and any injected shared cache — so each
+	// candidate and transition is evaluated from scratch and
+	// Result.Cache stays zero.  Caching is on by default: phases
 	// routinely share identical candidate layouts, so repeated
 	// compiler/execution-model evaluations become map hits.
 	NoCache bool
+	// Cache is an optional process-wide shared cache for pricing and
+	// remapping evaluations, safe across concurrent Analyze calls and
+	// Sessions because entries are keyed by content hashes of
+	// everything they depend on (program, machine model, compiler
+	// options; see SharedCache).  nil preserves the per-run-only
+	// behaviour; NoCache disables the shared layer too.
+	Cache *SharedCache
 	// Verify controls independent certification of every solver product
 	// (package verify): LP and 0-1 solutions, alignment resolutions, the
 	// final selection, and the Result's re-derived costs.  The zero
@@ -168,8 +187,7 @@ func (o *Options) Validate() error {
 // withDefaults returns a copy with every optional field normalized:
 // nil machine ⇒ iPSC/860, DefaultTrip 0 ⇒ 100 (matching the PCFG's own
 // trip default), Workers 0 ⇒ runtime.NumCPU().  It is the single
-// defaulting path shared by Analyze, the deprecated wrappers and the
-// CLIs.
+// defaulting path shared by Analyze, Session and the CLIs.
 func (o Options) withDefaults() Options {
 	if o.Machine == nil {
 		o.Machine = machine.IPSC860()
@@ -241,7 +259,8 @@ type Result struct {
 	LiveIn map[int]map[string]bool
 	// Machine is the model the estimates were priced against.
 	Machine *machine.Model
-	// Elapsed is the total tool running time.
+	// Elapsed is the total tool running time (for a Session re-run,
+	// the back half only — the front half was cached).
 	Elapsed time.Duration
 	// Dynamic reports whether the chosen layout remaps at runtime.
 	Dynamic bool
@@ -255,9 +274,23 @@ type Result struct {
 	// way; entries describe forfeited optimality, with gaps when known.
 	Degradations []Degradation
 
-	// Cache reports the hit rates of the pricing and remapping
-	// memoization layers (all zero with Options.NoCache).
+	// Cache reports the hit rates of the run's memoization layers (all
+	// zero with Options.NoCache).
 	Cache CacheSummary
+
+	// StageTimes records the wall-clock time spent in each pipeline
+	// stage, keyed by the package stage vocabulary.  Stages that run
+	// again later (selection, after a Reselect) accumulate.  Session
+	// re-runs carry only back-half stages; Session.FrontTimes has the
+	// cached front half.
+	StageTimes stage.Timings
+
+	// Artifacts carries the content-hash keys of the stage products
+	// this result was derived from (stage.Parse → unit, stage.Dep →
+	// dependence-annotated PCFG, stage.AlignSolve → alignment spaces).
+	// Results with equal artifact keys under equal options are
+	// interchangeable.
+	Artifacts map[string]artifact.Key
 
 	// opt retains the invocation options for re-selection after search
 	// space edits.
@@ -267,6 +300,19 @@ type Result struct {
 	// Reselect keep benefiting from them.
 	prices *priceCache
 	remaps *remapCache
+	// shared is the run's view of the injected SharedCache (nil when
+	// none, or with Options.NoCache).
+	shared *sharedLayer
+	// selCtx is the content-hash key under which this run's selection
+	// solve may be reused from the shared cache ("" when ineligible:
+	// no shared cache, a timeout/custom solver, or an armed fault
+	// plan, any of which can change the solve's outcome or must
+	// exercise its sites).
+	selCtx string
+	// spacesDirty is set by InsertCandidate/DeleteCandidate: the
+	// search spaces no longer match the artifact keys, so Reselect
+	// must solve fresh rather than reuse a cached selection.
+	spacesDirty bool
 	// alignDegs retains the alignment-stage degradations so Reselect
 	// can rebuild Degradations (the selection entries change per call).
 	alignDegs []Degradation
@@ -285,8 +331,8 @@ type Input struct {
 // Analyze runs the complete framework: option validation and
 // defaulting, parsing (when the input is source), phase partitioning,
 // search space construction, candidate pricing and layout selection.
-// It is the single entry point; the AutoLayout* functions are thin
-// deprecated wrappers around it.
+// It is the single entry point for one-shot runs; use Session to reuse
+// the machine-independent front half across re-runs.
 //
 // The context and Options.Timeout are plumbed into every 0-1 solve: a
 // canceled or expired context fails the run with a hard error, while an
@@ -304,247 +350,21 @@ func Analyze(ctx context.Context, in Input, opt Options) (res *Result, err error
 		return nil, err
 	}
 	opt = opt.withDefaults()
-	u := in.Unit
-	if u == nil {
-		if ferr := opt.Fault.Err(stage.Parse); ferr != nil {
-			return nil, ferr
-		}
-		prog, perr := fortran.Parse(in.Source)
-		if perr != nil {
-			return nil, perr
-		}
-		u, err = fortran.Analyze(prog)
-		if err != nil {
-			return nil, err
-		}
+	tm := stage.Timings{}
+	ua, err := stageParse(in, opt, tm)
+	if err != nil {
+		return nil, err
 	}
-	return analyze(ctx, start, u, opt)
-}
-
-// AutoLayout runs the complete framework on dialect source code.
-//
-// Deprecated: use Analyze with Input{Source: src}.
-func AutoLayout(src string, opt Options) (*Result, error) {
-	return Analyze(context.Background(), Input{Source: src}, opt)
-}
-
-// AutoLayoutContext is AutoLayout under a context.
-//
-// Deprecated: use Analyze with Input{Source: src}.
-func AutoLayoutContext(ctx context.Context, src string, opt Options) (*Result, error) {
-	return Analyze(ctx, Input{Source: src}, opt)
-}
-
-// AutoLayoutUnit runs the framework on an analyzed program.
-//
-// Deprecated: use Analyze with Input{Unit: u}.
-func AutoLayoutUnit(u *fortran.Unit, opt Options) (*Result, error) {
-	return Analyze(context.Background(), Input{Unit: u}, opt)
-}
-
-// AutoLayoutUnitContext is AutoLayoutUnit under a context.
-//
-// Deprecated: use Analyze with Input{Unit: u}.
-func AutoLayoutUnitContext(ctx context.Context, u *fortran.Unit, opt Options) (*Result, error) {
-	return Analyze(ctx, Input{Unit: u}, opt)
-}
-
-// pipelineErr normalizes an error escaping a parallel stage: a worker
-// panic surfaces as the same *InternalError a panic on the calling
-// goroutine becomes, and context cancellation is labeled with the stage
-// it interrupted (st is a package stage constant, the same vocabulary
-// used by Degradation.Subsystem and the fault-injection sites).
-// Everything else passes through.
-func pipelineErr(st string, err error) error {
-	var pe *par.PanicError
-	if errors.As(err, &pe) {
-		return &InternalError{Msg: fmt.Sprint(pe.Value), Stack: pe.Stack}
-	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return fmt.Errorf("core: canceled during %s: %w", st, err)
-	}
-	return err
-}
-
-// analyze is the pipeline body.  u is analyzed, opt is validated and
-// defaulted, and start anchors the Options.Timeout budget.  The
-// per-phase and per-candidate stages fan out over opt.Workers
-// goroutines into index-addressed slots, then merge sequentially, so
-// the Result is byte-for-byte identical for every worker count.
-func analyze(ctx context.Context, start time.Time, u *fortran.Unit, opt Options) (*Result, error) {
-	// One solver budget shared by every 0-1 solve in the run: the
-	// alignment resolutions and the final selection race the same
-	// deadline, so a stuck alignment cannot starve selection of its
-	// error handling — it just leaves less budget.
 	budget := solverBudget(&opt, ctx, start)
-
-	// Step 1: phases and PCFG.  Dependence analysis is independent per
-	// phase.
-	g, err := pcfg.Build(u, opt.PCFG)
+	da, err := stageDep(ctx, opt, ua, tm)
 	if err != nil {
 		return nil, err
 	}
-	infoSlots := make([]*dep.PhaseInfo, len(g.Phases))
-	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
-		if ferr := opt.Fault.Err(stage.Dep); ferr != nil {
-			return ferr
-		}
-		infoSlots[i] = dep.Analyze(u, g.Phases[i].Stmts(), opt.DefaultTrip)
-		return nil
-	}); err != nil {
-		return nil, pipelineErr(stage.Dep, err)
-	}
-	infos := map[int]*dep.PhaseInfo{}
-	for i, ph := range g.Phases {
-		infos[ph.ID] = infoSlots[i]
-	}
-
-	// Step 2a: alignment search spaces (the 0-1 resolutions fan out
-	// inside BuildSearchSpaces over the same worker count).
-	alignOpt := opt.Align
-	if alignOpt.Solver == nil {
-		alignOpt.Solver = budget
-	}
-	if alignOpt.Workers == 0 {
-		alignOpt.Workers = opt.Workers
-	}
-	alignOpt.Fault = opt.Fault
-	alignOpt.Verify = opt.Verify.enabled()
-	spaces, err := align.BuildSearchSpaces(ctx, u, g, infos, alignOpt)
+	aa, err := stageAlignSpaces(ctx, opt, budget, ua, da, tm)
 	if err != nil {
-		return nil, pipelineErr(stage.AlignSolve, err)
-	}
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, fmt.Errorf("core: canceled during %s: %w", stage.AlignSolve, cerr)
-	}
-	var alignDegs []Degradation
-	for _, d := range spaces.Degradations {
-		deg := Degradation{
-			Subsystem: stage.AlignSolve,
-			Detail:    fmt.Sprintf("%s: %s", d.Where, d.Reason),
-			Gap:       d.Gap,
-		}
-		if opt.Strict {
-			return nil, &StrictError{Deg: deg}
-		}
-		alignDegs = append(alignDegs, deg)
-	}
-
-	// Step 2b: distribution search spaces (cross product), independent
-	// per phase.
-	tpl := layout.Template{Extents: u.TemplateExtents()}
-	res := &Result{
-		Unit:       u,
-		PCFG:       g,
-		Template:   tpl,
-		AlignStats: spaces.Stats,
-		Spaces:     spaces,
-		Machine:    opt.Machine,
-		opt:        opt,
-		alignDegs:  alignDegs,
-		prices:     newPriceCache(opt.NoCache),
-		remaps:     newRemapCache(opt.NoCache),
-	}
-	dOpt := distrib.Options{Procs: opt.Procs, Cyclic: opt.Cyclic, MultiDim: opt.MultiDim}
-	res.Phases = make([]*PhaseResult, len(g.Phases))
-	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
-		if ferr := opt.Fault.Err(stage.SpaceBuild); ferr != nil {
-			return ferr
-		}
-		ph := g.Phases[i]
-		// Candidate layouts are *complete* data layouts: arrays the
-		// phase (or its class) never couples get canonical embeddings,
-		// so transitions account for every array that actually moves.
-		for _, ac := range spaces.PerPhase[ph.ID] {
-			extendAlignment(u, ac.Align)
-		}
-		space := distrib.BuildSpace(tpl, spaces.PerPhase[ph.ID], dOpt)
-		space = filterUserConstraints(u, space)
-		if len(space) == 0 {
-			return &ValidationError{Msg: fmt.Sprintf("phase %d: user directives eliminate every candidate layout", ph.ID)}
-		}
-		pr := &PhaseResult{
-			Phase:      ph,
-			Info:       infos[ph.ID],
-			DataType:   phaseType(u, ph),
-			sig:        fortran.PrintStmts(ph.Stmts()),
-			Candidates: make([]*Candidate, len(space)),
-		}
-		for j, pl := range space {
-			pr.Candidates[j] = &Candidate{Layout: pl.Layout, AlignOrigin: pl.AlignOrigin}
-		}
-		res.Phases[i] = pr
-		return nil
-	}); err != nil {
-		return nil, pipelineErr(stage.SpaceBuild, err)
-	}
-
-	// Step 3: performance estimation.  Pricing fans out over the
-	// flattened (phase, candidate) pairs — not per phase — so one phase
-	// with a huge space cannot serialize the pool; each job writes its
-	// own slot.
-	type job struct{ p, c int }
-	var jobs []job
-	for p, pr := range res.Phases {
-		for c := range pr.Candidates {
-			jobs = append(jobs, job{p, c})
-		}
-	}
-	if err := par.Do(ctx, opt.Workers, len(jobs), func(i int) error {
-		if ferr := opt.Fault.Err(stage.Pricing); ferr != nil {
-			return ferr
-		}
-		j := jobs[i]
-		pr := res.Phases[j.p]
-		cand := pr.Candidates[j.c]
-		cand.Plan, cand.Estimate = res.price(pr, cand.Layout)
-		cand.Cost = opt.Fault.Corrupt(stage.Pricing, cand.Estimate.Time*pr.Phase.Freq)
-		return nil
-	}); err != nil {
-		return nil, pipelineErr(stage.Pricing, err)
-	}
-
-	res.LiveIn = liveness(g, infos)
-
-	// Step 4: layout selection over the data layout graph.
-	if err := res.reselect(ctx, budget); err != nil {
 		return nil, err
 	}
-	// The final certificate: with verification on, re-derive the
-	// Result's claimed costs from the models (bypassing the caches) and
-	// re-check the selection's shape before handing it to the caller.
-	if opt.Verify.enabled() {
-		if cerr := res.Certify(); cerr != nil {
-			return nil, cerr
-		}
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-// solverBudget derives the shared 0-1 solver for one run: the caller's
-// Solver settings plus the run's context and the Options.Timeout
-// deadline (whichever cutoff is earliest wins inside the solver).  It
-// also arms the solver with the run's fault plan and — when
-// verification is on — installs the package verify certificates, so
-// every 0-1 solve in the run is checked at the source.
-func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solver {
-	s := ilp.Solver{}
-	if opt.Solver != nil {
-		s = *opt.Solver
-	}
-	s.Context = ctx
-	if opt.Timeout > 0 {
-		if dl := start.Add(opt.Timeout); s.Deadline.IsZero() || dl.Before(s.Deadline) {
-			s.Deadline = dl
-		}
-	}
-	s.Fault = opt.Fault
-	if opt.Verify.enabled() {
-		s.Certify = verify.CheckILP
-		s.CertifyLP = verify.CheckLP
-	}
-	return &s
+	return backAnalyze(ctx, start, opt, budget, ua, da, aa, tm)
 }
 
 // Reselect re-solves the final layout selection over the current
@@ -565,213 +385,6 @@ func (r *Result) Reselect() (err error) {
 		return r.Certify()
 	}
 	return nil
-}
-
-// reselect solves the selection with the given budget, degrading to
-// the exact chain DP or the greedy per-phase heuristic when the ILP is
-// cut off without an incumbent, and rebuilds Result.Degradations.  The
-// per-edge transition cost matrices are independent, so they fan out
-// over the worker pool into index-addressed slots.
-func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
-	lg := &layoutgraph.Graph{NodeCost: make([][]float64, len(r.Phases))}
-	for p, pr := range r.Phases {
-		lg.NodeCost[p] = make([]float64, len(pr.Candidates))
-		for i, c := range pr.Candidates {
-			lg.NodeCost[p][i] = c.Cost
-		}
-	}
-	// Precompute each candidate layout's cache key once: the edge
-	// matrices look every layout up O(edges × candidates) times, and
-	// building the key is comparable in cost to the pricing it saves.
-	var keys [][]string
-	if r.remaps != nil {
-		keys = make([][]string, len(r.Phases))
-		for p, pr := range r.Phases {
-			keys[p] = make([]string, len(pr.Candidates))
-			for i, c := range pr.Candidates {
-				keys[p][i] = c.Layout.FullKey()
-			}
-		}
-	}
-	key := func(p, i int) string {
-		if keys == nil {
-			return ""
-		}
-		return keys[p][i]
-	}
-	if n := len(r.PCFG.Edges); n > 0 {
-		edges := make([]*layoutgraph.Edge, n)
-		if err := par.Do(ctx, par.Workers(r.opt.Workers), n, func(k int) error {
-			e := r.PCFG.Edges[k]
-			from, to := r.Phases[e.From], r.Phases[e.To]
-			edge := &layoutgraph.Edge{FromPhase: e.From, ToPhase: e.To}
-			edge.Cost = make([][]float64, len(from.Candidates))
-			liveArrays := liveNames(r.LiveIn[e.To])
-			joined := strings.Join(liveArrays, "\x1f")
-			for i, ci := range from.Candidates {
-				edge.Cost[i] = make([]float64, len(to.Candidates))
-				for j, cj := range to.Candidates {
-					c := r.remapCost(ci.Layout, cj.Layout, key(e.From, i), key(e.To, j), liveArrays, joined)
-					edge.Cost[i][j] = c * e.Freq
-				}
-			}
-			edges[k] = edge
-			return nil
-		}); err != nil {
-			return pipelineErr(stage.Selection, err)
-		}
-		lg.Edges = edges
-	}
-	if r.opt.MergePhases {
-		lg.Ties = r.mergeTies(lg)
-		r.MergedPairs = len(lg.Ties)
-	}
-	if ferr := r.opt.Fault.Err(stage.Selection); ferr != nil {
-		return ferr
-	}
-	var sel *layoutgraph.Selection
-	var err error
-	if r.opt.UseDP {
-		sel, err = lg.SolveDP()
-		if err != nil {
-			sel, err = lg.SolveILP(solver)
-		}
-	} else {
-		sel, err = lg.SolveILP(solver)
-	}
-	var noInc *layoutgraph.NoIncumbentError
-	if errors.As(err, &noInc) {
-		// The ILP was cut off before finding any feasible choice.
-		// Degrade: the chain/ring DP is exact when the graph has that
-		// shape; otherwise the greedy per-phase argmin always answers.
-		if dp, dperr := lg.SolveDP(); dperr == nil {
-			sel, err = dp, nil
-			sel.Degraded = true
-			sel.DegradeReason = fmt.Sprintf("%v; exact chain DP fallback", noInc)
-			sel.Gap = 0
-		} else {
-			sel, err = lg.SolveGreedy(), nil
-			sel.DegradeReason = fmt.Sprintf("%v; %s", noInc, sel.DegradeReason)
-		}
-	}
-	if err != nil {
-		return err
-	}
-	if cerr := ctx.Err(); cerr != nil {
-		// Cancellation is a hard stop even when an incumbent exists;
-		// deadline-based degradation goes through Options.Timeout.
-		return fmt.Errorf("core: canceled during %s: %w", stage.Selection, cerr)
-	}
-	// Corruption lands before certification so an injected wrong answer
-	// is always in the checker's line of fire.
-	sel.Cost = r.opt.Fault.Corrupt(stage.Selection, sel.Cost)
-	if r.opt.Verify.enabled() {
-		if cerr := verify.CheckSelection(lg, sel); cerr != nil {
-			return cerr
-		}
-	}
-	r.Degradations = append([]Degradation(nil), r.alignDegs...)
-	if sel.Degraded {
-		deg := Degradation{Subsystem: stage.Selection, Detail: sel.DegradeReason, Gap: sel.Gap}
-		if r.opt.Strict {
-			return &StrictError{Deg: deg}
-		}
-		r.Degradations = append(r.Degradations, deg)
-	}
-	r.Selection = sel
-	r.TotalCost = sel.Cost
-	for p, pr := range r.Phases {
-		pr.Chosen = sel.Choice[p]
-	}
-
-	// Record the implied dynamic remappings.
-	r.Remaps = nil
-	r.Dynamic = false
-	for _, e := range r.PCFG.Edges {
-		from := r.Phases[e.From].ChosenLayout()
-		to := r.Phases[e.To].ChosenLayout()
-		moved := remap.Moved(from, to, liveNames(r.LiveIn[e.To]))
-		if len(moved) == 0 {
-			continue
-		}
-		r.Dynamic = true
-		r.Remaps = append(r.Remaps, RemapDecision{
-			Edge:   e,
-			Arrays: moved,
-			Cost: r.remapCost(from, to,
-				key(e.From, r.Phases[e.From].Chosen), key(e.To, r.Phases[e.To].Chosen),
-				moved, strings.Join(moved, "\x1f")) * e.Freq,
-		})
-	}
-	r.syncCacheStats()
-	return nil
-}
-
-// mergeTies finds adjacent phase pairs that can safely be tied
-// together ("merged if remapping can never be profitable between
-// them", §2.1).  Tying (p, q) removes the edge p→q as a potential
-// remapping point, which is sound when any layout switch placed there
-// can instead be placed just after q at no extra cost:
-//
-//   - p and q carry identical candidate layouts (same keys, same
-//     order), so a common choice is well-defined;
-//   - q's candidates all cost the same (a layout-indifferent phase),
-//     so adopting p's layout is free for q; and
-//   - every PCFG successor r of q has liveIn(r) ⊆ liveIn(q), so the
-//     postponed remap moves no more data than the suppressed one.
-func (r *Result) mergeTies(lg *layoutgraph.Graph) [][2]int {
-	hasEdge := func(p, q int) bool {
-		for _, e := range lg.Edges {
-			if e.FromPhase == p && e.ToPhase == q {
-				return true
-			}
-		}
-		return false
-	}
-	var ties [][2]int
-	for p := 0; p+1 < len(r.Phases); p++ {
-		q := p + 1
-		a, b := r.Phases[p], r.Phases[q]
-		if len(a.Candidates) != len(b.Candidates) || !hasEdge(p, q) {
-			continue
-		}
-		same := true
-		for i := range a.Candidates {
-			if a.Candidates[i].Layout.Key() != b.Candidates[i].Layout.Key() {
-				same = false
-				break
-			}
-		}
-		if !same {
-			continue
-		}
-		// Layout indifference of q.
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, c := range b.Candidates {
-			lo = math.Min(lo, c.Cost)
-			hi = math.Max(hi, c.Cost)
-		}
-		if hi-lo > 1e-9*math.Max(1, hi) {
-			continue
-		}
-		// Successor live sets must shrink.
-		shrinks := true
-		for _, e := range r.PCFG.Successors(b.Phase.ID) {
-			for arr := range r.LiveIn[e.To] {
-				if !r.LiveIn[b.Phase.ID][arr] {
-					shrinks = false
-					break
-				}
-			}
-			if !shrinks {
-				break
-			}
-		}
-		if shrinks {
-			ties = append(ties, [2]int{p, q})
-		}
-	}
-	return ties
 }
 
 // InsertCandidate adds a user-supplied candidate layout to a phase's
@@ -807,6 +420,7 @@ func (r *Result) InsertCandidate(phase int, l *layout.Layout, origin string) (id
 		Estimate:    est,
 		Cost:        est.Time * pr.Phase.Freq,
 	})
+	r.spacesDirty = true
 	r.syncCacheStats()
 	return len(pr.Candidates) - 1, nil
 }
@@ -829,136 +443,8 @@ func (r *Result) DeleteCandidate(phase, i int) error {
 	if pr.Chosen >= len(pr.Candidates) {
 		pr.Chosen = 0
 	}
+	r.spacesDirty = true
 	return nil
-}
-
-// liveness computes, per phase, the arrays live on entry by backward
-// dataflow over the PCFG to a fixed point:
-//
-//	liveIn(p) = reads(p) ∪ (∪_succ liveIn(succ) − killed(p))
-//
-// where killed(p) are the arrays phase p writes without reading (their
-// incoming values are dead, so remapping them is wasted work — e.g.
-// Adi's coefficient array is fully recomputed between sweeps).
-func liveness(g *pcfg.Graph, infos map[int]*dep.PhaseInfo) map[int]map[string]bool {
-	liveIn := map[int]map[string]bool{}
-	for _, ph := range g.Phases {
-		liveIn[ph.ID] = map[string]bool{}
-		for a := range infos[ph.ID].ReadSet {
-			liveIn[ph.ID][a] = true
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for i := len(g.Phases) - 1; i >= 0; i-- {
-			ph := g.Phases[i]
-			pi := infos[ph.ID]
-			for _, e := range g.Successors(ph.ID) {
-				for a := range liveIn[e.To] {
-					if pi.WriteSet[a] && !pi.ReadSet[a] {
-						continue // killed here
-					}
-					if !liveIn[ph.ID][a] {
-						liveIn[ph.ID][a] = true
-						changed = true
-					}
-				}
-			}
-		}
-	}
-	return liveIn
-}
-
-// liveNames flattens a live set to a sorted name list.
-func liveNames(set map[string]bool) []string {
-	names := make([]string, 0, len(set))
-	for a := range set {
-		names = append(names, a)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// extendAlignment adds canonical embeddings for every program array
-// the alignment does not cover, making the layout complete.
-func extendAlignment(u *fortran.Unit, a *layout.Alignment) {
-	for _, name := range u.ArrayNames() {
-		if _, ok := a.Map[name]; ok {
-			continue
-		}
-		arr := u.Arrays[name]
-		dims := make([]int, arr.Rank())
-		for k := range dims {
-			dims[k] = k
-		}
-		a.Set(name, dims)
-	}
-}
-
-// phaseType is the widest element type among the phase's arrays.
-func phaseType(u *fortran.Unit, ph *pcfg.Phase) fortran.DataType {
-	dt := fortran.Real
-	for _, a := range ph.Arrays {
-		if arr := u.Arrays[a]; arr != nil && arr.Type == fortran.Double {
-			dt = fortran.Double
-		}
-	}
-	return dt
-}
-
-// filterUserConstraints drops candidates that contradict the user's
-// !hpf$ directives (the partial-layout extension use case).
-func filterUserConstraints(u *fortran.Unit, space []*distrib.PhaseLayout) []*distrib.PhaseLayout {
-	if len(u.Distributes) == 0 && len(u.Aligns) == 0 {
-		return space
-	}
-	var out []*distrib.PhaseLayout
-	for _, pl := range space {
-		if satisfiesUser(u, pl.Layout) {
-			out = append(out, pl)
-		}
-	}
-	return out
-}
-
-func satisfiesUser(u *fortran.Unit, l *layout.Layout) bool {
-	for _, ud := range u.Distributes {
-		dims, ok := l.Align.Map[ud.Array]
-		if !ok {
-			continue // array not in this phase: unconstrained here
-		}
-		for k := range dims {
-			want := ud.Spec[k]
-			got := l.ArrayDist(ud.Array)[k]
-			switch want {
-			case fortran.DistStar:
-				if got.Kind != layout.Star && got.Procs > 1 {
-					return false
-				}
-			case fortran.DistBlock:
-				if got.Kind != layout.Block || got.Procs <= 1 {
-					return false
-				}
-			case fortran.DistCyclic:
-				if got.Kind != layout.Cyclic || got.Procs <= 1 {
-					return false
-				}
-			}
-		}
-	}
-	for _, ua := range u.Aligns {
-		sDims, okS := l.Align.Map[ua.Source]
-		tDims, okT := l.Align.Map[ua.Target]
-		if !okS || !okT {
-			continue
-		}
-		for k := range sDims {
-			if k < len(tDims) && sDims[k] != tDims[k] {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // EvaluatePinned estimates the whole-program cost when every phase is
@@ -985,7 +471,7 @@ func (r *Result) EvaluatePinned(pick func(pr *PhaseResult) int) (float64, []int,
 		if r.remaps != nil {
 			fk, tk = from.FullKey(), to.FullKey()
 		}
-		total += r.remapCost(from, to, fk, tk, names, strings.Join(names, "\x1f")) * e.Freq
+		total += r.remapCost(from, to, fk, tk, names, joinNames(names)) * e.Freq
 	}
 	return total, choice, nil
 }

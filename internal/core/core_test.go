@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -53,8 +54,8 @@ program adi
 end
 `
 
-func TestAutoLayoutEndToEnd(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 4})
+func TestAnalyzeEndToEnd(t *testing.T) {
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestAutoLayoutEndToEnd(t *testing.T) {
 }
 
 func TestSelectionBeatsAnyStatic(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 8})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,13 +105,13 @@ func TestSelectionBeatsAnyStatic(t *testing.T) {
 }
 
 func TestProcsValidation(t *testing.T) {
-	if _, err := AutoLayout(adiSmall, Options{Procs: 1}); err == nil {
+	if _, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 1}); err == nil {
 		t.Fatal("expected error for 1 processor")
 	}
 }
 
 func TestParseErrorPropagates(t *testing.T) {
-	if _, err := AutoLayout("not fortran", Options{Procs: 4}); err == nil {
+	if _, err := Analyze(context.Background(), Input{Source: "not fortran"}, Options{Procs: 4}); err == nil {
 		t.Fatal("expected parse error")
 	}
 }
@@ -118,12 +119,12 @@ func TestParseErrorPropagates(t *testing.T) {
 func TestUserDistributeConstraint(t *testing.T) {
 	// Pin x to a column-wise layout; the tool must respect it even
 	// though row-wise is better, and the estimate must grow.
-	free, err := AutoLayout(adiSmall, Options{Procs: 4})
+	free, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pinned, err := AutoLayout(strings.Replace(adiSmall,
-		"program adi\n", "program adi\n!hpf$ distribute x(*,block)\n", 1),
+	pinned, err := Analyze(context.Background(), Input{Source: strings.Replace(adiSmall,
+		"program adi\n", "program adi\n!hpf$ distribute x(*,block)\n", 1)},
 		Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +144,7 @@ func TestUserDistributeConstraint(t *testing.T) {
 func TestUserAlignConstraint(t *testing.T) {
 	src := strings.Replace(adiSmall, "program adi\n",
 		"program adi\n!hpf$ align x with b\n", 1)
-	res, err := AutoLayout(src, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,17 +162,17 @@ func TestConflictingUserConstraintFails(t *testing.T) {
 	src := strings.Replace(adiSmall, "program adi\n",
 		"program adi\n!hpf$ distribute x(*,*)\n", 1)
 	// Fully serial x eliminates every parallel candidate.
-	if _, err := AutoLayout(src, Options{Procs: 4}); err == nil {
+	if _, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 4}); err == nil {
 		t.Fatal("expected an error when directives eliminate all candidates")
 	}
 }
 
 func TestDPSelectionAgreesWithILP(t *testing.T) {
-	ilpRes, err := AutoLayout(adiSmall, Options{Procs: 8})
+	ilpRes, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dpRes, err := AutoLayout(adiSmall, Options{Procs: 8, UseDP: true})
+	dpRes, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8, UseDP: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +182,11 @@ func TestDPSelectionAgreesWithILP(t *testing.T) {
 }
 
 func TestParagonMachine(t *testing.T) {
-	ipsc, err := AutoLayout(adiSmall, Options{Procs: 8})
+	ipsc, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	paragon, err := AutoLayout(adiSmall, Options{Procs: 8, Machine: machine.Paragon()})
+	paragon, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8, Machine: machine.Paragon()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestParagonMachine(t *testing.T) {
 }
 
 func TestExtendedDistributionSearchSpace(t *testing.T) {
-	plain, err := AutoLayout(adiSmall, Options{Procs: 16})
+	plain, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext, err := AutoLayout(adiSmall, Options{Procs: 16, Cyclic: true, MultiDim: true})
+	ext, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 16, Cyclic: true, MultiDim: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestExtendedDistributionSearchSpace(t *testing.T) {
 }
 
 func TestGreedyAlignmentOption(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 4, Align: align.Options{Greedy: true}})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4, Align: align.Options{Greedy: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,17 +225,17 @@ func TestGreedyAlignmentOption(t *testing.T) {
 }
 
 func TestCompilerFlagsAffectEstimates(t *testing.T) {
-	plain, err := AutoLayout(adiSmall, Options{Procs: 8})
+	plain, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cgp, err := AutoLayout(adiSmall, Options{Procs: 8})
+	cgp, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cgp2 := Options{Procs: 8}
 	cgp2.Compiler.CoarseGrainPipelining = true
-	cgpRes, err := AutoLayout(adiSmall, cgp2)
+	cgpRes, err := Analyze(context.Background(), Input{Source: adiSmall}, cgp2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestCompilerFlagsAffectEstimates(t *testing.T) {
 }
 
 func TestEmitHPF(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestEmitHPF(t *testing.T) {
 }
 
 func TestLivenessKillsRecomputedArrays(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestLivenessKillsRecomputedArrays(t *testing.T) {
 }
 
 func TestScheduleDiversityInCandidates(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 8})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestScheduleDiversityInCandidates(t *testing.T) {
 }
 
 func TestInsertCandidateAndReselect(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestInsertCandidateAndReselect(t *testing.T) {
 }
 
 func TestDeleteCandidateAndReselect(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,11 +385,11 @@ func TestDeleteCandidateAndReselect(t *testing.T) {
 }
 
 func TestMergePhasesPreservesOptimum(t *testing.T) {
-	plain, err := AutoLayout(adiSmall, Options{Procs: 8})
+	plain, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := AutoLayout(adiSmall, Options{Procs: 8, MergePhases: true})
+	merged, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8, MergePhases: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,11 +423,11 @@ program p
   end do
 end
 `
-	plain, err := AutoLayout(src, Options{Procs: 16})
+	plain, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := AutoLayout(src, Options{Procs: 16, MergePhases: true})
+	merged, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 16, MergePhases: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +437,7 @@ end
 }
 
 func TestExplainPhase(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 8})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

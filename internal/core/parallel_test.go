@@ -204,17 +204,3 @@ func TestPipelineErrShapes(t *testing.T) {
 		t.Fatalf("plain error not passed through: %v", err)
 	}
 }
-
-func TestDeprecatedWrappersDelegate(t *testing.T) {
-	a, err := AutoLayout(adiSmall, Options{Procs: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if render(a) != render(b) {
-		t.Error("AutoLayout output differs from Analyze output")
-	}
-}

@@ -31,7 +31,7 @@ program vec
   end do
 end
 `
-	res, err := AutoLayout(src, Options{Procs: 8})
+	res, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ end
 // and the selection with p not a power of two.
 func TestNonPowerOfTwoProcessors(t *testing.T) {
 	for _, procs := range []int{3, 6, 12} {
-		res, err := AutoLayout(adiSmall, Options{Procs: procs})
+		res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: procs})
 		if err != nil {
 			t.Fatalf("procs=%d: %v", procs, err)
 		}
@@ -89,7 +89,7 @@ program p
   end if
 end
 `
-	res, err := AutoLayout(src, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ program p
   end do
 end
 `
-	res, err := AutoLayout(src, Options{Procs: 2})
+	res, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ program p
   end do
 end
 `
-	res, err := AutoLayout(src, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ end
 // TestManyProcessorsBeyondTable: processor counts past the training
 // grid clamp rather than fail.
 func TestManyProcessorsBeyondTable(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 256})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +167,11 @@ func TestManyProcessorsBeyondTable(t *testing.T) {
 
 // TestDeterministicResults: two identical invocations agree exactly.
 func TestDeterministicResults(t *testing.T) {
-	a, err := AutoLayout(adiSmall, Options{Procs: 8})
+	a, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := AutoLayout(adiSmall, Options{Procs: 8})
+	b, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +196,11 @@ func TestDeterministicResults(t *testing.T) {
 // legitimately differ between machines (§1: the framework is
 // parameterized by the target machine).
 func TestMachineParameterizationMatters(t *testing.T) {
-	oldRes, err := AutoLayout(adiSmall, Options{Procs: 8})
+	oldRes, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	modernRes, err := AutoLayout(adiSmall, Options{Procs: 8, Machine: machine.Cluster2020()})
+	modernRes, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8, Machine: machine.Cluster2020()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,11 +269,11 @@ program adi
   end do
 end
 `
-	a, err := AutoLayout(subbed, Options{Procs: 8})
+	a, err := Analyze(context.Background(), Input{Source: subbed}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := AutoLayout(flat, Options{Procs: 8})
+	b, err := Analyze(context.Background(), Input{Source: flat}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ end
 // not a plain string or a crash.
 func TestProcsValidationTyped(t *testing.T) {
 	for _, procs := range []int{-1, 0, 1} {
-		_, err := AutoLayout(adiSmall, Options{Procs: procs})
+		_, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: procs})
 		var verr *ValidationError
 		if !errors.As(err, &verr) {
 			t.Errorf("Procs=%d: err = %v (%T), want *ValidationError", procs, err, err)
@@ -323,7 +323,7 @@ program p
   end do
 end
 `
-	res, err := AutoLayout(src, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ program p
   end do
 end
 `
-	res, err := AutoLayout(src, Options{Procs: 2})
+	res, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ end
 `
 	// The prototype search space is 1-D BLOCK only, so BLOCK x BLOCK
 	// matches no candidate.
-	_, err := AutoLayout(src, Options{Procs: 4})
+	_, err := Analyze(context.Background(), Input{Source: src}, Options{Procs: 4})
 	var verr *ValidationError
 	if !errors.As(err, &verr) {
 		t.Fatalf("err = %v (%T), want *ValidationError", err, err)
@@ -387,7 +387,7 @@ end
 // immediately-expired budget still yields a complete, feasible layout,
 // with the forfeited optimality recorded in Result.Degradations.
 func TestTimeoutDegradesGracefully(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 8, Timeout: time.Nanosecond})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8, Timeout: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestTimeoutDegradesGracefully(t *testing.T) {
 		t.Error("ExplainDegradations returned nothing")
 	}
 	// The same run at full budget must match or beat the degraded cost.
-	full, err := AutoLayout(adiSmall, Options{Procs: 8})
+	full, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +426,7 @@ func TestTimeoutDegradesGracefully(t *testing.T) {
 // TestStrictModeFailsHard: with Strict set, the same expired budget is
 // a typed error naming the degraded subsystem instead of a fallback.
 func TestStrictModeFailsHard(t *testing.T) {
-	_, err := AutoLayout(adiSmall, Options{Procs: 8, Timeout: time.Nanosecond, Strict: true})
+	_, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 8, Timeout: time.Nanosecond, Strict: true})
 	var serr *StrictError
 	if !errors.As(err, &serr) {
 		t.Fatalf("err = %v (%T), want *StrictError", err, err)
@@ -440,7 +440,7 @@ func TestStrictModeFailsHard(t *testing.T) {
 func TestCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := AutoLayoutContext(ctx, adiSmall, Options{Procs: 8})
+	_, err := Analyze(ctx, Input{Source: adiSmall}, Options{Procs: 8})
 	if err == nil {
 		t.Fatal("canceled context succeeded")
 	}
@@ -473,7 +473,7 @@ func TestRecoveryBoundary(t *testing.T) {
 // TestInsertCandidateValidates: a structurally broken user layout is
 // rejected with a typed error instead of corrupting the search space.
 func TestInsertCandidateValidates(t *testing.T) {
-	res, err := AutoLayout(adiSmall, Options{Procs: 4})
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

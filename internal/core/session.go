@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/stage"
+)
+
+// Session caches the machine-independent front half of the pipeline —
+// the parsed unit, the dependence-annotated PCFG and the alignment
+// search spaces — so the same program can be re-analyzed under
+// different machine models, processor counts and compiler options
+// without re-running parsing, dependence analysis or the alignment 0-1
+// solves.  This is the assistant's interactive re-tuning loop (§1): the
+// framework is explicitly parameterized by machine and processor count,
+// and only the pricing and selection stages read those parameters.
+//
+// A Session is immutable after NewSession returns; concurrent Analyze
+// calls on one Session are safe and produce byte-identical results to
+// cold Analyze calls with the same options.  The front-half options the
+// session was built with (PCFG, DefaultTrip, Align) are pinned: Analyze
+// silently substitutes the session's values, because the cached
+// artifacts were derived from them.
+type Session struct {
+	opt   Options // validated + defaulted front-half options
+	unit  *unitArtifact
+	dep   *depArtifact
+	align *alignArtifact
+	front stage.Timings
+}
+
+// NewSession runs the front half of the pipeline once — parse,
+// dependence analysis, alignment search spaces — and returns a Session
+// whose Analyze re-runs only the machine-dependent back half.  The
+// options' machine-dependent fields (Machine, Procs, Compiler, ...) act
+// as defaults for Analyze calls that pass zero Options fields; the
+// front-half fields (PCFG, DefaultTrip, Align) are fixed for the
+// session's lifetime.
+func NewSession(ctx context.Context, in Input, opt Options) (s *Session, err error) {
+	defer promoteCert(&err)
+	defer guard(&err)
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	tm := stage.Timings{}
+	ua, err := stageParse(in, opt, tm)
+	if err != nil {
+		return nil, err
+	}
+	budget := solverBudget(&opt, ctx, start)
+	da, err := stageDep(ctx, opt, ua, tm)
+	if err != nil {
+		return nil, err
+	}
+	aa, err := stageAlignSpaces(ctx, opt, budget, ua, da, tm)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{opt: opt, unit: ua, dep: da, align: aa, front: tm}, nil
+}
+
+// Analyze runs the machine-dependent back half — candidate search
+// spaces, pricing, selection — over the session's cached front half.
+// Zero-valued option fields inherit the session's values; the
+// front-half fields (PCFG, DefaultTrip, Align) always do, since the
+// cached artifacts embody them.  The returned Result is byte-identical
+// to a cold core.Analyze with the effective options.
+func (s *Session) Analyze(ctx context.Context, opt Options) (res *Result, err error) {
+	defer promoteCert(&err)
+	defer guard(&err)
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Procs == 0 {
+		opt.Procs = s.opt.Procs
+	}
+	if opt.Machine == nil {
+		opt.Machine = s.opt.Machine
+	}
+	// Pin the front-half options: the cached artifacts were derived
+	// from them, so honoring different values here would silently
+	// produce a result no cold run could.
+	opt.PCFG = s.opt.PCFG
+	opt.DefaultTrip = s.opt.DefaultTrip
+	opt.Align = s.opt.Align
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	// The front half already degraded gracefully when the session was
+	// built; a Strict re-run must not silently accept that.
+	if opt.Strict && len(s.align.degs) > 0 {
+		return nil, &StrictError{Deg: s.align.degs[0]}
+	}
+	budget := solverBudget(&opt, ctx, start)
+	return backAnalyze(ctx, start, opt, budget, s.unit, s.dep, s.align, stage.Timings{})
+}
+
+// Key is the content-hash key of the session's most derived cached
+// artifact (the alignment search spaces), which transitively covers the
+// program and every front-half option: two sessions with equal keys are
+// interchangeable.
+func (s *Session) Key() artifact.Key {
+	return s.align.key
+}
+
+// Artifacts returns the content-hash keys of the cached front-half
+// stage products, keyed by the package stage vocabulary (the same map
+// every derived Result carries).
+func (s *Session) Artifacts() map[string]artifact.Key {
+	return map[string]artifact.Key{
+		stage.Parse:      s.unit.key,
+		stage.Dep:        s.dep.key,
+		stage.AlignSolve: s.align.key,
+	}
+}
+
+// FrontTimes reports the wall-clock time the front-half stages took
+// when the session was built (Result.StageTimes on a Session re-run
+// covers only the back half).
+func (s *Session) FrontTimes() stage.Timings {
+	return s.front
+}

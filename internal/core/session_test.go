@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/stage"
+)
+
+// TestSessionMatchesColdAnalyze: the tentpole contract.  Re-running the
+// back half over a Session's cached front half must produce
+// byte-identical results to a cold Analyze with the same options, for
+// every (machine, procs, workers) point of a sweep.
+func TestSessionMatchesColdAnalyze(t *testing.T) {
+	sess, err := NewSession(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []*machine.Model{machine.IPSC860(), machine.Paragon()}
+	for mi, m := range machines {
+		for _, procs := range []int{4, 16} {
+			for _, workers := range []int{1, 8} {
+				opt := Options{Procs: procs, Machine: m, Workers: workers}
+				cold, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm, err := sess.Analyze(context.Background(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if render(cold) != render(warm) {
+					t.Fatalf("machine %d, procs %d, workers %d: session result differs from cold Analyze",
+						mi, procs, workers)
+				}
+				if cold.TotalCost != warm.TotalCost {
+					t.Fatalf("cost drift: cold %v, warm %v", cold.TotalCost, warm.TotalCost)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionPinsFrontOptions: the cached artifacts embody the
+// session's PCFG/trip/alignment options, so an Analyze call passing
+// different values for those fields gets the session's, not its own —
+// never a hybrid no cold run could produce.
+func TestSessionPinsFrontOptions(t *testing.T) {
+	sess, err := NewSession(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 4, DefaultTrip: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.Analyze(context.Background(), Options{Procs: 8, DefaultTrip: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Analyze(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, DefaultTrip: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(cold) != render(warm) {
+		t.Fatal("session did not pin its front-half DefaultTrip")
+	}
+}
+
+// TestSessionInheritsDefaults: zero-valued Procs/Machine fall back to
+// the session's values.
+func TestSessionInheritsDefaults(t *testing.T) {
+	sess, err := NewSession(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, Machine: machine.Paragon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.Analyze(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Machine.Name() != machine.Paragon().Name() {
+		t.Errorf("machine = %s, want the session's Paragon", warm.Machine.Name())
+	}
+	cold, err := Analyze(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, Machine: machine.Paragon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(cold) != render(warm) {
+		t.Fatal("session defaults drifted from cold Analyze")
+	}
+}
+
+// TestSessionArtifacts: artifact keys are exposed, stable across
+// sessions of the same program, and distinct across programs.
+func TestSessionArtifacts(t *testing.T) {
+	s1, err := NewSession(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSession(context.Background(), Input{Source: adiSmall}, Options{Procs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Key() != s2.Key() {
+		t.Error("same program and front-half options, different session keys (Procs must not matter)")
+	}
+	arts := s1.Artifacts()
+	for _, st := range []string{stage.Parse, stage.Dep, stage.AlignSolve} {
+		if arts[st] == "" {
+			t.Errorf("no artifact key for stage %s", st)
+		}
+	}
+	res, err := s1.Analyze(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifacts[stage.Parse] != arts[stage.Parse] {
+		t.Error("Result.Artifacts disagrees with Session.Artifacts")
+	}
+	other, err := NewSession(context.Background(), Input{Source: "program p\nreal a(8)\na(1) = 0.0\nend"},
+		Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Key() == s1.Key() {
+		t.Error("different programs share a session key")
+	}
+}
+
+// TestSessionStageTimes: a session re-run reports only back-half
+// stages; the front half lives in FrontTimes.
+func TestSessionStageTimes(t *testing.T) {
+	sess, err := NewSession(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := sess.FrontTimes()
+	for _, st := range []string{stage.Parse, stage.Dep, stage.AlignSolve} {
+		if front[st] == 0 {
+			t.Errorf("front half missing %s timing", st)
+		}
+	}
+	res, err := sess.Analyze(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StageTimes[stage.Parse] != 0 || res.StageTimes[stage.AlignSolve] != 0 {
+		t.Error("session re-run reports front-half stage times it never ran")
+	}
+	for _, st := range []string{stage.SpaceBuild, stage.Pricing, stage.Selection} {
+		if res.StageTimes[st] == 0 {
+			t.Errorf("back half missing %s timing", st)
+		}
+	}
+	cold, err := Analyze(context.Background(), Input{Source: adiSmall}, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []string{stage.Parse, stage.Dep, stage.AlignSolve, stage.SpaceBuild, stage.Pricing, stage.Selection} {
+		if cold.StageTimes[st] == 0 {
+			t.Errorf("cold Analyze missing %s timing", st)
+		}
+	}
+}
+
+// TestSharedCacheConcurrentAnalyze hammers one SharedCache from
+// parallel Analyze calls over different programs, machines and
+// processor counts (run under -race in CI), asserting every concurrent
+// result is byte-identical to its uncached cold reference.
+func TestSharedCacheConcurrentAnalyze(t *testing.T) {
+	second := `
+program relax
+  parameter (n = 24)
+  real u(n,n), f(n,n)
+  do it = 1, 5
+    do j = 2, n-1
+      do i = 2, n-1
+        u(i,j) = 0.25 * (u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1)) - f(i,j)
+      end do
+    end do
+  end do
+end
+`
+	type point struct {
+		src   string
+		m     *machine.Model
+		procs int
+	}
+	var points []point
+	for _, src := range []string{adiSmall, second} {
+		for _, m := range []*machine.Model{machine.IPSC860(), machine.Paragon()} {
+			for _, procs := range []int{4, 8} {
+				points = append(points, point{src, m, procs})
+			}
+		}
+	}
+	refs := make([]string, len(points))
+	for i, p := range points {
+		res, err := Analyze(context.Background(), Input{Source: p.src},
+			Options{Procs: p.procs, Machine: p.m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = render(res)
+	}
+	shared := NewSharedCache(0)
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(points))
+	for round := 0; round < rounds; round++ {
+		for i, p := range points {
+			wg.Add(1)
+			go func(i int, p point) {
+				defer wg.Done()
+				res, err := Analyze(context.Background(), Input{Source: p.src},
+					Options{Procs: p.procs, Machine: p.m, Workers: 2, Cache: shared})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if render(res) != refs[i] {
+					errs <- fmt.Errorf("point %d: shared-cache result differs from cold reference", i)
+				}
+			}(i, p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := shared.Stats()
+	if st.Hits == 0 {
+		t.Error("no shared hits across repeated identical runs")
+	}
+	if st.Entries == 0 || st.Entries > shared.Len()+1 {
+		t.Errorf("implausible entry count %d", st.Entries)
+	}
+}
+
+// TestSharedCacheStatsInResult: the per-run view of shared traffic is
+// consistent — shared lookups happen only after per-run misses, and a
+// warm second run is mostly shared hits.
+func TestSharedCacheStatsInResult(t *testing.T) {
+	shared := NewSharedCache(0)
+	opt := Options{Procs: 8, Workers: 4, Cache: shared}
+	first, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := first.Cache.SharedPricing
+	if got, bound := sp.Hits+sp.Misses, first.Cache.Pricing.Misses; got > bound {
+		t.Errorf("shared pricing lookups %d exceed per-run misses %d", got, bound)
+	}
+	second, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache.SharedPricing.Hits == 0 {
+		t.Error("warm second run had no shared pricing hits")
+	}
+	if second.Cache.SharedPricing.Misses != 0 {
+		t.Errorf("warm second run missed the shared cache %d times", second.Cache.SharedPricing.Misses)
+	}
+	if second.TotalCost != first.TotalCost {
+		t.Errorf("shared cache changed the answer: %v vs %v", second.TotalCost, first.TotalCost)
+	}
+	// NoCache disables the shared layer too.
+	off, err := Analyze(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, Workers: 4, Cache: shared, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Cache != (CacheSummary{}) {
+		t.Errorf("NoCache run reported cache traffic: %+v", off.Cache)
+	}
+	if off.TotalCost != first.TotalCost {
+		t.Errorf("NoCache changed the answer: %v vs %v", off.TotalCost, first.TotalCost)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/artifact"
+)
+
+// SharedCache is a process-wide, bounded, shard-locked LRU for pricing
+// and remapping evaluations, injectable via Options.Cache.  Unlike the
+// per-run caches (which die with their Result), one SharedCache may be
+// shared by any number of concurrent and successive Analyze calls —
+// across different programs, machine models, compiler options and
+// processor counts — because every entry is keyed by the content
+// hashes of everything its value depends on (package artifact): two
+// runs that produce the same key are guaranteed to produce the same
+// value, so no invalidation protocol is needed.
+//
+// The cache is bounded: once Capacity entries are resident, a new
+// insert evicts the least recently used entry of its shard.  All
+// methods are safe for concurrent use; the statistics counters are
+// atomic.
+type SharedCache struct {
+	shardCap  int
+	shards    [sharedShards]sharedShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// sharedShards is the lock-striping factor.  16 shards keep
+// contention negligible for the worker counts par.Do fans out
+// (≤ NumCPU) while wasting little memory on empty shards.
+const sharedShards = 16
+
+// DefaultSharedCapacity bounds a SharedCache built with capacity ≤ 0:
+// 64Ki entries ≈ a few hundred full machine sweeps of the paper's
+// benchmark suite.
+const DefaultSharedCapacity = 1 << 16
+
+type sharedShard struct {
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru list.List // front = most recently used
+}
+
+type sharedEntry struct {
+	key string
+	val any
+}
+
+// NewSharedCache returns an empty cache bounded to capacity entries
+// (≤ 0 means DefaultSharedCapacity).  The bound is split evenly across
+// the shards, so the effective capacity is rounded up to a multiple of
+// the shard count.
+func NewSharedCache(capacity int) *SharedCache {
+	if capacity <= 0 {
+		capacity = DefaultSharedCapacity
+	}
+	perShard := (capacity + sharedShards - 1) / sharedShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &SharedCache{shardCap: perShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// shard picks the shard for a key with the FNV-1a hash of its bytes —
+// cheap, allocation-free, and the keys are already high-entropy
+// content hashes.
+func (c *SharedCache) shard(key string) *sharedShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%sharedShards]
+}
+
+// get returns the cached value for key, promoting it to most recently
+// used.  A nil cache always misses.
+func (c *SharedCache) get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*sharedEntry).val, true
+}
+
+// put inserts (or refreshes) a value, evicting the shard's least
+// recently used entry when the shard is full.  A nil cache ignores it.
+func (c *SharedCache) put(key string, val any) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*sharedEntry).val = val
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := 0
+	for s.lru.Len() >= c.shardCap {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.m, back.Value.(*sharedEntry).key)
+		evicted++
+	}
+	s.m[key] = s.lru.PushFront(&sharedEntry{key: key, val: val})
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *SharedCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// SharedCacheStats is a snapshot of a SharedCache's lifetime traffic
+// (across every run that used it, unlike Result.Cache which is
+// per-run).
+type SharedCacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s SharedCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the cache's lifetime counters.
+func (c *SharedCache) Stats() SharedCacheStats {
+	if c == nil {
+		return SharedCacheStats{}
+	}
+	return SharedCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// sharedKeys carries one run's precomputed shared-cache key prefixes:
+// the content hashes of everything a pricing (resp. remapping)
+// evaluation depends on besides the per-entry (signature, layout) pair.
+// Deriving them once per run keeps per-lookup key construction to a
+// couple of string concatenations.
+type sharedKeys struct {
+	price string // unit + machine + compiler options + default trip
+	remap string // unit + machine
+}
+
+// deriveSharedKeys computes the run's cache-key prefixes from the
+// option and input artifacts.  Key derivation (documented in DESIGN.md):
+//
+//	unitKey    = H(canonical program rendering)
+//	machineKey = H(model name + serialized training tables)
+//	priceCtx   = H(unitKey, machineKey, compiler options, default trip)
+//	remapCtx   = H(unitKey, machineKey)
+//
+// and a full entry key is priceCtx ∥ phase signature ∥ layout FullKey
+// (resp. remapCtx ∥ from ∥ to ∥ live-array list).  Procs is absent by
+// design: it is fully determined by the layouts in the entry key.
+func deriveSharedKeys(unitKey artifact.Key, opt Options) sharedKeys {
+	machineKey := artifact.MachineKey(opt.Machine)
+	price := artifact.NewHasher("price-ctx").
+		Str(string(unitKey)).
+		Str(string(machineKey)).
+		Bool(opt.Compiler.NoMessageVectorization).
+		Bool(opt.Compiler.NoMessageCoalescing).
+		Bool(opt.Compiler.LoopInterchange).
+		Bool(opt.Compiler.CoarseGrainPipelining).
+		Int(opt.DefaultTrip).
+		Key()
+	return sharedKeys{
+		price: string(price),
+		remap: string(artifact.Combine("remap-ctx", unitKey, machineKey)),
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSharedCacheBasics: get/put round-trip, nil safety, stats.
+func TestSharedCacheBasics(t *testing.T) {
+	c := NewSharedCache(64)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put("a", 1.5)
+	v, ok := c.get("a")
+	if !ok || v.(float64) != 1.5 {
+		t.Fatalf("get(a) = %v, %v", v, ok)
+	}
+	c.put("a", 2.5)
+	if v, _ := c.get("a"); v.(float64) != 2.5 {
+		t.Fatal("put did not refresh existing entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v", got)
+	}
+
+	var nilCache *SharedCache
+	if _, ok := nilCache.get("x"); ok {
+		t.Fatal("nil cache hit")
+	}
+	nilCache.put("x", 1) // must not panic
+	if nilCache.Len() != 0 || nilCache.Stats() != (SharedCacheStats{}) {
+		t.Fatal("nil cache reports state")
+	}
+}
+
+// TestSharedCacheBounded: the cache never exceeds its (rounded-up)
+// capacity, evicts least recently used entries first, and counts the
+// evictions.
+func TestSharedCacheBounded(t *testing.T) {
+	const capacity = 32
+	c := NewSharedCache(capacity)
+	// The per-shard bound rounds the total up to a shard multiple.
+	maxEntries := ((capacity + sharedShards - 1) / sharedShards) * sharedShards
+	for i := 0; i < 10*capacity; i++ {
+		c.put(fmt.Sprintf("key-%d", i), i)
+	}
+	if got := c.Len(); got > maxEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", got, maxEntries)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("overfilled cache evicted nothing")
+	}
+	if int64(c.Len())+st.Evictions != 10*capacity {
+		t.Fatalf("entries %d + evictions %d != inserts %d", c.Len(), st.Evictions, 10*capacity)
+	}
+}
+
+// TestSharedCacheLRUOrder: within one shard, a touched entry survives
+// eviction of an untouched older one.
+func TestSharedCacheLRUOrder(t *testing.T) {
+	c := NewSharedCache(sharedShards) // one entry per shard
+	// Find three keys landing in the same shard.
+	shard0 := c.shard("seed")
+	var same []string
+	for i := 0; len(same) < 2; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == shard0 {
+			same = append(same, k)
+		}
+	}
+	c.put(same[0], 0)
+	c.put(same[1], 1) // evicts same[0]: shard capacity is 1
+	if _, ok := c.get(same[0]); ok {
+		t.Fatal("older entry survived a full shard")
+	}
+	if v, ok := c.get(same[1]); !ok || v.(int) != 1 {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+// TestSharedCacheConcurrent hammers one cache from many goroutines
+// with overlapping keys (meaningful under -race); the invariant is no
+// race, no panic, and every observed value matches its key.
+func TestSharedCacheConcurrent(t *testing.T) {
+	c := NewSharedCache(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%d", i%300)
+				if v, ok := c.get(k); ok && v.(string) != k {
+					t.Errorf("key %q holds value %v", k, v)
+					return
+				}
+				c.put(k, k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*2000 {
+		t.Errorf("lookup counters lost updates: hits %d + misses %d != %d", st.Hits, st.Misses, 8*2000)
+	}
+}

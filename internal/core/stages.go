@@ -1,0 +1,727 @@
+package core
+
+// The staged-artifact pipeline.  analyze's former monolithic body is a
+// sequence of typed stage functions named by the package stage
+// vocabulary — parse → dep → align-solve → space-build → pricing →
+// selection — each consuming and producing immutable artifact values
+// carrying content-hash keys (package artifact):
+//
+//	stageParse        Input                →  unitArtifact
+//	stageDep          unitArtifact         →  depArtifact
+//	stageAlignSpaces  unit + dep           →  alignArtifact
+//	backAnalyze       unit + dep + align   →  *Result
+//	  stageCandidateSpaces (space-build)
+//	  stagePricing         (pricing)
+//	  reselect             (selection)
+//
+// The first three stages — the front half — depend only on the program
+// and the search-space options, never on the machine model or the
+// processor count; Session caches their artifacts and re-runs only
+// backAnalyze per (machine, procs) point.  Artifacts are immutable
+// after their stage returns (extendAlignment runs inside
+// stageAlignSpaces, not later), so concurrent back halves may share
+// them freely.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/artifact"
+	"repro/internal/dep"
+	"repro/internal/distrib"
+	"repro/internal/fortran"
+	"repro/internal/ilp"
+	"repro/internal/layout"
+	"repro/internal/layoutgraph"
+	"repro/internal/par"
+	"repro/internal/pcfg"
+	"repro/internal/remap"
+	"repro/internal/stage"
+	"repro/internal/verify"
+)
+
+// unitArtifact is the parse stage's product: the analyzed program and
+// its content-hash key.
+type unitArtifact struct {
+	unit *fortran.Unit
+	key  artifact.Key
+}
+
+// depArtifact is the dep stage's product: the PCFG with per-phase
+// dependence information.  Its key folds the unit key with every
+// option the stage read (trip and probability defaults), so equal keys
+// mean interchangeable dependence artifacts.
+type depArtifact struct {
+	graph *pcfg.Graph
+	infos map[int]*dep.PhaseInfo
+	key   artifact.Key
+}
+
+// alignArtifact is the align-solve stage's product: the alignment
+// search spaces with every candidate alignment already extended to a
+// complete embedding (so the artifact is immutable downstream), plus
+// the stage's graceful degradations.
+type alignArtifact struct {
+	spaces *align.Spaces
+	degs   []Degradation
+	key    artifact.Key
+}
+
+// timed starts a stopwatch for one stage; call the returned stop
+// function when the stage finishes.
+func timed(tm stage.Timings, st string) func() {
+	start := time.Now()
+	return func() { tm.Add(st, time.Since(start)) }
+}
+
+// stageParse produces the unit artifact: parse + semantic analysis for
+// source input, or just the content hash for an already analyzed unit.
+func stageParse(in Input, opt Options, tm stage.Timings) (*unitArtifact, error) {
+	defer timed(tm, stage.Parse)()
+	u := in.Unit
+	if u == nil {
+		if ferr := opt.Fault.Err(stage.Parse); ferr != nil {
+			return nil, ferr
+		}
+		prog, perr := fortran.Parse(in.Source)
+		if perr != nil {
+			return nil, perr
+		}
+		var err error
+		u, err = fortran.Analyze(prog)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &unitArtifact{unit: u, key: artifact.UnitKey(u)}, nil
+}
+
+// stageDep builds the PCFG and fans the per-phase dependence analysis
+// out over the worker pool into index-addressed slots.
+func stageDep(ctx context.Context, opt Options, ua *unitArtifact, tm stage.Timings) (*depArtifact, error) {
+	defer timed(tm, stage.Dep)()
+	g, err := pcfg.Build(ua.unit, opt.PCFG)
+	if err != nil {
+		return nil, err
+	}
+	infoSlots := make([]*dep.PhaseInfo, len(g.Phases))
+	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		if ferr := opt.Fault.Err(stage.Dep); ferr != nil {
+			return ferr
+		}
+		infoSlots[i] = dep.Analyze(ua.unit, g.Phases[i].Stmts(), opt.DefaultTrip)
+		return nil
+	}); err != nil {
+		return nil, pipelineErr(stage.Dep, err)
+	}
+	infos := map[int]*dep.PhaseInfo{}
+	for i, ph := range g.Phases {
+		infos[ph.ID] = infoSlots[i]
+	}
+	key := artifact.NewHasher("dep").
+		Str(string(ua.key)).
+		Int(opt.DefaultTrip).
+		Int(opt.PCFG.DefaultTrip).
+		Float(opt.PCFG.DefaultProb).
+		Bool(opt.PCFG.IgnoreProbHints).
+		Key()
+	return &depArtifact{graph: g, infos: infos, key: key}, nil
+}
+
+// stageAlignSpaces builds the alignment search spaces (the 0-1
+// resolutions fan out inside BuildSearchSpaces over the same worker
+// count), converts the stage's degradations, and extends every
+// candidate alignment to a complete embedding.  Extension used to
+// happen lazily inside the space-build fan-out; doing it here, once and
+// sequentially, freezes the artifact so concurrent Session re-runs can
+// share it without synchronization.
+func stageAlignSpaces(ctx context.Context, opt Options, solver *ilp.Solver, ua *unitArtifact, da *depArtifact, tm stage.Timings) (*alignArtifact, error) {
+	defer timed(tm, stage.AlignSolve)()
+	alignOpt := opt.Align
+	if alignOpt.Solver == nil {
+		alignOpt.Solver = solver
+	}
+	if alignOpt.Workers == 0 {
+		alignOpt.Workers = opt.Workers
+	}
+	alignOpt.Fault = opt.Fault
+	alignOpt.Verify = opt.Verify.enabled()
+	spaces, err := align.BuildSearchSpaces(ctx, ua.unit, da.graph, da.infos, alignOpt)
+	if err != nil {
+		return nil, pipelineErr(stage.AlignSolve, err)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: canceled during %s: %w", stage.AlignSolve, cerr)
+	}
+	var degs []Degradation
+	for _, d := range spaces.Degradations {
+		deg := Degradation{
+			Subsystem: stage.AlignSolve,
+			Detail:    fmt.Sprintf("%s: %s", d.Where, d.Reason),
+			Gap:       d.Gap,
+		}
+		if opt.Strict {
+			return nil, &StrictError{Deg: deg}
+		}
+		degs = append(degs, deg)
+	}
+	// Candidate layouts are *complete* data layouts: arrays a phase (or
+	// its class) never couples get canonical embeddings, so transitions
+	// account for every array that actually moves.
+	for _, ph := range da.graph.Phases {
+		for _, ac := range spaces.PerPhase[ph.ID] {
+			extendAlignment(ua.unit, ac.Align)
+		}
+	}
+	key := artifact.NewHasher("align-spaces").
+		Str(string(da.key)).
+		Float(alignOpt.ImportScale).
+		Bool(alignOpt.Greedy).
+		Key()
+	return &alignArtifact{spaces: spaces, degs: degs, key: key}, nil
+}
+
+// backAnalyze is the machine-dependent back half of the pipeline:
+// candidate search spaces, pricing, liveness and selection over the
+// front half's artifacts.  Analyze calls it right after building the
+// front half; Session.Analyze calls it with cached artifacts.
+func backAnalyze(ctx context.Context, start time.Time, opt Options, budget *ilp.Solver, ua *unitArtifact, da *depArtifact, aa *alignArtifact, tm stage.Timings) (*Result, error) {
+	res := &Result{
+		Unit:       ua.unit,
+		PCFG:       da.graph,
+		Template:   layout.Template{Extents: ua.unit.TemplateExtents()},
+		AlignStats: aa.spaces.Stats,
+		Spaces:     aa.spaces,
+		Machine:    opt.Machine,
+		StageTimes: tm,
+		Artifacts: map[string]artifact.Key{
+			stage.Parse:      ua.key,
+			stage.Dep:        da.key,
+			stage.AlignSolve: aa.key,
+		},
+		opt:       opt,
+		alignDegs: aa.degs,
+		prices:    newPriceCache(opt.NoCache),
+		remaps:    newRemapCache(opt.NoCache),
+	}
+	if opt.Cache != nil && !opt.NoCache {
+		res.shared = &sharedLayer{cache: opt.Cache, keys: deriveSharedKeys(ua.key, opt)}
+		// Selection reuse needs a fully content-determined solve: a
+		// wall-clock budget or a caller-tuned solver can change the
+		// outcome (degradation, node limits), and an armed fault plan
+		// must reach the solver's injection sites.
+		if opt.Timeout == 0 && opt.Solver == nil && opt.Fault == nil {
+			res.selCtx = string(artifact.NewHasher("selection-ctx").
+				Str(string(aa.key)).
+				Str(res.shared.keys.price).
+				Str(res.shared.keys.remap).
+				Int(opt.Procs).
+				Bool(opt.Cyclic).
+				Bool(opt.MultiDim).
+				Bool(opt.UseDP).
+				Bool(opt.MergePhases).
+				Key())
+		}
+	}
+	if err := stageCandidateSpaces(ctx, opt, ua, da, aa, res, tm); err != nil {
+		return nil, err
+	}
+	if err := stagePricing(ctx, opt, res, tm); err != nil {
+		return nil, err
+	}
+	res.LiveIn = liveness(da.graph, da.infos)
+	if err := res.reselect(ctx, budget); err != nil {
+		return nil, err
+	}
+	// The final certificate: with verification on, re-derive the
+	// Result's claimed costs from the models (bypassing the caches) and
+	// re-check the selection's shape before handing it to the caller.
+	if opt.Verify.enabled() {
+		if cerr := res.Certify(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// stageCandidateSpaces builds the distribution search spaces (cross
+// product, user-constraint filtering), independent per phase.
+func stageCandidateSpaces(ctx context.Context, opt Options, ua *unitArtifact, da *depArtifact, aa *alignArtifact, res *Result, tm stage.Timings) error {
+	defer timed(tm, stage.SpaceBuild)()
+	dOpt := distrib.Options{Procs: opt.Procs, Cyclic: opt.Cyclic, MultiDim: opt.MultiDim}
+	g := da.graph
+	res.Phases = make([]*PhaseResult, len(g.Phases))
+	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+		if ferr := opt.Fault.Err(stage.SpaceBuild); ferr != nil {
+			return ferr
+		}
+		ph := g.Phases[i]
+		space := distrib.BuildSpace(res.Template, aa.spaces.PerPhase[ph.ID], dOpt)
+		space = filterUserConstraints(ua.unit, space)
+		if len(space) == 0 {
+			return &ValidationError{Msg: fmt.Sprintf("phase %d: user directives eliminate every candidate layout", ph.ID)}
+		}
+		pr := &PhaseResult{
+			Phase:      ph,
+			Info:       da.infos[ph.ID],
+			DataType:   phaseType(ua.unit, ph),
+			sig:        fortran.PrintStmts(ph.Stmts()),
+			Candidates: make([]*Candidate, len(space)),
+		}
+		for j, pl := range space {
+			pr.Candidates[j] = &Candidate{Layout: pl.Layout, AlignOrigin: pl.AlignOrigin}
+		}
+		res.Phases[i] = pr
+		return nil
+	}); err != nil {
+		return pipelineErr(stage.SpaceBuild, err)
+	}
+	return nil
+}
+
+// stagePricing prices every candidate.  The fan-out is over the
+// flattened (phase, candidate) pairs — not per phase — so one phase
+// with a huge space cannot serialize the pool; each job writes its own
+// slot.
+func stagePricing(ctx context.Context, opt Options, res *Result, tm stage.Timings) error {
+	defer timed(tm, stage.Pricing)()
+	type job struct{ p, c int }
+	var jobs []job
+	for p, pr := range res.Phases {
+		for c := range pr.Candidates {
+			jobs = append(jobs, job{p, c})
+		}
+	}
+	if err := par.Do(ctx, opt.Workers, len(jobs), func(i int) error {
+		if ferr := opt.Fault.Err(stage.Pricing); ferr != nil {
+			return ferr
+		}
+		j := jobs[i]
+		pr := res.Phases[j.p]
+		cand := pr.Candidates[j.c]
+		cand.Plan, cand.Estimate = res.price(pr, cand.Layout)
+		cand.Cost = opt.Fault.Corrupt(stage.Pricing, cand.Estimate.Time*pr.Phase.Freq)
+		return nil
+	}); err != nil {
+		return pipelineErr(stage.Pricing, err)
+	}
+	return nil
+}
+
+// pipelineErr normalizes an error escaping a parallel stage: a worker
+// panic surfaces as the same *InternalError a panic on the calling
+// goroutine becomes, and context cancellation is labeled with the stage
+// it interrupted (st is a package stage constant, the same vocabulary
+// used by Degradation.Subsystem and the fault-injection sites).
+// Everything else passes through.
+func pipelineErr(st string, err error) error {
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		return &InternalError{Msg: fmt.Sprint(pe.Value), Stack: pe.Stack}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("core: canceled during %s: %w", st, err)
+	}
+	return err
+}
+
+// solverBudget derives the shared 0-1 solver for one run: the caller's
+// Solver settings plus the run's context and the Options.Timeout
+// deadline (whichever cutoff is earliest wins inside the solver).  It
+// also arms the solver with the run's fault plan and — when
+// verification is on — installs the package verify certificates, so
+// every 0-1 solve in the run is checked at the source.
+func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solver {
+	s := ilp.Solver{}
+	if opt.Solver != nil {
+		s = *opt.Solver
+	}
+	s.Context = ctx
+	if opt.Timeout > 0 {
+		if dl := start.Add(opt.Timeout); s.Deadline.IsZero() || dl.Before(s.Deadline) {
+			s.Deadline = dl
+		}
+	}
+	s.Fault = opt.Fault
+	if opt.Verify.enabled() {
+		s.Certify = verify.CheckILP
+		s.CertifyLP = verify.CheckLP
+	}
+	return &s
+}
+
+// reselect solves the selection with the given budget, degrading to
+// the exact chain DP or the greedy per-phase heuristic when the ILP is
+// cut off without an incumbent, and rebuilds Result.Degradations.  The
+// per-edge transition cost matrices are independent, so they fan out
+// over the worker pool into index-addressed slots.
+func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
+	defer timed(r.StageTimes, stage.Selection)()
+	lg := &layoutgraph.Graph{NodeCost: make([][]float64, len(r.Phases))}
+	for p, pr := range r.Phases {
+		lg.NodeCost[p] = make([]float64, len(pr.Candidates))
+		for i, c := range pr.Candidates {
+			lg.NodeCost[p][i] = c.Cost
+		}
+	}
+	// Precompute each candidate layout's cache key once: the edge
+	// matrices look every layout up O(edges × candidates) times, and
+	// building the key is comparable in cost to the pricing it saves.
+	var keys [][]string
+	if r.remaps != nil {
+		keys = make([][]string, len(r.Phases))
+		for p, pr := range r.Phases {
+			keys[p] = make([]string, len(pr.Candidates))
+			for i, c := range pr.Candidates {
+				keys[p][i] = c.Layout.FullKey()
+			}
+		}
+	}
+	key := func(p, i int) string {
+		if keys == nil {
+			return ""
+		}
+		return keys[p][i]
+	}
+	if n := len(r.PCFG.Edges); n > 0 {
+		edges := make([]*layoutgraph.Edge, n)
+		if err := par.Do(ctx, par.Workers(r.opt.Workers), n, func(k int) error {
+			e := r.PCFG.Edges[k]
+			from, to := r.Phases[e.From], r.Phases[e.To]
+			edge := &layoutgraph.Edge{FromPhase: e.From, ToPhase: e.To}
+			edge.Cost = make([][]float64, len(from.Candidates))
+			liveArrays := liveNames(r.LiveIn[e.To])
+			joined := strings.Join(liveArrays, "\x1f")
+			for i, ci := range from.Candidates {
+				edge.Cost[i] = make([]float64, len(to.Candidates))
+				for j, cj := range to.Candidates {
+					c := r.remapCost(ci.Layout, cj.Layout, key(e.From, i), key(e.To, j), liveArrays, joined)
+					edge.Cost[i][j] = c * e.Freq
+				}
+			}
+			edges[k] = edge
+			return nil
+		}); err != nil {
+			return pipelineErr(stage.Selection, err)
+		}
+		lg.Edges = edges
+	}
+	if r.opt.MergePhases {
+		lg.Ties = r.mergeTies(lg)
+		r.MergedPairs = len(lg.Ties)
+	}
+	if ferr := r.opt.Fault.Err(stage.Selection); ferr != nil {
+		return ferr
+	}
+	// Selection reuse: the solve is fully determined by the layout
+	// graph, which is fully determined by the content keys folded into
+	// selCtx — so an identical problem already solved under the shared
+	// cache can skip the 0-1 solve.  A reused selection still passes
+	// through CheckSelection below (against the freshly built graph),
+	// so a poisoned cache entry is caught, not served.
+	useSelCache := r.shared != nil && r.selCtx != "" && !r.spacesDirty
+	var sel *layoutgraph.Selection
+	if useSelCache {
+		if v, ok := r.shared.cache.get(r.selCtx); ok {
+			if saved, good := v.(layoutgraph.Selection); good {
+				cp := saved
+				cp.Choice = append([]int(nil), saved.Choice...)
+				sel = &cp
+				r.shared.selHits.Add(1)
+			}
+		}
+		if sel == nil {
+			r.shared.selMisses.Add(1)
+		}
+	}
+	if sel == nil {
+		var err error
+		if r.opt.UseDP {
+			sel, err = lg.SolveDP()
+			if err != nil {
+				sel, err = lg.SolveILP(solver)
+			}
+		} else {
+			sel, err = lg.SolveILP(solver)
+		}
+		var noInc *layoutgraph.NoIncumbentError
+		if errors.As(err, &noInc) {
+			// The ILP was cut off before finding any feasible choice.
+			// Degrade: the chain/ring DP is exact when the graph has that
+			// shape; otherwise the greedy per-phase argmin always answers.
+			if dp, dperr := lg.SolveDP(); dperr == nil {
+				sel, err = dp, nil
+				sel.Degraded = true
+				sel.DegradeReason = fmt.Sprintf("%v; exact chain DP fallback", noInc)
+				sel.Gap = 0
+			} else {
+				sel, err = lg.SolveGreedy(), nil
+				sel.DegradeReason = fmt.Sprintf("%v; %s", noInc, sel.DegradeReason)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if useSelCache && !sel.Degraded {
+			cp := *sel
+			cp.Choice = append([]int(nil), sel.Choice...)
+			r.shared.cache.put(r.selCtx, cp)
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancellation is a hard stop even when an incumbent exists;
+		// deadline-based degradation goes through Options.Timeout.
+		return fmt.Errorf("core: canceled during %s: %w", stage.Selection, cerr)
+	}
+	// Corruption lands before certification so an injected wrong answer
+	// is always in the checker's line of fire.
+	sel.Cost = r.opt.Fault.Corrupt(stage.Selection, sel.Cost)
+	if r.opt.Verify.enabled() {
+		if cerr := verify.CheckSelection(lg, sel); cerr != nil {
+			return cerr
+		}
+	}
+	r.Degradations = append([]Degradation(nil), r.alignDegs...)
+	if sel.Degraded {
+		deg := Degradation{Subsystem: stage.Selection, Detail: sel.DegradeReason, Gap: sel.Gap}
+		if r.opt.Strict {
+			return &StrictError{Deg: deg}
+		}
+		r.Degradations = append(r.Degradations, deg)
+	}
+	r.Selection = sel
+	r.TotalCost = sel.Cost
+	for p, pr := range r.Phases {
+		pr.Chosen = sel.Choice[p]
+	}
+
+	// Record the implied dynamic remappings.
+	r.Remaps = nil
+	r.Dynamic = false
+	for _, e := range r.PCFG.Edges {
+		from := r.Phases[e.From].ChosenLayout()
+		to := r.Phases[e.To].ChosenLayout()
+		moved := remap.Moved(from, to, liveNames(r.LiveIn[e.To]))
+		if len(moved) == 0 {
+			continue
+		}
+		r.Dynamic = true
+		r.Remaps = append(r.Remaps, RemapDecision{
+			Edge:   e,
+			Arrays: moved,
+			Cost: r.remapCost(from, to,
+				key(e.From, r.Phases[e.From].Chosen), key(e.To, r.Phases[e.To].Chosen),
+				moved, strings.Join(moved, "\x1f")) * e.Freq,
+		})
+	}
+	r.syncCacheStats()
+	return nil
+}
+
+// mergeTies finds adjacent phase pairs that can safely be tied
+// together ("merged if remapping can never be profitable between
+// them", §2.1).  Tying (p, q) removes the edge p→q as a potential
+// remapping point, which is sound when any layout switch placed there
+// can instead be placed just after q at no extra cost:
+//
+//   - p and q carry identical candidate layouts (same keys, same
+//     order), so a common choice is well-defined;
+//   - q's candidates all cost the same (a layout-indifferent phase),
+//     so adopting p's layout is free for q; and
+//   - every PCFG successor r of q has liveIn(r) ⊆ liveIn(q), so the
+//     postponed remap moves no more data than the suppressed one.
+func (r *Result) mergeTies(lg *layoutgraph.Graph) [][2]int {
+	hasEdge := func(p, q int) bool {
+		for _, e := range lg.Edges {
+			if e.FromPhase == p && e.ToPhase == q {
+				return true
+			}
+		}
+		return false
+	}
+	var ties [][2]int
+	for p := 0; p+1 < len(r.Phases); p++ {
+		q := p + 1
+		a, b := r.Phases[p], r.Phases[q]
+		if len(a.Candidates) != len(b.Candidates) || !hasEdge(p, q) {
+			continue
+		}
+		same := true
+		for i := range a.Candidates {
+			if a.Candidates[i].Layout.Key() != b.Candidates[i].Layout.Key() {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		// Layout indifference of q.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range b.Candidates {
+			lo = math.Min(lo, c.Cost)
+			hi = math.Max(hi, c.Cost)
+		}
+		if hi-lo > 1e-9*math.Max(1, hi) {
+			continue
+		}
+		// Successor live sets must shrink.
+		shrinks := true
+		for _, e := range r.PCFG.Successors(b.Phase.ID) {
+			for arr := range r.LiveIn[e.To] {
+				if !r.LiveIn[b.Phase.ID][arr] {
+					shrinks = false
+					break
+				}
+			}
+			if !shrinks {
+				break
+			}
+		}
+		if shrinks {
+			ties = append(ties, [2]int{p, q})
+		}
+	}
+	return ties
+}
+
+// liveness computes, per phase, the arrays live on entry by backward
+// dataflow over the PCFG to a fixed point:
+//
+//	liveIn(p) = reads(p) ∪ (∪_succ liveIn(succ) − killed(p))
+//
+// where killed(p) are the arrays phase p writes without reading (their
+// incoming values are dead, so remapping them is wasted work — e.g.
+// Adi's coefficient array is fully recomputed between sweeps).
+func liveness(g *pcfg.Graph, infos map[int]*dep.PhaseInfo) map[int]map[string]bool {
+	liveIn := map[int]map[string]bool{}
+	for _, ph := range g.Phases {
+		liveIn[ph.ID] = map[string]bool{}
+		for a := range infos[ph.ID].ReadSet {
+			liveIn[ph.ID][a] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.Phases) - 1; i >= 0; i-- {
+			ph := g.Phases[i]
+			pi := infos[ph.ID]
+			for _, e := range g.Successors(ph.ID) {
+				for a := range liveIn[e.To] {
+					if pi.WriteSet[a] && !pi.ReadSet[a] {
+						continue // killed here
+					}
+					if !liveIn[ph.ID][a] {
+						liveIn[ph.ID][a] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+// liveNames flattens a live set to a sorted name list.
+func liveNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for a := range set {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// joinNames joins a live-array list into the canonical cache-key form.
+func joinNames(names []string) string {
+	return strings.Join(names, "\x1f")
+}
+
+// extendAlignment adds canonical embeddings for every program array
+// the alignment does not cover, making the layout complete.
+func extendAlignment(u *fortran.Unit, a *layout.Alignment) {
+	for _, name := range u.ArrayNames() {
+		if _, ok := a.Map[name]; ok {
+			continue
+		}
+		arr := u.Arrays[name]
+		dims := make([]int, arr.Rank())
+		for k := range dims {
+			dims[k] = k
+		}
+		a.Set(name, dims)
+	}
+}
+
+// phaseType is the widest element type among the phase's arrays.
+func phaseType(u *fortran.Unit, ph *pcfg.Phase) fortran.DataType {
+	dt := fortran.Real
+	for _, a := range ph.Arrays {
+		if arr := u.Arrays[a]; arr != nil && arr.Type == fortran.Double {
+			dt = fortran.Double
+		}
+	}
+	return dt
+}
+
+// filterUserConstraints drops candidates that contradict the user's
+// !hpf$ directives (the partial-layout extension use case).
+func filterUserConstraints(u *fortran.Unit, space []*distrib.PhaseLayout) []*distrib.PhaseLayout {
+	if len(u.Distributes) == 0 && len(u.Aligns) == 0 {
+		return space
+	}
+	var out []*distrib.PhaseLayout
+	for _, pl := range space {
+		if satisfiesUser(u, pl.Layout) {
+			out = append(out, pl)
+		}
+	}
+	return out
+}
+
+func satisfiesUser(u *fortran.Unit, l *layout.Layout) bool {
+	for _, ud := range u.Distributes {
+		dims, ok := l.Align.Map[ud.Array]
+		if !ok {
+			continue // array not in this phase: unconstrained here
+		}
+		for k := range dims {
+			want := ud.Spec[k]
+			got := l.ArrayDist(ud.Array)[k]
+			switch want {
+			case fortran.DistStar:
+				if got.Kind != layout.Star && got.Procs > 1 {
+					return false
+				}
+			case fortran.DistBlock:
+				if got.Kind != layout.Block || got.Procs <= 1 {
+					return false
+				}
+			case fortran.DistCyclic:
+				if got.Kind != layout.Cyclic || got.Procs <= 1 {
+					return false
+				}
+			}
+		}
+	}
+	for _, ua := range u.Aligns {
+		sDims, okS := l.Align.Map[ua.Source]
+		tDims, okT := l.Align.Map[ua.Target]
+		if !okS || !okT {
+			continue
+		}
+		for k := range sDims {
+			if k < len(tDims) && sDims[k] != tDims[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -80,7 +80,7 @@ type CaseResult struct {
 	Tool *core.Result
 }
 
-// Run evaluates one test case.  opt customizes the tool invocation
+// Run evaluates one test case.  modify customizes the tool invocation
 // (nil for defaults).
 func Run(c Case, modify func(*core.Options)) (*CaseResult, error) {
 	spec, ok := programs.ByName(c.Program)
@@ -96,7 +96,14 @@ func Run(c Case, modify func(*core.Options)) (*CaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return evaluate(c, res)
+}
 
+// evaluate builds the CaseResult for one finished tool run: the static
+// and remapped candidate layouts, their estimates and measurements, and
+// the tool's own pick.  Shared by Run (cold analysis) and the
+// session-reusing figure sweeps.
+func evaluate(c Case, res *core.Result) (*CaseResult, error) {
 	cr := &CaseResult{Case: c, Tool: res}
 
 	// Static candidates: every complete layout available in all phases

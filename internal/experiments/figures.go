@@ -87,11 +87,38 @@ func (f *Figure) Render() string {
 	return b.String()
 }
 
-// series runs one program over a processor grid.
+// series runs one program over a processor grid.  The program, its
+// dependence structure and its alignment spaces are identical at every
+// grid point, so the sweep reuses one core.Session (the cached
+// machine-independent front half) plus a shared pricing cache, and
+// re-runs only pricing and selection per point — the staged pipeline's
+// intended sweep shape.
 func series(title, program string, n int, dt fortran.DataType, procs []int, modify func(*core.Options)) (*Figure, error) {
+	spec, ok := programs.ByName(program)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown program %q", program)
+	}
+	src := spec.Source(n, dt)
+	shared := core.NewSharedCache(0)
+	point := func(p int) core.Options {
+		opt := core.Options{Procs: p}
+		if modify != nil {
+			modify(&opt)
+		}
+		opt.Cache = shared
+		return opt
+	}
+	sess, err := core.NewSession(context.Background(), core.Input{Source: src}, point(procs[0]))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", program, err)
+	}
 	f := &Figure{Title: title}
 	for _, p := range procs {
-		cr, err := Run(Case{program, n, dt, p}, modify)
+		res, err := sess.Analyze(context.Background(), point(p))
+		if err != nil {
+			return nil, fmt.Errorf("%s p=%d: %w", program, p, err)
+		}
+		cr, err := evaluate(Case{program, n, dt, p}, res)
 		if err != nil {
 			return nil, fmt.Errorf("%s p=%d: %w", program, p, err)
 		}

@@ -1,6 +1,7 @@
 package programs
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func run(t *testing.T, src string, procs int) *core.Result {
 	t.Helper()
-	res, err := core.AutoLayout(src, core.Options{Procs: procs})
+	res, err := core.Analyze(context.Background(), core.Input{Source: src}, core.Options{Procs: procs})
 	if err != nil {
 		t.Fatal(err)
 	}

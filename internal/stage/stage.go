@@ -3,13 +3,21 @@
 // One constant set names every stage of the analysis pipeline, so the
 // labels in cancellation errors (core's par fan-outs), the subsystems
 // named by core.Degradation, the sites of the fault-injection registry
-// (package fault) and the stages carried by certification failures
-// (package verify) all correlate: a chaos report, a degradation log
-// line and a certificate error about the same stage use the same word.
+// (package fault), the stages carried by certification failures
+// (package verify) and the per-stage wall-clock timings (Timings) all
+// correlate: a chaos report, a degradation log line, a timing line and
+// a certificate error about the same stage use the same word.
 //
-// The package is a leaf: it imports nothing, and everything that names
-// a pipeline stage imports it.
+// The package is a leaf: it imports only the standard library, and
+// everything that names a pipeline stage imports it.
 package stage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
 
 // The pipeline stages, in execution order.
 const (
@@ -34,10 +42,67 @@ const (
 	// Selection is the final layout selection over the data layout
 	// graph, including the transition-cost matrices.
 	Selection = "selection"
-	// Cache is the pricing/remapping memoization layer.
+	// Cache is the per-run pricing/remapping memoization layer.
 	Cache = "cache"
+	// CacheShared is the process-wide shared cache (core.SharedCache):
+	// the site fires on every cross-run lookup, and its Corrupt action
+	// poisons the value a shared hit serves.
+	CacheShared = "cache-shared"
 )
 
 // All lists every stage in execution order; chaos sweeps iterate it so
 // a newly added stage is exercised automatically.
-var All = []string{Parse, Dep, AlignSolve, SpaceBuild, Pricing, ILPRoot, BBNode, Selection, Cache}
+var All = []string{Parse, Dep, AlignSolve, SpaceBuild, Pricing, ILPRoot, BBNode, Selection, Cache, CacheShared}
+
+// order maps each stage to its position in All, for sorted rendering.
+var order = func() map[string]int {
+	m := make(map[string]int, len(All))
+	for i, s := range All {
+		m[s] = i
+	}
+	return m
+}()
+
+// Timings records per-stage wall-clock durations keyed by the stage
+// names above — the timing hooks piggyback the same site vocabulary the
+// fault registry and the certificates use.  A nil Timings ignores Add,
+// so instrumentation call sites stay unconditional.
+type Timings map[string]time.Duration
+
+// Add accumulates d into the stage's bucket (stages that run more than
+// once per operation, like selection after a Reselect, sum up).
+func (t Timings) Add(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t[stage] += d
+}
+
+// String renders the non-zero buckets in pipeline execution order,
+// unknown stages last in lexical order.
+func (t Timings) String() string {
+	names := make([]string, 0, len(t))
+	for s, d := range t {
+		if d > 0 {
+			names = append(names, s)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iOK := order[names[i]]
+		oj, jOK := order[names[j]]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		}
+		return names[i] < names[j]
+	})
+	parts := make([]string, len(names))
+	for i, s := range names {
+		parts[i] = fmt.Sprintf("%s %s", s, t[s].Round(time.Microsecond))
+	}
+	return strings.Join(parts, ", ")
+}
