@@ -140,6 +140,9 @@ func main() {
 			res.Cache.Pricing.Hits, res.Cache.Pricing.Misses, res.Cache.Pricing.HitRate()*100,
 			res.Cache.Remap.Hits, res.Cache.Remap.Misses, res.Cache.Remap.HitRate()*100)
 		fmt.Printf("! stages: %s\n", res.StageTimes)
+		s := res.Solver
+		fmt.Printf("! solver: %d solves, %d bb nodes, %d lp pivots, %d warm / %d cold lps, %d rc-fixed\n",
+			s.Solves, s.Nodes, s.LPPivots, s.LPWarm, s.LPCold, s.RCFixed)
 	}
 	for _, line := range strings.Split(strings.TrimRight(res.ExplainDegradations(), "\n"), "\n") {
 		if line != "" {

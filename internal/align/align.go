@@ -16,6 +16,7 @@ import (
 	"repro/internal/fortran"
 	"repro/internal/ilp"
 	"repro/internal/layout"
+	"repro/internal/lp"
 	"repro/internal/par"
 	"repro/internal/pcfg"
 	"repro/internal/stage"
@@ -196,14 +197,26 @@ func BuildSearchSpaces(ctx context.Context, u *fortran.Unit, g *pcfg.Graph, info
 		TemplateRank: d,
 	}
 
+	// One lp.Workspace per worker slot: par.DoWorker guarantees a slot
+	// runs one job at a time, so each workspace is reused — warm starts
+	// and buffer reuse — without locks.  Slots are allocated lazily:
+	// greedy mode and conflict-free phases never touch them.
+	wss := make([]*lp.Workspace, opt.Workers)
+	wsFor := func(w int) *lp.Workspace {
+		if wss[w] == nil {
+			wss[w] = lp.NewWorkspace()
+		}
+		return wss[w]
+	}
+
 	// Step 1: per-phase conflict-free CAGs (independent solves).
 	phaseCAG := map[int]*cag.Graph{}
 	phaseRes := make([]*resolution, len(g.Phases))
-	err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+	err := par.DoWorker(ctx, opt.Workers, len(g.Phases), func(w, i int) error {
 		ph := g.Phases[i]
 		pg := BuildCAG(u, infos[ph.ID], ph.Freq)
 		if pg.HasConflict() {
-			r, err := resolveOne(pg, d, opt, fmt.Sprintf("phase %d", ph.ID))
+			r, err := resolveOne(pg, d, opt, wsFor(w), fmt.Sprintf("phase %d", ph.ID))
 			if err != nil {
 				return fmt.Errorf("align: phase %d: %w", ph.ID, err)
 			}
@@ -255,9 +268,9 @@ func BuildSearchSpaces(ctx context.Context, u *fortran.Unit, g *pcfg.Graph, info
 	// Base candidate per class: the class CAG's own alignment
 	// (independent solves).
 	baseRes := make([]*resolution, len(sp.Classes))
-	err = par.Do(ctx, opt.Workers, len(sp.Classes), func(i int) error {
+	err = par.DoWorker(ctx, opt.Workers, len(sp.Classes), func(w, i int) error {
 		c := sp.Classes[i]
-		r, err := resolveOne(c.CAG, d, opt, fmt.Sprintf("class %d", c.ID))
+		r, err := resolveOne(c.CAG, d, opt, wsFor(w), fmt.Sprintf("class %d", c.ID))
 		if err != nil {
 			return fmt.Errorf("align: class %d: %w", c.ID, err)
 		}
@@ -290,12 +303,12 @@ func BuildSearchSpaces(ctx context.Context, u *fortran.Unit, g *pcfg.Graph, info
 		}
 	}
 	importRes := make([]*resolution, len(pairs))
-	err = par.Do(ctx, opt.Workers, len(pairs), func(i int) error {
+	err = par.DoWorker(ctx, opt.Workers, len(pairs), func(w, i int) error {
 		sink, src := sp.Classes[pairs[i].sink], sp.Classes[pairs[i].src]
 		scaled := src.CAG.Clone()
 		scaled.ScaleWeights(opt.ImportScale)
 		merged := scaled.Merge(sink.CAG)
-		r, err := resolveOne(merged, d, opt, fmt.Sprintf("import %d->%d", src.ID, sink.ID))
+		r, err := resolveOne(merged, d, opt, wsFor(w), fmt.Sprintf("import %d->%d", src.ID, sink.ID))
 		if err != nil {
 			return fmt.Errorf("align: import %d->%d: %w", src.ID, sink.ID, err)
 		}
@@ -383,7 +396,7 @@ type resolution struct {
 // sequential order, by record.  The stage.AlignSolve fault site fires
 // here, and Options.Verify certifies the resolution — after any
 // injected corruption, so a corrupted resolution cannot escape.
-func resolveOne(g *cag.Graph, d int, opt Options, where string) (*resolution, error) {
+func resolveOne(g *cag.Graph, d int, opt Options, ws *lp.Workspace, where string) (*resolution, error) {
 	if err := opt.Fault.Err(stage.AlignSolve); err != nil {
 		return nil, err
 	}
@@ -392,7 +405,7 @@ func resolveOne(g *cag.Graph, d int, opt Options, where string) (*resolution, er
 	if opt.Greedy {
 		res, err = cag.ResolveGreedy(g, d)
 	} else {
-		res, err = cag.Resolve(g, d, opt.Solver)
+		res, err = cag.ResolveWS(g, d, opt.Solver, ws)
 	}
 	if err != nil {
 		return nil, err

@@ -17,7 +17,14 @@ type Stats struct {
 	Constraints int
 	BBNodes     int
 	LPPivots    int
-	Duration    time.Duration
+	// LPWarm / LPCold split BBNodes by how the node relaxation was
+	// solved: dual-simplex reoptimization from the parent basis vs a
+	// from-scratch two-phase solve.  RCFixed counts binaries fixed by
+	// root reduced-cost presolve.
+	LPWarm   int
+	LPCold   int
+	RCFixed  int
+	Duration time.Duration
 }
 
 // Resolution is the result of resolving the inter-dimensional
@@ -56,6 +63,13 @@ type Resolution struct {
 // type-1/type-2 node constraints, IN/OUT edge constraints after
 // direction normalization, maximizing intra-partition weight.
 func Resolve(g *Graph, d int, solver *ilp.Solver) (*Resolution, error) {
+	return ResolveWS(g, d, solver, nil)
+}
+
+// ResolveWS is Resolve with a caller-owned lp.Workspace for the 0-1
+// solve, letting a sequence of resolutions on one goroutine reuse
+// simplex buffers and warm starts.  ws may be nil.
+func ResolveWS(g *Graph, d int, solver *ilp.Solver, ws *lp.Workspace) (*Resolution, error) {
 	for _, a := range g.Arrays() {
 		if g.Rank(a) > d {
 			return nil, fmt.Errorf("cag: array %s has rank %d > template dimensionality %d", a, g.Rank(a), d)
@@ -220,7 +234,7 @@ func Resolve(g *Graph, d int, solver *ilp.Solver) (*Resolution, error) {
 		binaries = append(binaries, nodeVar[n]...)
 	}
 	start := time.Now()
-	res, err := solver.Solve(prob, binaries)
+	res, err := solver.SolveWS(prob, binaries, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +243,9 @@ func Resolve(g *Graph, d int, solver *ilp.Solver) (*Resolution, error) {
 		Constraints: constraints,
 		BBNodes:     res.Nodes,
 		LPPivots:    res.LPPivots,
+		LPWarm:      res.LPWarm,
+		LPCold:      res.LPCold,
+		RCFixed:     res.RCFixed,
 		Duration:    time.Since(start),
 	}
 	out := &Resolution{Assignment: map[Node]int{}, Stats: stats}

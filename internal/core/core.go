@@ -237,6 +237,23 @@ type RemapDecision struct {
 	Cost float64
 }
 
+// SolverSummary aggregates the 0-1 solver effort behind one Result:
+// the alignment resolutions plus the solve that produced the layout
+// selection.  LPWarm counts node relaxations warm-started by
+// dual-simplex reoptimization from the parent basis; LPCold counts
+// from-scratch two-phase solves; RCFixed counts binaries eliminated by
+// root reduced-cost presolve.  A selection answered by the DP or the
+// greedy fallback contributes no solve; one served from the shared
+// cache reports the effort of the solve that produced it.
+type SolverSummary struct {
+	Solves   int
+	Nodes    int
+	LPPivots int
+	LPWarm   int
+	LPCold   int
+	RCFixed  int
+}
+
 // Result is the tool's output.
 type Result struct {
 	Unit     *fortran.Unit
@@ -251,6 +268,11 @@ type Result struct {
 	Remaps []RemapDecision
 	// AlignStats records the 0-1 alignment solves (sizes, durations).
 	AlignStats []cag.Stats
+	// Solver aggregates the 0-1 solver effort behind this result: every
+	// alignment resolution plus the solve that produced Selection.
+	// Recomputed by each (re)selection, so it stays consistent after
+	// Reselect.
+	Solver SolverSummary
 	// Spaces is the alignment search space construction result.
 	Spaces *align.Spaces
 	// LiveIn maps each phase ID to the arrays live on entry (read in

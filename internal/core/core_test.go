@@ -7,8 +7,10 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/execmodel"
+	"repro/internal/fortran"
 	"repro/internal/layout"
 	"repro/internal/machine"
+	"repro/internal/programs"
 )
 
 const adiSmall = `
@@ -306,6 +308,59 @@ func TestScheduleDiversityInCandidates(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("no candidate classified %v", want)
 		}
+	}
+}
+
+func TestSolverSummaryConsistent(t *testing.T) {
+	// tomcatv resolves alignment conflicts through the 0-1 solver, so
+	// the summary must show the alignment solves plus the selection.
+	res, err := Analyze(context.Background(), Input{Source: programs.Tomcatv(32, fortran.Double)},
+		Options{Procs: 8, Verify: VerifyOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(s SolverSummary) {
+		t.Helper()
+		if s.Solves == 0 || s.Nodes < s.Solves || s.LPPivots == 0 {
+			t.Errorf("implausible solver summary: %+v", s)
+		}
+		if s.LPWarm+s.LPCold != s.Nodes {
+			t.Errorf("warm %d + cold %d != nodes %d", s.LPWarm, s.LPCold, s.Nodes)
+		}
+		// The summary must equal the per-solve records it aggregates.
+		want := SolverSummary{}
+		for _, st := range res.AlignStats {
+			want.Solves++
+			want.Nodes += st.BBNodes
+			want.LPPivots += st.LPPivots
+			want.LPWarm += st.LPWarm
+			want.LPCold += st.LPCold
+			want.RCFixed += st.RCFixed
+		}
+		if sel := res.Selection; sel.BBNodes > 0 {
+			want.Solves++
+			want.Nodes += sel.BBNodes
+			want.LPPivots += sel.LPPivots
+			want.LPWarm += sel.LPWarm
+			want.LPCold += sel.LPCold
+			want.RCFixed += sel.RCFixed
+		}
+		if s != want {
+			t.Errorf("summary %+v does not match records %+v", s, want)
+		}
+	}
+	check(res.Solver)
+	if res.Solver.Solves < 2 {
+		t.Errorf("tomcatv: %d solves, want alignment + selection", res.Solver.Solves)
+	}
+	// Reselect recomputes the summary idempotently — no double counting.
+	before := res.Solver
+	if err := res.Reselect(); err != nil {
+		t.Fatal(err)
+	}
+	check(res.Solver)
+	if res.Solver.Solves != before.Solves {
+		t.Errorf("reselect changed solve count: %+v -> %+v", before, res.Solver)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/layout"
 	"repro/internal/layoutgraph"
+	"repro/internal/lp"
 	"repro/internal/par"
 	"repro/internal/pcfg"
 	"repro/internal/remap"
@@ -357,6 +358,30 @@ func solverBudget(opt *Options, ctx context.Context, start time.Time) *ilp.Solve
 	return &s
 }
 
+// summarizeSolver recomputes Result.Solver from the alignment stats
+// and the current Selection.  It rebuilds from scratch so repeated
+// reselections (Reselect after InsertCandidate) never double-count.
+func (r *Result) summarizeSolver() {
+	s := SolverSummary{}
+	for _, st := range r.AlignStats {
+		s.Solves++
+		s.Nodes += st.BBNodes
+		s.LPPivots += st.LPPivots
+		s.LPWarm += st.LPWarm
+		s.LPCold += st.LPCold
+		s.RCFixed += st.RCFixed
+	}
+	if sel := r.Selection; sel != nil && sel.BBNodes > 0 {
+		s.Solves++
+		s.Nodes += sel.BBNodes
+		s.LPPivots += sel.LPPivots
+		s.LPWarm += sel.LPWarm
+		s.LPCold += sel.LPCold
+		s.RCFixed += sel.RCFixed
+	}
+	r.Solver = s
+}
+
 // reselect solves the selection with the given budget, degrading to
 // the exact chain DP or the greedy per-phase heuristic when the ILP is
 // cut off without an incumbent, and rebuilds Result.Degradations.  The
@@ -442,14 +467,19 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 		}
 	}
 	if sel == nil {
+		// One workspace for the selection solve(s): the DP fallback path
+		// may try the ILP right after the DP refuses, and Reselect calls
+		// land here repeatedly — the workspace keeps the simplex buffers
+		// (and, within a solve, the warm-start basis) alive across them.
+		ws := lp.NewWorkspace()
 		var err error
 		if r.opt.UseDP {
 			sel, err = lg.SolveDP()
 			if err != nil {
-				sel, err = lg.SolveILP(solver)
+				sel, err = lg.SolveILPWS(solver, ws)
 			}
 		} else {
-			sel, err = lg.SolveILP(solver)
+			sel, err = lg.SolveILPWS(solver, ws)
 		}
 		var noInc *layoutgraph.NoIncumbentError
 		if errors.As(err, &noInc) {
@@ -498,6 +528,7 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 	}
 	r.Selection = sel
 	r.TotalCost = sel.Cost
+	r.summarizeSolver()
 	for p, pr := range r.Phases {
 		pr.Chosen = sel.Choice[p]
 	}

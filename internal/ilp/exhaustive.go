@@ -85,6 +85,15 @@ func SolveExhaustive(p *lp.Problem, binaries []int) (*Result, error) {
 	return res, nil
 }
 
+// snapBinaries copies x with the binary entries rounded exactly.
+func snapBinaries(x []float64, binaries []int) []float64 {
+	out := append([]float64(nil), x...)
+	for _, v := range binaries {
+		out[v] = math.Round(out[v])
+	}
+	return out
+}
+
 // satisfies reports whether the fully fixed assignment x meets every
 // constraint of p.
 func satisfies(p *lp.Problem, x []float64) bool {

@@ -78,6 +78,31 @@ func FuzzSolve(f *testing.F) {
 			}
 		}
 
+		// Warm vs cold: the warm-started default above must agree with
+		// ColdStart mode (fresh two-phase solve per node, no reduced-cost
+		// fixing) on status, objective and feasibility.  Any divergence
+		// found here is a warm-start soundness bug; keep the input in the
+		// seed corpus.
+		coldRun, err := (&Solver{ColdStart: true}).Solve(p, binaries)
+		if err != nil {
+			t.Fatalf("Solve(ColdStart): %v", err)
+		}
+		if got.Status != coldRun.Status {
+			t.Fatalf("warm status %v, cold-start %v", got.Status, coldRun.Status)
+		}
+		if got.Status == Optimal {
+			if math.Abs(got.Objective-coldRun.Objective) > 1e-6 {
+				t.Fatalf("warm objective %v, cold-start %v", got.Objective, coldRun.Objective)
+			}
+			if !satisfies(p, coldRun.X) {
+				t.Fatalf("cold-start incumbent violates constraints: %v", coldRun.X)
+			}
+		}
+		if got.LPWarm+got.LPCold != got.Nodes || coldRun.LPWarm != 0 {
+			t.Fatalf("node accounting: warm %d+%d != %d, or cold-start warmed %d",
+				got.LPWarm, got.LPCold, got.Nodes, coldRun.LPWarm)
+		}
+
 		// Budget knobs: a 1-node cap visits at most one node and still
 		// reports a coherent status; any incumbent remains feasible.
 		limited, err := (&Solver{MaxNodes: 1}).Solve(p, binaries)

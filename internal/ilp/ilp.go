@@ -72,6 +72,9 @@ type Result struct {
 	Bound     float64       // proven objective bound: -Inf/+Inf when unknown, Objective when optimal
 	Nodes     int           // branch-and-bound nodes explored
 	LPPivots  int           // total simplex iterations across all nodes
+	LPWarm    int           // node LPs served by the warm dual-simplex path
+	LPCold    int           // node LPs solved cold (two-phase from scratch)
+	RCFixed   int           // binaries fixed by root reduced-cost fixing
 	Duration  time.Duration // wall-clock solve time
 }
 
@@ -132,6 +135,12 @@ type Solver struct {
 	// at every branch-and-bound node (its Corrupt action flips one
 	// binary of the incumbent).
 	Fault *fault.Plan
+	// ColdStart disables the warm-started workspace path: every node LP
+	// runs the two-phase simplex from scratch, and reduced-cost fixing
+	// (which needs the workspace's root duals) is off.  It is the
+	// independent reference for warm-vs-cold cross-checks in tests and
+	// benchmarks.
+	ColdStart bool
 }
 
 // deadline resolves the effective absolute cutoff for a solve starting
@@ -164,10 +173,21 @@ var ErrUnbounded = errors.New("ilp: LP relaxation unbounded")
 // re-checked — after any injected corruption, so an injected wrong
 // answer cannot escape a certifying solver.
 func (s *Solver) Solve(p *lp.Problem, binaries []int) (*Result, error) {
+	return s.SolveWS(p, binaries, nil)
+}
+
+// SolveWS is Solve with a caller-owned lp.Workspace: node LPs reuse
+// the workspace's buffers and warm-start from the parent basis, and
+// the basis survives across SolveWS calls so repeated solves of
+// same-shaped problems skip the cold start too.  A nil ws makes the
+// solver use a private workspace for the duration of the call (unless
+// ColdStart is set).  The workspace must not be shared between
+// concurrent solves.
+func (s *Solver) SolveWS(p *lp.Problem, binaries []int, ws *lp.Workspace) (*Result, error) {
 	if err := s.Fault.Err(stage.ILPRoot); err != nil {
 		return nil, err
 	}
-	res, err := s.solve(p, binaries)
+	res, err := s.solve(p, binaries, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +209,7 @@ func (s *Solver) Solve(p *lp.Problem, binaries []int) (*Result, error) {
 // solve is the branch-and-bound body; it restores the problem's bounds
 // and objective before returning, so Solve's certification hook sees
 // the original problem.
-func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
+func (s *Solver) solve(p *lp.Problem, binaries []int, ws *lp.Workspace) (*Result, error) {
 	start := time.Now()
 	maxNodes := s.MaxNodes
 	if maxNodes == 0 {
@@ -226,6 +246,11 @@ func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
 			}
 		}()
 	}
+	if s.ColdStart {
+		ws = nil
+	} else if ws == nil {
+		ws = lp.NewWorkspace()
+	}
 
 	bb := &bbState{
 		p:         p,
@@ -238,7 +263,12 @@ func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
 		rootBound: math.Inf(-1),
 		certifyLP: s.CertifyLP,
 		fault:     s.Fault,
+		ws:        ws,
+		savedLo:   savedLo,
+		savedHi:   savedHi,
+		pendV:     -1,
 	}
+	bb.initBuffers()
 	if !s.NoPerturb {
 		// The root LP bound is computed against the perturbed
 		// objective; discount the largest possible total perturbation so
@@ -246,7 +276,11 @@ func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
 		k := float64(len(binaries))
 		bb.boundSlack = perturbEps * k * (k + 1) / 2
 	}
-	err := bb.dive()
+	warm0, cold0 := 0, 0
+	if ws != nil {
+		warm0, cold0 = ws.Warm, ws.Cold
+	}
+	err := bb.search()
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +288,13 @@ func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
 		Bound:    bb.rootBound,
 		Nodes:    bb.nodes,
 		LPPivots: bb.pivots,
+		RCFixed:  bb.rcFixed,
 		Duration: time.Since(start),
+	}
+	if ws != nil {
+		res.LPWarm, res.LPCold = ws.Warm-warm0, ws.Cold-cold0
+	} else {
+		res.LPCold = bb.nodes
 	}
 	if bb.bestX != nil && savedObj != nil {
 		// Recompute the incumbent's objective with the unperturbed
@@ -264,7 +304,7 @@ func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
 			bb.best += savedObj[i] * bb.bestX[v]
 		}
 		for v := 0; v < p.NumVariables(); v++ {
-			if !isBinaryVar(v, binaries) {
+			if bb.binPos[v] < 0 {
 				bb.best += p.Objective(v) * bb.bestX[v]
 			}
 		}
@@ -288,6 +328,21 @@ func (s *Solver) solve(p *lp.Problem, binaries []int) (*Result, error) {
 	return res, nil
 }
 
+// nodeFrame is one open branching decision on the explicit search
+// stack: the branch variable, the bounds to restore on backtrack, and
+// the two child values in round-nearest order.  Keeping the children
+// as a [2]float64 (instead of the old per-node slice literal) and the
+// incumbent in a preallocated buffer removes all per-node garbage.
+type nodeFrame struct {
+	v                int        // branch variable
+	pos              int        // its position in binaries
+	savedLo, savedHi float64    // bounds to restore when the frame pops
+	vals             [2]float64 // child values, round-nearest first
+	next             int        // child currently being explored (-1 before the first)
+	parentObj        float64    // parent node's LP objective (pseudocost updates)
+	xv               float64    // parent's fractional LP value of v
+}
+
 type bbState struct {
 	p          *lp.Problem
 	binaries   []int
@@ -305,6 +360,55 @@ type bbState struct {
 	limit      Status // which limit fired (valid when hitLimit)
 	certifyLP  func(*lp.Problem, *lp.Solution) error
 	fault      *fault.Plan
+
+	ws               *lp.Workspace // warm-start workspace (nil in ColdStart mode)
+	savedLo, savedHi []float64     // original binary bounds, per position
+	stack            []nodeFrame   // explicit DFS stack
+	binPos           []int32       // variable index -> position in binaries (-1 otherwise)
+	fixed            []int8        // per position: -1 unfixed, else reduced-cost-fixed value
+	branched         []bool        // per position: bound-fixed by an active frame
+	rootObj          float64       // perturbed root LP objective
+	rootD            []float64     // per position: root reduced cost (warm path only)
+	haveRoot         bool          // rootObj/rootD captured
+	rcFixed          int           // reduced-cost fixing count
+	pcUp, pcDown     []float64     // pseudocosts: objective gain per unit movement
+	pcUpN, pcDownN   []int         // observation counts behind the running means
+	pendV            int           // bound change pending for the next node LP (-1 none)
+	pendVal          float64
+}
+
+// initBuffers allocates the per-solve state once, so the node loop
+// itself allocates nothing.
+func (bb *bbState) initBuffers() {
+	k := len(bb.binaries)
+	bb.binPos = make([]int32, bb.p.NumVariables())
+	for v := range bb.binPos {
+		bb.binPos[v] = -1
+	}
+	for i, v := range bb.binaries {
+		bb.binPos[v] = int32(i)
+	}
+	bb.fixed = make([]int8, k)
+	for i := range bb.fixed {
+		bb.fixed[i] = -1
+	}
+	bb.branched = make([]bool, k)
+	bb.rootD = make([]float64, k)
+	bb.pcUp = make([]float64, k)
+	bb.pcDown = make([]float64, k)
+	bb.pcUpN = make([]int, k)
+	bb.pcDownN = make([]int, k)
+	for i, v := range bb.binaries {
+		// Pseudocost prior: the (perturbed) objective coefficient is the
+		// exact per-unit cost when the variable appears in no binding
+		// constraint, and a deterministic, scale-aware guess otherwise.
+		c := math.Abs(bb.p.Objective(v))
+		if c == 0 {
+			c = perturbEps
+		}
+		bb.pcUp[i], bb.pcDown[i] = c, c
+	}
+	bb.stack = make([]nodeFrame, 0, k)
 }
 
 // setLimit records the first limit that fired; later limits (e.g. the
@@ -334,123 +438,273 @@ func (bb *bbState) expired() bool {
 	return false
 }
 
-// dive explores the search tree depth-first from the current bounds.
-func (bb *bbState) dive() error {
-	if bb.hitLimit || bb.expired() {
-		return nil
-	}
-	if bb.nodes >= bb.maxNodes {
-		bb.setLimit(NodeLimit)
-		return nil
-	}
-	if err := bb.fault.Err(stage.BBNode); err != nil {
-		return err
-	}
-	bb.nodes++
-	sol, err := bb.p.SolveAbort(bb.expired)
-	if errors.Is(err, lp.ErrCanceled) {
-		// expired already recorded which limit fired.
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	bb.pivots += sol.Iterations
-	if bb.nodes == 1 && sol.Status == lp.Optimal {
-		bb.rootBound = sol.Objective - bb.boundSlack
-		if bb.certifyLP != nil {
-			if cerr := bb.certifyLP(bb.p, sol); cerr != nil {
-				return cerr
-			}
+// search explores the tree depth-first from the current bounds,
+// driving an explicit node stack instead of recursion so every child
+// LP can warm-start from its parent's basis through the workspace.
+// Node-entry checks (limits, node cap, fault site) run in the same
+// order the recursive dive used, so cutoff semantics are unchanged.
+func (bb *bbState) search() error {
+	for next := true; next; {
+		if bb.hitLimit || bb.expired() {
+			return nil
 		}
-	}
-	switch sol.Status {
-	case lp.Infeasible:
-		return nil
-	case lp.Unbounded:
-		return ErrUnbounded
-	}
-	// Bound: the LP relaxation is a lower bound on any completion.
-	if sol.Objective >= bb.best-1e-9 {
-		return nil
-	}
-	// Find the most fractional binary.
-	branch := -1
-	frac := bb.tol
-	for _, v := range bb.binaries {
-		f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
-		if f > frac {
-			frac = f
-			branch = v
+		if bb.nodes >= bb.maxNodes {
+			bb.setLimit(NodeLimit)
+			return nil
 		}
-	}
-	if branch < 0 {
-		// Integral: new incumbent.
-		bb.best = sol.Objective
-		bb.bestX = snapBinaries(sol.X, bb.binaries)
-		return nil
-	}
-	lo, hi := bb.p.Bounds(branch)
-	first, second := 1.0, 0.0
-	if sol.X[branch] < 0.5 {
-		first, second = 0.0, 1.0
-	}
-	for _, val := range []float64{first, second} {
-		bb.p.SetBounds(branch, val, val)
-		if err := bb.dive(); err != nil {
-			bb.p.SetBounds(branch, lo, hi)
+		if err := bb.fault.Err(stage.BBNode); err != nil {
 			return err
 		}
+		bb.nodes++
+		sol, err := bb.solveLP()
+		if errors.Is(err, lp.ErrCanceled) {
+			// expired already recorded which limit fired.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		bb.pivots += sol.Iterations
+		if bb.nodes == 1 && sol.Status == lp.Optimal {
+			bb.rootObj = sol.Objective
+			bb.rootBound = sol.Objective - bb.boundSlack
+			bb.captureRootDuals()
+			if bb.certifyLP != nil {
+				if cerr := bb.certifyLP(bb.p, sol); cerr != nil {
+					return cerr
+				}
+			}
+		}
+		if sol.Status == lp.Optimal && len(bb.stack) > 0 {
+			bb.updatePseudocost(sol.Objective)
+		}
+		prune := false
+		switch sol.Status {
+		case lp.Infeasible:
+			prune = true
+		case lp.Unbounded:
+			return ErrUnbounded
+		default:
+			// Bound: the LP relaxation is a lower bound on any completion.
+			prune = sol.Objective >= bb.best-1e-9
+		}
+		if !prune {
+			branch := bb.pickBranch(sol)
+			if branch < 0 {
+				// Integral: new incumbent; retighten the fixing net.
+				bb.foundIncumbent(sol)
+				prune = true
+			} else {
+				bb.push(branch, sol)
+			}
+		}
+		next = bb.backtrack()
 	}
-	bb.p.SetBounds(branch, lo, hi)
 	return nil
+}
+
+// solveLP solves the LP relaxation at the current bounds.  With a
+// workspace the pending single-bound change goes through
+// ReoptimizeBounds (dual-simplex warm start from the parent basis);
+// without one it is applied directly and the node runs the cold
+// two-phase solver, exactly as the recursive dive did.
+func (bb *bbState) solveLP() (*lp.Solution, error) {
+	if bb.pendV >= 0 {
+		v, val := bb.pendV, bb.pendVal
+		bb.pendV = -1
+		if bb.ws != nil {
+			return bb.ws.ReoptimizeBounds(bb.p, v, val, val, bb.expired)
+		}
+		bb.p.SetBounds(v, val, val)
+		return bb.p.SolveAbort(bb.expired)
+	}
+	if bb.ws != nil {
+		return bb.ws.Reoptimize(bb.p, bb.expired)
+	}
+	return bb.p.SolveAbort(bb.expired)
+}
+
+// pickBranch selects the branching binary among the fractional ones by
+// pseudocost product score (estimated objective gains of the down and
+// up children), breaking ties toward the larger fractionality and then
+// the smaller variable index.  Returns -1 when the solution is
+// integral.
+func (bb *bbState) pickBranch(sol *lp.Solution) int {
+	branch := -1
+	bestScore, bestFrac := 0.0, 0.0
+	for i, v := range bb.binaries {
+		x := sol.X[v]
+		f := math.Abs(x - math.Round(x))
+		if f <= bb.tol {
+			continue
+		}
+		const floor = 1e-12
+		down := math.Max(bb.pcDown[i]*x, floor)
+		up := math.Max(bb.pcUp[i]*(1-x), floor)
+		score := down * up
+		if branch < 0 || score > bestScore*(1+1e-12) ||
+			(score >= bestScore*(1-1e-12) && f > bestFrac+1e-12) {
+			branch, bestScore, bestFrac = v, score, f
+		}
+	}
+	return branch
+}
+
+// updatePseudocost folds the just-solved child's observed LP gain into
+// the running pseudocost mean of its branch variable and direction.
+func (bb *bbState) updatePseudocost(obj float64) {
+	fr := &bb.stack[len(bb.stack)-1]
+	gain := obj - fr.parentObj
+	if gain < 0 {
+		gain = 0
+	}
+	if fr.vals[fr.next] >= 0.5 {
+		if f := 1 - fr.xv; f > 1e-9 {
+			n := float64(bb.pcUpN[fr.pos])
+			bb.pcUp[fr.pos] = (bb.pcUp[fr.pos]*n + gain/f) / (n + 1)
+			bb.pcUpN[fr.pos]++
+		}
+	} else {
+		if f := fr.xv; f > 1e-9 {
+			n := float64(bb.pcDownN[fr.pos])
+			bb.pcDown[fr.pos] = (bb.pcDown[fr.pos]*n + gain/f) / (n + 1)
+			bb.pcDownN[fr.pos]++
+		}
+	}
+}
+
+// foundIncumbent installs sol as the new best integral solution and
+// re-runs reduced-cost fixing against the improved cutoff.
+func (bb *bbState) foundIncumbent(sol *lp.Solution) {
+	bb.best = sol.Objective
+	if bb.bestX == nil {
+		bb.bestX = make([]float64, len(sol.X))
+	}
+	copy(bb.bestX, sol.X)
+	for _, v := range bb.binaries {
+		bb.bestX[v] = math.Round(bb.bestX[v])
+	}
+	bb.reducedCostFix()
+}
+
+// captureRootDuals snapshots the root LP reduced costs of the binaries
+// for reduced-cost fixing.  Only the workspace path exposes duals; in
+// ColdStart mode fixing stays off.
+func (bb *bbState) captureRootDuals() {
+	if bb.ws == nil {
+		return
+	}
+	for i, v := range bb.binaries {
+		bb.rootD[i] = bb.ws.ReducedCost(v)
+	}
+	bb.haveRoot = true
+}
+
+// reducedCostFix fixes every still-free binary whose root reduced cost
+// proves the other side of its root bound cannot beat the incumbent:
+// rootObj + |d_j|·span ≥ best − 1e-9, the exact test node pruning
+// applies, in the same perturbed objective space — so fixing removes
+// only subtrees the search would prune anyway and the returned optimum
+// is unchanged.  It reruns on every incumbent improvement (the cutoff
+// only tightens, so earlier fixes stay valid).
+func (bb *bbState) reducedCostFix() {
+	if !bb.haveRoot || math.IsInf(bb.best, 1) {
+		return
+	}
+	for i, v := range bb.binaries {
+		if bb.fixed[i] >= 0 || bb.savedLo[i] == bb.savedHi[i] {
+			continue
+		}
+		d := bb.rootD[i]
+		span := bb.savedHi[i] - bb.savedLo[i]
+		var fix float64
+		switch {
+		case d > 1e-9 && bb.rootObj+d*span >= bb.best-1e-9:
+			fix = bb.savedLo[i] // leaving its root lower bound prices out
+		case d < -1e-9 && bb.rootObj-d*span >= bb.best-1e-9:
+			fix = bb.savedHi[i] // leaving its root upper bound prices out
+		default:
+			continue
+		}
+		bb.fixed[i] = int8(fix)
+		bb.rcFixed++
+		if !bb.branched[i] {
+			// Actively branched variables keep their branch bounds; the
+			// fix is applied when their frame pops (see backtrack).
+			bb.p.SetBounds(v, fix, fix)
+		}
+	}
+}
+
+// push opens a branching frame for variable branch, children ordered
+// round-nearest first (the incumbent-finding dive order).
+func (bb *bbState) push(branch int, sol *lp.Solution) {
+	pos := int(bb.binPos[branch])
+	lo, hi := bb.p.Bounds(branch)
+	fr := nodeFrame{
+		v: branch, pos: pos,
+		savedLo: lo, savedHi: hi,
+		next:      -1,
+		parentObj: sol.Objective,
+		xv:        sol.X[branch],
+	}
+	if fr.xv < 0.5 {
+		fr.vals = [2]float64{0, 1}
+	} else {
+		fr.vals = [2]float64{1, 0}
+	}
+	bb.branched[pos] = true
+	bb.stack = append(bb.stack, fr)
+}
+
+// backtrack advances the deepest frame to its next child, recording
+// the pending bound change for solveLP, and pops exhausted frames
+// (restoring their saved bounds, or the reduced-cost-fixed value when
+// fixing caught up with an actively branched variable).  It reports
+// whether another node remains to solve.
+func (bb *bbState) backtrack() bool {
+	for len(bb.stack) > 0 {
+		fr := &bb.stack[len(bb.stack)-1]
+		if fr.next++; fr.next < 2 {
+			bb.pendV, bb.pendVal = fr.v, fr.vals[fr.next]
+			return true
+		}
+		bb.branched[fr.pos] = false
+		if f := bb.fixed[fr.pos]; f >= 0 {
+			bb.p.SetBounds(fr.v, float64(f), float64(f))
+		} else {
+			bb.p.SetBounds(fr.v, fr.savedLo, fr.savedHi)
+		}
+		bb.stack = bb.stack[:len(bb.stack)-1]
+	}
+	return false
 }
 
 // perturbEps is the per-variable anti-degeneracy increment.
 const perturbEps = 1e-6
 
-func isBinaryVar(v int, binaries []int) bool {
-	for _, b := range binaries {
-		if b == v {
-			return true
+// Maximize solves the maximization version of p over the binaries by
+// negating the objective in place (restored before return).  The
+// returned Result reports the maximized objective value directly.
+func (s *Solver) Maximize(p *lp.Problem, binaries []int) (*Result, error) {
+	return s.MaximizeWS(p, binaries, nil)
+}
+
+// MaximizeWS is Maximize with a caller-owned workspace (see SolveWS).
+func (s *Solver) MaximizeWS(p *lp.Problem, binaries []int, ws *lp.Workspace) (*Result, error) {
+	n := p.NumVariables()
+	negate := func() {
+		for v := 0; v < n; v++ {
+			p.SetObjective(v, -p.Objective(v))
 		}
 	}
-	return false
-}
-
-// snapBinaries copies x with the binary entries rounded exactly.
-func snapBinaries(x []float64, binaries []int) []float64 {
-	out := append([]float64(nil), x...)
-	for _, v := range binaries {
-		out[v] = math.Round(out[v])
-	}
-	return out
-}
-
-// Maximize solves the maximization version of p over the binaries by
-// negating the objective.  The returned Result reports the maximized
-// objective value directly.
-func (s *Solver) Maximize(p *lp.Problem, binaries []int) (*Result, error) {
-	neg := negatedObjective(p)
-	res, err := s.Solve(neg, binaries)
+	negate()
+	defer negate()
+	res, err := s.SolveWS(p, binaries, ws)
 	if err != nil {
 		return nil, err
 	}
 	res.Objective = -res.Objective
 	res.Bound = -res.Bound
 	return res, nil
-}
-
-// negatedObjective returns a clone of p with every objective
-// coefficient negated.
-func negatedObjective(p *lp.Problem) *lp.Problem {
-	q := lp.NewProblem()
-	for v := 0; v < p.NumVariables(); v++ {
-		lo, hi := p.Bounds(v)
-		q.AddVariable(-p.Objective(v), lo, hi)
-	}
-	p.EachConstraint(func(c lp.Constraint) {
-		q.AddConstraint(c.Terms, c.Rel, c.RHS)
-	})
-	return q
 }

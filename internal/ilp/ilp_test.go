@@ -250,15 +250,26 @@ func TestStatusString(t *testing.T) {
 }
 
 func BenchmarkBranchAndBoundPartition24(b *testing.B) {
-	rng := rand.New(rand.NewSource(11))
-	p, bins := randomPartitionProblem(rng, 24)
+	// One near-unimodular instance (solves at the root) plus one odd-ring
+	// cover (genuinely branches), so the metric tracks both the root-LP
+	// cost and the per-node reoptimization cost.
+	p, bins := randomPartitionProblem(rand.New(rand.NewSource(11)), 24)
+	hp, hbins := hardCoverProblem(rand.New(rand.NewSource(3)), 25)
 	var s Solver
 	b.ResetTimer()
+	pivots := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Solve(p, bins); err != nil {
+		r1, err := s.Solve(p, bins)
+		if err != nil {
 			b.Fatal(err)
 		}
+		r2, err := s.Solve(hp, hbins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pivots += r1.LPPivots + r2.LPPivots
 	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
 }
 
 func TestNodeLimitIncumbentFeasible(t *testing.T) {

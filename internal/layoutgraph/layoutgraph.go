@@ -53,8 +53,14 @@ type Selection struct {
 	// Cost is the total objective value.
 	Cost float64
 	// Vars, Constraints, BBNodes and Duration describe the ILP solve
-	// (zero for the DP and exhaustive baselines).
+	// (zero for the DP and exhaustive baselines).  LPPivots is the
+	// total simplex effort across nodes; LPWarm/LPCold split the node
+	// relaxations by warm-started vs from-scratch solves and RCFixed
+	// counts binaries fixed by root reduced-cost presolve.
 	Vars, Constraints, BBNodes int
+	LPPivots                   int
+	LPWarm, LPCold             int
+	RCFixed                    int
 	Duration                   time.Duration
 	// Degraded reports the selection is a feasible incumbent (or a
 	// heuristic fallback) rather than a proven optimum — the solve was
@@ -139,6 +145,13 @@ func (g *Graph) evaluate(choice []int) float64 {
 // enough that chain- and ring-shaped programs solve in a handful of
 // branch-and-bound nodes.
 func (g *Graph) SolveILP(solver *ilp.Solver) (*Selection, error) {
+	return g.SolveILPWS(solver, nil)
+}
+
+// SolveILPWS is SolveILP with a caller-owned lp.Workspace so repeated
+// selections (e.g. core's reselect over cached stages) reuse simplex
+// buffers and warm starts.  ws may be nil.
+func (g *Graph) SolveILPWS(solver *ilp.Solver, ws *lp.Workspace) (*Selection, error) {
 	g.validate()
 	if solver == nil {
 		solver = &ilp.Solver{}
@@ -203,7 +216,7 @@ func (g *Graph) SolveILP(solver *ilp.Solver) (*Selection, error) {
 			constraints++
 		}
 	}
-	res, err := solver.Solve(prob, binaries)
+	res, err := solver.SolveWS(prob, binaries, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +225,10 @@ func (g *Graph) SolveILP(solver *ilp.Solver) (*Selection, error) {
 		Vars:        prob.NumVariables(),
 		Constraints: constraints,
 		BBNodes:     res.Nodes,
+		LPPivots:    res.LPPivots,
+		LPWarm:      res.LPWarm,
+		LPCold:      res.LPCold,
+		RCFixed:     res.RCFixed,
 		Duration:    time.Since(start),
 	}
 	switch {

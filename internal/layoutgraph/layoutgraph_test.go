@@ -1,10 +1,13 @@
 package layoutgraph
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/ilp"
 )
 
 func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-6 }
@@ -244,6 +247,100 @@ func BenchmarkSelectionILP(b *testing.B) {
 		if _, err := g.SolveILP(nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// frustratedRing builds an odd ring of phases with two candidates each
+// whose edges penalize agreeing choices: an odd cycle cannot alternate,
+// so the integral optimum pays at least one edge while the LP
+// relaxation routes every edge's mass through disagreeing pairs at
+// cost ~0.  The relaxation is fractional and the solver must branch —
+// the regime where warm-started reoptimization pays off.  Tiny random
+// asymmetries keep the optimum unique.
+func frustratedRing(n int, rng *rand.Rand) *Graph {
+	const k = 2
+	g := &Graph{NodeCost: make([][]float64, n)}
+	for p := range g.NodeCost {
+		g.NodeCost[p] = make([]float64, k)
+		for i := range g.NodeCost[p] {
+			g.NodeCost[p][i] = rng.Float64() * 0.01
+		}
+	}
+	for p := 0; p < n; p++ {
+		e := &Edge{FromPhase: p, ToPhase: (p + 1) % n, Cost: make([][]float64, k)}
+		for i := 0; i < k; i++ {
+			e.Cost[i] = make([]float64, k)
+			for j := 0; j < k; j++ {
+				if i == j {
+					e.Cost[i][j] = 1
+				}
+				e.Cost[i][j] += rng.Float64() * 0.01
+			}
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	return g
+}
+
+// TestBranchingSelectionWarmStats pins that a fractional selection
+// actually exercises the warm path and that warm and cold-start modes
+// return the same selection.
+func TestBranchingSelectionWarmStats(t *testing.T) {
+	g := frustratedRing(9, rand.New(rand.NewSource(7)))
+	sel, err := g.SolveILP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.BBNodes < 3 {
+		t.Fatalf("frustrated ring did not branch: %d nodes", sel.BBNodes)
+	}
+	if sel.LPWarm == 0 || sel.LPWarm+sel.LPCold != sel.BBNodes {
+		t.Errorf("warm accounting: warm=%d cold=%d nodes=%d", sel.LPWarm, sel.LPCold, sel.BBNodes)
+	}
+	cold, err := g.SolveILP(&ilp.Solver{ColdStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.LPWarm != 0 {
+		t.Errorf("cold-start mode warm-started %d nodes", cold.LPWarm)
+	}
+	if !approx(sel.Cost, cold.Cost) || fmt.Sprint(sel.Choice) != fmt.Sprint(cold.Choice) {
+		t.Errorf("warm %v (%v) vs cold-start %v (%v)", sel.Choice, sel.Cost, cold.Choice, cold.Cost)
+	}
+	// An exhaustive check that the branching answer is the optimum.
+	ex, err := g.SolveExhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sel.Cost, ex.Cost) {
+		t.Errorf("ILP cost %v, exhaustive %v", sel.Cost, ex.Cost)
+	}
+}
+
+// BenchmarkSelectionILPBranching is the end-to-end selection benchmark
+// on a branching instance, in the default warm-started mode and in
+// ColdStart mode (the pre-workspace algorithm: fresh two-phase solve
+// per node).
+func BenchmarkSelectionILPBranching(b *testing.B) {
+	g := frustratedRing(11, rand.New(rand.NewSource(7)))
+	for _, mode := range []struct {
+		name string
+		s    *ilp.Solver
+	}{
+		{"warm", nil},
+		{"cold", &ilp.Solver{ColdStart: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			pivots := 0
+			for i := 0; i < b.N; i++ {
+				sel, err := g.SolveILP(mode.s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots += sel.LPPivots
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+		})
 	}
 }
 

@@ -12,6 +12,18 @@
 // where individual bounds may be infinite.  The solver handles the
 // variable bounds implicitly (nonbasic variables may rest at either
 // bound), so 0-1 relaxations do not pay for explicit x <= 1 rows.
+//
+// Two entry points share the same tableau machinery.  Problem.Solve is
+// the one-shot cold path: Phase 1 + Phase 2 from a fresh tableau.
+// Workspace is the persistent path for solve sequences: it keeps the
+// tableau, basis and rhs = B⁻¹b alive between calls, solves repeated
+// same-shaped problems without allocating, and — the point of it —
+// Workspace.ReoptimizeBounds reoptimizes after a variable-bound change
+// with the bounded-variable dual simplex warm-started from the
+// previous optimal basis, which is how package ilp prices
+// branch-and-bound child nodes at a few pivots instead of a full
+// two-phase solve.  Every warm answer is verified against bounds and
+// reduced-cost signs, with a transparent cold fallback on any doubt.
 package lp
 
 import (

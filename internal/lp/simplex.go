@@ -10,12 +10,16 @@ const (
 	inBasis
 )
 
-// tableau is the dense working state of one simplex solve.
+// tableau is the dense working state of one simplex solve.  A tableau
+// owned by a Workspace is re-initialized in place between solves, so
+// every slice below is sized with reuse in mind (see init).
 type tableau struct {
 	m, n     int         // rows, total columns (structural + slack + artificial)
 	nStruct  int         // structural variable count
 	t        [][]float64 // m x n tableau, kept as B^-1 * A
+	tbuf     []float64   // flat backing store for t's rows
 	xB       []float64   // current values of basic variables, per row
+	rhs      []float64   // B^-1 * b, maintained under pivots (warm-start state)
 	basis    []int       // variable basic in each row
 	status   []int8      // per variable: atLower/atUpper/atFree/inBasis
 	lo, hi   []float64   // per variable bounds
@@ -42,30 +46,12 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveAbort(nil) }
 func (p *Problem) SolveAbort(abort func() bool) (*Solution, error) {
 	tb := newTableau(p)
 	tb.abort = abort
-	if tb.needPhase1() {
-		tb.loadPhase1Cost()
-		st := tb.iterate()
-		if st == nil {
-			if tb.aborted {
-				return nil, ErrCanceled
-			}
-			return nil, ErrIterationLimit
-		}
-		if *st != Optimal || tb.objective() > 1e-7 {
-			return &Solution{Status: Infeasible, Iterations: tb.iters}, nil
-		}
-		tb.banishArtificials()
+	st, err := tb.runTwoPhase(p)
+	if err != nil {
+		return nil, err
 	}
-	tb.loadPhase2Cost(p)
-	st := tb.iterate()
-	if st == nil {
-		if tb.aborted {
-			return nil, ErrCanceled
-		}
-		return nil, ErrIterationLimit
-	}
-	if *st == Unbounded {
-		return &Solution{Status: Unbounded, Iterations: tb.iters}, nil
+	if st != Optimal {
+		return &Solution{Status: st, Iterations: tb.iters}, nil
 	}
 	x := tb.extract()
 	obj := 0.0
@@ -75,7 +61,55 @@ func (p *Problem) SolveAbort(abort func() bool) (*Solution, error) {
 	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: tb.iters}, nil
 }
 
+// runTwoPhase drives phase 1 (when the initial basis needs artificials)
+// and phase 2 on a freshly initialized tableau.  On an Optimal return
+// the tableau holds the optimal basis with phase-2 reduced costs, ready
+// for warm restarts.
+func (tb *tableau) runTwoPhase(p *Problem) (Status, error) {
+	if tb.needPhase1() {
+		tb.loadPhase1Cost()
+		st := tb.iterate()
+		if st == nil {
+			if tb.aborted {
+				return 0, ErrCanceled
+			}
+			return 0, ErrIterationLimit
+		}
+		if *st != Optimal || tb.objective() > 1e-7 {
+			return Infeasible, nil
+		}
+		tb.banishArtificials()
+	}
+	tb.loadPhase2Cost(p)
+	st := tb.iterate()
+	if st == nil {
+		if tb.aborted {
+			return 0, ErrCanceled
+		}
+		return 0, ErrIterationLimit
+	}
+	return *st, nil
+}
+
 func newTableau(p *Problem) *tableau {
+	tb := &tableau{}
+	tb.init(p)
+	return tb
+}
+
+// resizeF returns a float64 slice of length n, reusing s's backing
+// array when it is large enough.  Contents are unspecified.
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// init (re)builds the tableau for p in place, reusing the slice
+// capacities of a previous solve so a Workspace pays no steady-state
+// allocation for cold restarts of same-shaped problems.
+func (tb *tableau) init(p *Problem) {
 	m := len(p.rows)
 	nStruct := len(p.obj)
 	// Count slacks: one per inequality row.
@@ -86,24 +120,47 @@ func newTableau(p *Problem) *tableau {
 		}
 	}
 	n := nStruct + nSlack + m // artificials allocated lazily, at most one per row
-	tb := &tableau{
-		m:        m,
-		nStruct:  nStruct,
-		t:        make([][]float64, m),
-		xB:       make([]float64, m),
-		basis:    make([]int, m),
-		status:   make([]int8, n),
-		lo:       make([]float64, n),
-		hi:       make([]float64, n),
-		cost:     make([]float64, n),
-		d:        make([]float64, n),
-		maxIters: 200*(m+nStruct) + 20000,
+	tb.m, tb.n, tb.nStruct = m, n, nStruct
+	tb.maxIters = 200*(m+nStruct) + 20000
+	tb.iters, tb.aborted = 0, false
+	tb.abort = nil
+	if cap(tb.tbuf) < m*n {
+		tb.tbuf = make([]float64, m*n)
+	} else {
+		tb.tbuf = tb.tbuf[:m*n]
+		for i := range tb.tbuf {
+			tb.tbuf[i] = 0
+		}
+	}
+	if cap(tb.t) < m {
+		tb.t = make([][]float64, m)
+	} else {
+		tb.t = tb.t[:m]
 	}
 	for i := range tb.t {
-		tb.t[i] = make([]float64, n)
+		tb.t[i] = tb.tbuf[i*n : (i+1)*n : (i+1)*n]
 	}
+	tb.xB = resizeF(tb.xB, m)
+	tb.rhs = resizeF(tb.rhs, m)
+	if cap(tb.basis) < m {
+		tb.basis = make([]int, m)
+	} else {
+		tb.basis = tb.basis[:m]
+	}
+	if cap(tb.status) < n {
+		tb.status = make([]int8, n)
+	} else {
+		tb.status = tb.status[:n]
+	}
+	tb.lo = resizeF(tb.lo, n)
+	tb.hi = resizeF(tb.hi, n)
+	tb.cost = resizeF(tb.cost, n)
+	tb.d = resizeF(tb.d, n)
 	// Structural variables: nonbasic at a finite bound (prefer lower).
-	xinit := make([]float64, nStruct)
+	// tb.d doubles as the xinit scratch buffer and tb.cost as the row
+	// residual buffer here; both are overwritten by the phase cost
+	// loads before any pivoting, so no extra allocation is needed.
+	xinit := tb.d[:nStruct]
 	for j := 0; j < nStruct; j++ {
 		tb.lo[j], tb.hi[j] = p.lo[j], p.hi[j]
 		switch {
@@ -119,7 +176,7 @@ func newTableau(p *Problem) *tableau {
 		}
 	}
 	// Fill structural part of the tableau and compute row residuals.
-	resid := make([]float64, m)
+	resid := tb.cost[:m]
 	for i, row := range p.rows {
 		r := row.RHS
 		for _, term := range row.Terms {
@@ -171,7 +228,23 @@ func newTableau(p *Problem) *tableau {
 		tb.lo[j], tb.hi[j] = 0, 0
 		tb.status[j] = atLower
 	}
-	return tb
+	// Record rhs = B^-1 b for the initial basis: each row's basic value
+	// plus the contribution of the nonbasic resting point.  Slacks and
+	// artificials rest at zero, so only structural columns contribute.
+	// pivot keeps this vector current, which is what lets a Workspace
+	// recompute basic values after bound changes without refactorizing.
+	for i := 0; i < m; i++ {
+		r := tb.xB[i]
+		row := tb.t[i]
+		for j := 0; j < nStruct; j++ {
+			if tb.status[j] != inBasis {
+				if v := tb.nonbasicValue(j); v != 0 {
+					r += row[j] * v
+				}
+			}
+		}
+		tb.rhs[i] = r
+	}
 }
 
 // install makes variable v basic in row i with value val, normalizing
@@ -451,7 +524,9 @@ func (tb *tableau) applyStep(j int, dir, step float64, leaveRow int, toUpper boo
 	tb.pivot(leaveRow, j, enterVal)
 }
 
-// pivot makes variable j basic in row r with value val.
+// pivot makes variable j basic in row r with value val.  The rhs
+// vector transforms like a column of the tableau, keeping B^-1 b
+// current for warm restarts.
 func (tb *tableau) pivot(r, j int, val float64) {
 	piv := tb.t[r][j]
 	inv := 1 / piv
@@ -459,6 +534,7 @@ func (tb *tableau) pivot(r, j int, val float64) {
 	for k := range rowR {
 		rowR[k] *= inv
 	}
+	tb.rhs[r] *= inv
 	for i := 0; i < tb.m; i++ {
 		if i == r {
 			continue
@@ -472,6 +548,7 @@ func (tb *tableau) pivot(r, j int, val float64) {
 			rowI[k] -= f * rowR[k]
 		}
 		rowI[j] = 0
+		tb.rhs[i] -= f * tb.rhs[r]
 	}
 	if f := tb.d[j]; f != 0 {
 		for k := range tb.d {
@@ -486,7 +563,12 @@ func (tb *tableau) pivot(r, j int, val float64) {
 
 // extract returns the structural variable values of the current basis.
 func (tb *tableau) extract() []float64 {
-	x := make([]float64, tb.nStruct)
+	return tb.extractInto(make([]float64, tb.nStruct))
+}
+
+// extractInto writes the structural variable values of the current
+// basis into x, which must have length nStruct.
+func (tb *tableau) extractInto(x []float64) []float64 {
 	for j := 0; j < tb.nStruct; j++ {
 		x[j] = tb.nonbasicValue(j)
 	}

@@ -51,6 +51,15 @@ func Workers(n int) int {
 // error is returned, so callers observe cancellation even if it landed
 // between jobs.
 func Do(ctx context.Context, workers, n int, job func(i int) error) error {
+	return DoWorker(ctx, workers, n, func(_, i int) error { return job(i) })
+}
+
+// DoWorker is Do with the worker slot exposed: job(w, i) runs job i on
+// worker slot w, where 0 <= w < min(workers, n) and at most one job
+// runs on a given slot at a time.  The slot index lets callers own
+// per-worker mutable state — e.g. one lp.Workspace per slot for the
+// alignment 0-1 solves — without locks and without allocating per job.
+func DoWorker(ctx context.Context, workers, n int, job func(w, i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -65,7 +74,7 @@ func Do(ctx context.Context, workers, n int, job func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := run(job, i); err != nil {
+			if err := run(job, 0, i); err != nil {
 				return err
 			}
 		}
@@ -80,7 +89,7 @@ func Do(ctx context.Context, workers, n int, job func(i int) error) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if stop.Load() || ctx.Err() != nil {
@@ -90,13 +99,13 @@ func Do(ctx context.Context, workers, n int, job func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := run(job, i); err != nil {
+				if err := run(job, w, i); err != nil {
 					errs[i] = err
 					stop.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -108,11 +117,11 @@ func Do(ctx context.Context, workers, n int, job func(i int) error) error {
 }
 
 // run executes one job, converting a panic into a *PanicError.
-func run(job func(int) error, i int) (err error) {
+func run(job func(int, int) error, w, i int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return job(i)
+	return job(w, i)
 }

@@ -32,6 +32,53 @@ func TestDoRunsEveryJob(t *testing.T) {
 	}
 }
 
+func TestDoWorkerSlotExclusive(t *testing.T) {
+	// Worker slots are in range and never run two jobs concurrently —
+	// the contract that makes per-slot lp.Workspaces safe without locks.
+	for _, workers := range []int{1, 3, 8, 100} {
+		n := 200
+		slots := min(workers, n)
+		busy := make([]atomic.Int64, slots)
+		var ran atomic.Int64
+		err := DoWorker(context.Background(), workers, n, func(w, i int) error {
+			if w < 0 || w >= slots {
+				return fmt.Errorf("worker slot %d out of range [0,%d)", w, slots)
+			}
+			if busy[w].Add(1) != 1 {
+				return fmt.Errorf("slot %d ran two jobs concurrently", w)
+			}
+			ran.Add(1)
+			busy[w].Add(-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != int64(n) {
+			t.Fatalf("workers=%d: ran %d of %d", workers, ran.Load(), n)
+		}
+	}
+}
+
+func TestDoWorkerSequentialUsesSlotZero(t *testing.T) {
+	var order []int
+	err := DoWorker(context.Background(), 1, 5, func(w, i int) error {
+		if w != 0 {
+			t.Fatalf("sequential path used slot %d", w)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+}
+
 func TestDoZeroJobs(t *testing.T) {
 	if err := Do(context.Background(), 4, 0, func(int) error {
 		t.Fatal("job ran")
