@@ -31,6 +31,7 @@ import (
 	"repro/internal/layoutgraph"
 	"repro/internal/machine"
 	"repro/internal/programs"
+	"repro/internal/store"
 )
 
 // reportLayouts attaches each layout's measured time as a metric.
@@ -629,6 +630,52 @@ func BenchmarkMachineSweep(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+			}
+		})
+		// StoreWarm measures a warm restart: each timed iteration is one
+		// fresh process in miniature — open the on-disk store (directory
+		// scan included), run the whole sweep with cold in-memory caches
+		// serving every artifact from disk, close.  The figure is what a
+		// restart pays when a previous run's artifacts survive on disk.
+		b.Run("StoreWarm/"+tc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			pointStore := func(p int) core.Options {
+				return core.Options{Procs: p, Verify: core.VerifyOff, StoreDir: dir}
+			}
+			// Untimed fill sweep, then prove the store-warmed runs
+			// byte-identical to cold ones before measuring.
+			for _, p := range sweep {
+				cold, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, point(p, nil))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, pointStore(p)); err != nil {
+					b.Fatal(err)
+				}
+				warm, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, pointStore(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if warm.Cache.Store.Hits == 0 {
+					b.Fatalf("procs=%d: store-warmed run never hit the store", p)
+				}
+				if render(cold) != render(warm) {
+					b.Fatalf("procs=%d: store-warmed selection differs from cold Analyze", p)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(store.Options{Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range sweep {
+					opt := core.Options{Procs: p, Verify: core.VerifyOff, Store: st}
+					if _, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st.Close()
 			}
 		})
 	}

@@ -29,6 +29,13 @@
 // and selection re-run per point over a shared content-addressed
 // cache.  Each point prints a summary line; add -stats for the
 // per-stage wall-clock breakdown.
+//
+// -store DIR persists priced artifacts to a crash-safe on-disk store
+// so later runs start warm: identical inputs are served from disk
+// (still re-certified under -verify) instead of recomputed.  A
+// corrupted or unavailable store is never fatal — damaged records are
+// quarantined under DIR/quarantine/ and the run degrades to
+// memory-only caching, reported as "! degraded:" lines.
 package main
 
 import (
@@ -63,6 +70,7 @@ func main() {
 	strict := flag.Bool("strict", false, "fail instead of degrading when a 0-1 solve is cut off")
 	workers := flag.Int("j", 0, "worker goroutines for the evaluation pipeline (0 = all CPUs, 1 = sequential; output is identical either way)")
 	noCache := flag.Bool("no-cache", false, "disable pricing/remapping memoization")
+	storeDir := flag.String("store", "", "persist priced artifacts to this directory (crash-safe L3 store; later runs start warm)")
 	stats := flag.Bool("stats", false, "report cache hit rates and per-stage times after the tool-time line")
 	doVerify := flag.Bool("verify", false, "independently certify every solver product; a failed certificate exits non-zero with a claimed-vs-recomputed diff")
 	sweep := flag.String("sweep", "", "comma-separated processor counts: analyze once, re-tune the layout per count reusing the cached front half (overrides -procs)")
@@ -82,6 +90,7 @@ func main() {
 		Strict:   *strict,
 		Workers:  *workers,
 		NoCache:  *noCache,
+		StoreDir: *storeDir,
 	}
 	if *doVerify {
 		opt.Verify = core.VerifyOn
@@ -139,6 +148,15 @@ func main() {
 		fmt.Printf("! cache: pricing %d hits / %d misses (%.0f%%), remap %d hits / %d misses (%.0f%%)\n",
 			res.Cache.Pricing.Hits, res.Cache.Pricing.Misses, res.Cache.Pricing.HitRate()*100,
 			res.Cache.Remap.Hits, res.Cache.Remap.Misses, res.Cache.Remap.HitRate()*100)
+		if *storeDir != "" {
+			st := res.Cache.Store
+			mode := "read-write"
+			if st.MemoryOnly {
+				mode = "memory-only (store unavailable)"
+			}
+			fmt.Printf("! store: %d hits / %d misses, %d writes, %d entries (%d bytes) on disk, %d quarantined, %d evicted, %s\n",
+				st.Hits, st.Misses, st.Writes, st.Entries, st.Bytes, st.Quarantined, st.Evictions, mode)
+		}
 		fmt.Printf("! stages: %s\n", res.StageTimes)
 		s := res.Solver
 		fmt.Printf("! solver: %d solves, %d bb nodes, %d lp pivots, %d warm / %d cold lps, %d rc-fixed\n",

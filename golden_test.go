@@ -111,6 +111,27 @@ func TestGoldenCorpus(t *testing.T) {
 						workers, got, renders[0])
 				}
 			}
+			// A store-warmed restart — a later process reopening the same
+			// on-disk artifact store with cold in-memory caches — must be
+			// byte-identical too, and must actually serve from disk.
+			storeDir := t.TempDir()
+			for _, workers := range []int{1, 8} {
+				opt := core.Options{Procs: 8, Workers: workers, Verify: core.VerifyOn, StoreDir: storeDir}
+				if _, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, opt); err != nil {
+					t.Fatalf("store fill workers=%d: %v", workers, err)
+				}
+				restarted, err := core.Analyze(context.Background(), core.Input{Source: tc.src}, opt)
+				if err != nil {
+					t.Fatalf("store-warmed run workers=%d: %v", workers, err)
+				}
+				if restarted.Cache.Store.Hits == 0 {
+					t.Fatalf("store-warmed run (workers=%d) never hit the store: %+v", workers, restarted.Cache.Store)
+				}
+				if got := goldenRender(restarted); got != renders[0] {
+					t.Fatalf("store-warmed run (workers=%d) differs from cold Analyze:\n--- store-warm ---\n%s\n--- cold ---\n%s",
+						workers, got, renders[0])
+				}
+			}
 			path := filepath.Join("testdata", "golden", tc.name+".golden")
 			if *updateGolden {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

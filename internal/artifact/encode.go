@@ -1,0 +1,221 @@
+package artifact
+
+// Binary value encoding for persisted artifacts.
+//
+// The on-disk artifact store (internal/store) persists cache values —
+// candidate pricings, remap costs, selections — under the same
+// content-hash keys the in-memory layers use.  Encoder/Decoder are the
+// value codec: length-prefixed and type-tagged with the same tag
+// vocabulary as Hasher ('s' string, 'i' int, 'b' bool, 'f' float, 'y'
+// bytes), so a decoder reading a field of the wrong type, a truncated
+// buffer, or trailing garbage fails with a typed *DecodeError instead
+// of misinterpreting bytes.  The encoding is deterministic (callers
+// serialize map contents in sorted order) and self-delimiting, and the
+// Decoder never panics on arbitrary input: every read is
+// bounds-checked and errors are sticky.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DecodeError reports a malformed encoded value: a tag mismatch, a
+// truncated field, an implausible length, or trailing bytes.
+type DecodeError struct {
+	Offset int
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("artifact: decode error at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Encoder serializes a sequence of typed fields into a byte buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+func (e *Encoder) tag(t byte, n uint64) {
+	var b [9]byte
+	b[0] = t
+	binary.LittleEndian.PutUint64(b[1:], n)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Str appends a string field.
+func (e *Encoder) Str(s string) *Encoder {
+	e.tag('s', uint64(len(s)))
+	e.buf = append(e.buf, s...)
+	return e
+}
+
+// Bytes appends a raw byte-slice field.
+func (e *Encoder) Bytes(p []byte) *Encoder {
+	e.tag('y', uint64(len(p)))
+	e.buf = append(e.buf, p...)
+	return e
+}
+
+// Int appends an integer field (two's complement in the tag word).
+func (e *Encoder) Int(v int) *Encoder {
+	e.tag('i', uint64(v))
+	return e
+}
+
+// Bool appends a boolean field.
+func (e *Encoder) Bool(v bool) *Encoder {
+	n := uint64(0)
+	if v {
+		n = 1
+	}
+	e.tag('b', n)
+	return e
+}
+
+// Float appends a float field, bit-exact.
+func (e *Encoder) Float(v float64) *Encoder {
+	e.tag('f', math.Float64bits(v))
+	return e
+}
+
+// Out returns the encoded bytes.  The Encoder may keep being appended
+// to afterwards; the returned slice aliases its buffer.
+func (e *Encoder) Out() []byte { return e.buf }
+
+// maxFieldLen bounds a single string/bytes field, rejecting lengths
+// that cannot be honest in any real artifact (and would otherwise let
+// a corrupted tag word drive a huge allocation).
+const maxFieldLen = 1 << 28 // 256 MiB
+
+// Decoder reads back a field sequence produced by Encoder.  Errors are
+// sticky: after the first malformed field every subsequent read
+// returns the zero value, and Err reports the failure.  A Decoder
+// never panics, whatever the input bytes.
+type Decoder struct {
+	b   []byte
+	off int
+	err *DecodeError
+}
+
+// NewDecoder starts decoding b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error {
+	if d.err == nil {
+		return nil
+	}
+	return d.err
+}
+
+func (d *Decoder) fail(reason string) {
+	if d.err == nil {
+		d.err = &DecodeError{Offset: d.off, Reason: reason}
+	}
+}
+
+// tag reads one tag word, checking the type byte.
+func (d *Decoder) tag(want byte) (uint64, bool) {
+	if d.err != nil {
+		return 0, false
+	}
+	if d.off+9 > len(d.b) {
+		d.fail("truncated tag")
+		return 0, false
+	}
+	if got := d.b[d.off]; got != want {
+		d.fail(fmt.Sprintf("field tag %q, want %q", got, want))
+		return 0, false
+	}
+	n := binary.LittleEndian.Uint64(d.b[d.off+1:])
+	d.off += 9
+	return n, true
+}
+
+// Str reads a string field.
+func (d *Decoder) Str() string {
+	n, ok := d.tag('s')
+	if !ok {
+		return ""
+	}
+	if n > maxFieldLen || d.off+int(n) > len(d.b) {
+		d.fail(fmt.Sprintf("string length %d exceeds remaining input", n))
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Bytes reads a raw byte-slice field (a copy, so the caller may retain
+// it without pinning the input buffer).
+func (d *Decoder) Bytes() []byte {
+	n, ok := d.tag('y')
+	if !ok {
+		return nil
+	}
+	if n > maxFieldLen || d.off+int(n) > len(d.b) {
+		d.fail(fmt.Sprintf("bytes length %d exceeds remaining input", n))
+		return nil
+	}
+	p := append([]byte(nil), d.b[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return p
+}
+
+// Int reads an integer field.
+func (d *Decoder) Int() int {
+	n, ok := d.tag('i')
+	if !ok {
+		return 0
+	}
+	return int(n)
+}
+
+// Bool reads a boolean field.
+func (d *Decoder) Bool() bool {
+	n, ok := d.tag('b')
+	if !ok {
+		return false
+	}
+	if n > 1 {
+		d.fail(fmt.Sprintf("boolean value %d", n))
+		return false
+	}
+	return n == 1
+}
+
+// Float reads a float field.
+func (d *Decoder) Float() float64 {
+	n, ok := d.tag('f')
+	if !ok {
+		return 0
+	}
+	return math.Float64frombits(n)
+}
+
+// Len reads an integer field and validates it as a slice length:
+// non-negative and small enough that the remaining input could plausibly
+// hold that many elements (each element costs at least one tag word).
+func (d *Decoder) Len() int {
+	n := d.Int()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > (len(d.b)-d.off)/9+1 {
+		d.fail(fmt.Sprintf("implausible length %d", n))
+		return 0
+	}
+	return n
+}
+
+// Close checks that the input was fully consumed; trailing bytes are a
+// decode error (a truncated writer or a foreign payload).
+func (d *Decoder) Close() error {
+	if d.err == nil && d.off != len(d.b) {
+		d.fail(fmt.Sprintf("%d trailing bytes", len(d.b)-d.off))
+	}
+	return d.Err()
+}

@@ -1,0 +1,118 @@
+package artifact
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEncodeRoundTrip: every field type survives an encode/decode
+// round trip, including edge values.
+func TestEncodeRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Str("").Str("hello\x00world").Int(0).Int(-7).Int(1 << 40).
+		Bool(true).Bool(false).Float(0).Float(-0.0).Float(3.1415).
+		Bytes(nil).Bytes([]byte{0xff, 0x00, 0x7f})
+	d := NewDecoder(e.Out())
+	if got := d.Str(); got != "" {
+		t.Errorf("Str() = %q", got)
+	}
+	if got := d.Str(); got != "hello\x00world" {
+		t.Errorf("Str() = %q", got)
+	}
+	for _, want := range []int{0, -7, 1 << 40} {
+		if got := d.Int(); got != want {
+			t.Errorf("Int() = %d, want %d", got, want)
+		}
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Float(); got != 0 {
+		t.Errorf("Float() = %v", got)
+	}
+	if got := d.Float(); got != 0 { // -0.0 decodes bit-exact; compares equal
+		t.Errorf("Float() = %v", got)
+	}
+	if got := d.Float(); got != 3.1415 {
+		t.Errorf("Float() = %v", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("Bytes() = %v", got)
+	}
+	if got := d.Bytes(); string(got) != "\xff\x00\x7f" {
+		t.Errorf("Bytes() = %v", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestDecodeTypedErrors: malformed inputs yield *DecodeError, never a
+// panic or a silently wrong value, and errors are sticky.
+func TestDecodeTypedErrors(t *testing.T) {
+	check := func(name string, d *Decoder, read func(*Decoder)) {
+		t.Run(name, func(t *testing.T) {
+			read(d)
+			var de *DecodeError
+			if err := d.Err(); err == nil {
+				t.Fatal("no error")
+			} else if !errorsAs(err, &de) {
+				t.Fatalf("error %T is not *DecodeError", err)
+			}
+			// Sticky: further reads return zero values without panicking.
+			if d.Int() != 0 || d.Str() != "" || d.Bool() || d.Float() != 0 {
+				t.Error("reads after error returned nonzero values")
+			}
+		})
+	}
+	check("truncated-tag", NewDecoder([]byte{1, 2, 3}), func(d *Decoder) { d.Int() })
+	check("wrong-tag", NewDecoder(new(Encoder).Int(5).Out()), func(d *Decoder) { d.Str() })
+	check("truncated-string", NewDecoder(new(Encoder).Str("abcdef").Out()[:12]), func(d *Decoder) { d.Str() })
+	check("huge-length", NewDecoder([]byte{'s', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}), func(d *Decoder) { d.Str() })
+	check("bad-bool", NewDecoder([]byte{'b', 9, 0, 0, 0, 0, 0, 0, 0}), func(d *Decoder) { d.Bool() })
+	check("trailing", NewDecoder(append(new(Encoder).Int(1).Out(), 0xEE)), func(d *Decoder) {
+		d.Int()
+		d.Close()
+	})
+	check("implausible-len", NewDecoder(new(Encoder).Int(1<<40).Out()), func(d *Decoder) { d.Len() })
+	check("negative-len", NewDecoder(new(Encoder).Int(-1).Out()), func(d *Decoder) { d.Len() })
+}
+
+// TestDecodeLen accepts honest slice lengths.
+func TestDecodeLen(t *testing.T) {
+	var e Encoder
+	e.Int(3)
+	for i := 0; i < 3; i++ {
+		e.Int(i)
+	}
+	d := NewDecoder(e.Out())
+	if n := d.Len(); n != 3 {
+		t.Fatalf("Len() = %d, err %v", n, d.Err())
+	}
+	for i := 0; i < 3; i++ {
+		if got := d.Int(); got != i {
+			t.Fatalf("elem %d = %d", i, got)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeErrorMessage: the error names the offset and reason.
+func TestDecodeErrorMessage(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Int()
+	if err := d.Err(); err == nil || !strings.Contains(err.Error(), "truncated tag") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// errorsAs avoids importing errors just for the one assertion.
+func errorsAs(err error, target **DecodeError) bool {
+	de, ok := err.(*DecodeError)
+	if ok {
+		*target = de
+	}
+	return ok
+}

@@ -45,6 +45,28 @@ type CacheSummary struct {
 	// already solved under this shared cache.  Selection reuse is
 	// gated to runs without a timeout, custom solver or fault plan.
 	SharedSelection CacheStats
+	// Store reports the on-disk artifact store (L3, Options.StoreDir):
+	// this run's traffic plus the store's corruption and eviction
+	// counters.  All zero when no store was configured.
+	Store StoreSummary
+}
+
+// StoreSummary reports one run's view of the on-disk artifact store
+// (see CacheSummary.Store).  Hits/Misses/Writes/DecodeFailures are this
+// run's traffic; Entries, Bytes, Quarantined and Evictions snapshot the
+// underlying store (which may be shared across runs).
+type StoreSummary struct {
+	Hits, Misses, Writes int64
+	// DecodeFailures counts records that passed the store checksum but
+	// failed the value codec; each was quarantined and recomputed.
+	DecodeFailures int64
+	// Quarantined and Evictions are lifetime counters of the store.
+	Quarantined, Evictions int64
+	Entries                int
+	Bytes                  int64
+	// MemoryOnly reports the run degraded to memory-only caching (store
+	// unavailable at open, or the IO failure breaker tripped).
+	MemoryOnly bool
 }
 
 // sharedLayer is one run's view of the injected SharedCache: the
@@ -59,14 +81,16 @@ type sharedLayer struct {
 	selHits, selMisses     atomic.Int64
 }
 
-// priceEntryKey builds the full shared-cache key for one pricing.
-func (sl *sharedLayer) priceEntryKey(k priceKey) string {
-	return sl.keys.price + "\x1f" + k.sig + "\x1f" + k.layout
+// priceEntryKey builds the full shared-cache key for one pricing.  The
+// same key addresses the entry in the SharedCache (L2) and the on-disk
+// store (L3): both are content-addressed by construction.
+func (k sharedKeys) priceEntryKey(pk priceKey) string {
+	return k.price + "\x1f" + pk.sig + "\x1f" + pk.layout
 }
 
 // remapEntryKey builds the full shared-cache key for one transition.
-func (sl *sharedLayer) remapEntryKey(k remapKey) string {
-	return sl.keys.remap + "\x1f" + k.from + "\x1f" + k.to + "\x1f" + k.names
+func (k sharedKeys) remapEntryKey(rk remapKey) string {
+	return k.remap + "\x1f" + rk.from + "\x1f" + rk.to + "\x1f" + rk.names
 }
 
 // priceKey identifies one (phase computation, candidate layout)
@@ -159,20 +183,58 @@ func (r *Result) price(pr *PhaseResult, l *layout.Layout) (*compmodel.Plan, exec
 		v.est.Time = r.opt.Fault.Corrupt(stage.Cache, v.est.Time)
 		return v.plan, v.est
 	}
-	// Per-run miss: consult the shared cross-run layer before paying
-	// for a model evaluation.
+	// Per-run miss: consult the shared cross-run layer, then the
+	// on-disk store, before paying for a model evaluation.
 	if v, ok := r.sharedPriceGet(k); ok {
 		r.prices.put(k, v)
+		return v.plan, v.est
+	}
+	if v, ok := r.storePriceGet(k); ok {
+		r.prices.put(k, v)
+		if sl := r.shared; sl != nil {
+			// Promote the disk hit to L2 so the rest of the process hits
+			// in memory.
+			sl.cache.put(sl.keys.priceEntryKey(k), v)
+		}
 		return v.plan, v.est
 	}
 	plan := compmodel.Analyze(r.Unit, pr.Info, l, r.opt.Compiler)
 	est := execmodel.Evaluate(plan, pr.DataType, r.Machine, r.opt.Compiler)
 	r.prices.put(k, priced{plan: plan, est: est})
 	if sl := r.shared; sl != nil {
-		sl.cache.put(sl.priceEntryKey(k), priced{plan: plan, est: est})
+		sl.cache.put(sl.keys.priceEntryKey(k), priced{plan: plan, est: est})
+	}
+	if st := r.store; st != nil {
+		// Write-through: the store dedupes resident keys itself.
+		st.put(st.keys.priceEntryKey(k), encodePriced(priced{plan: plan, est: est}))
 	}
 	est.Time = r.opt.Fault.Corrupt(stage.Cache, est.Time)
 	return plan, est
+}
+
+// storePriceGet looks a pricing up in the on-disk store (L3).  A disk
+// hit's estimate passes through the store-read Corrupt hook — the
+// poison-proof rule extends to disk: a corrupted value a disk hit
+// serves must be caught by the Result certificate, exactly like a
+// poisoned shared-cache entry.  A payload that fails the value codec is
+// quarantined and treated as a miss.
+func (r *Result) storePriceGet(k priceKey) (priced, bool) {
+	st := r.store
+	if st == nil {
+		return priced{}, false
+	}
+	key := st.keys.priceEntryKey(k)
+	payload, ok := st.get(key)
+	if !ok {
+		return priced{}, false
+	}
+	v, err := decodePriced(payload)
+	if err != nil {
+		st.badDecode(key)
+		return priced{}, false
+	}
+	v.est.Time = r.opt.Fault.Corrupt(stage.StoreRead, v.est.Time)
+	return v, true
 }
 
 // sharedPriceGet looks a pricing up in the process-wide shared cache.
@@ -188,7 +250,7 @@ func (r *Result) sharedPriceGet(k priceKey) (priced, bool) {
 	if ferr := r.opt.Fault.Err(stage.CacheShared); ferr != nil {
 		panic(ferr)
 	}
-	v, ok := sl.cache.get(sl.priceEntryKey(k))
+	v, ok := sl.cache.get(sl.keys.priceEntryKey(k))
 	if !ok {
 		sl.priceMisses.Add(1)
 		return priced{}, false
@@ -260,14 +322,46 @@ func (r *Result) remapCost(from, to *layout.Layout, fromKey, toKey string, names
 		r.remaps.mu.Unlock()
 		return sv
 	}
+	if sv, sok := r.storeRemapGet(k); sok {
+		r.remaps.mu.Lock()
+		r.remaps.m[k] = sv
+		r.remaps.mu.Unlock()
+		if sl := r.shared; sl != nil {
+			sl.cache.put(sl.keys.remapEntryKey(k), sv)
+		}
+		return sv
+	}
 	v = remap.Cost(from, to, r.Unit.Arrays, names, r.Machine)
 	r.remaps.mu.Lock()
 	r.remaps.m[k] = v
 	r.remaps.mu.Unlock()
 	if sl := r.shared; sl != nil {
-		sl.cache.put(sl.remapEntryKey(k), v)
+		sl.cache.put(sl.keys.remapEntryKey(k), v)
+	}
+	if st := r.store; st != nil {
+		st.put(st.keys.remapEntryKey(k), encodeRemap(v))
 	}
 	return v
+}
+
+// storeRemapGet looks a transition cost up in the on-disk store; same
+// semantics as storePriceGet.
+func (r *Result) storeRemapGet(k remapKey) (float64, bool) {
+	st := r.store
+	if st == nil {
+		return 0, false
+	}
+	key := st.keys.remapEntryKey(k)
+	payload, ok := st.get(key)
+	if !ok {
+		return 0, false
+	}
+	v, err := decodeRemap(payload)
+	if err != nil {
+		st.badDecode(key)
+		return 0, false
+	}
+	return r.opt.Fault.Corrupt(stage.StoreRead, v), true
 }
 
 // sharedRemapGet looks a transition cost up in the process-wide shared
@@ -280,7 +374,7 @@ func (r *Result) sharedRemapGet(k remapKey) (float64, bool) {
 	if ferr := r.opt.Fault.Err(stage.CacheShared); ferr != nil {
 		panic(ferr)
 	}
-	v, ok := sl.cache.get(sl.remapEntryKey(k))
+	v, ok := sl.cache.get(sl.keys.remapEntryKey(k))
 	if !ok {
 		sl.remapMisses.Add(1)
 		return 0, false
@@ -304,4 +398,5 @@ func (r *Result) syncCacheStats() {
 		r.Cache.SharedRemap = CacheStats{Hits: sl.remapHits.Load(), Misses: sl.remapMisses.Load()}
 		r.Cache.SharedSelection = CacheStats{Hits: sl.selHits.Load(), Misses: sl.selMisses.Load()}
 	}
+	r.Cache.Store = r.store.summary()
 }

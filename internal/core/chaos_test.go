@@ -13,11 +13,22 @@ import (
 // chaosOptions is the configuration every chaos run shares: verification
 // forced on (the invariant under test is "typed error or certified
 // result"), a real worker pool, a solver budget that bounds every 0-1
-// solve, and a fresh shared cache so the cache-shared site is on the
-// visited path (a cold cache still performs lookups).
-func chaosOptions(p *fault.Plan) Options {
+// solve, a fresh shared cache so the cache-shared site is on the
+// visited path (a cold cache still performs lookups), and a fresh
+// on-disk store so the store-open/store-write sites are too.
+func chaosOptions(tb testing.TB, p *fault.Plan) Options {
 	return Options{Procs: 8, Workers: 4, Timeout: time.Second, Verify: VerifyOn, Fault: p,
-		Cache: NewSharedCache(0)}
+		Cache: NewSharedCache(0), StoreDir: tb.TempDir()}
+}
+
+// storeSites are the IO-shaped fault sites of the artifact store.
+// Their invariant differs from the compute sites': a store fault must
+// never fail an analysis — the run degrades to memory-only caching and
+// says so in Result.Degradations.
+var storeSites = map[string]bool{
+	stage.StoreOpen:  true,
+	stage.StoreRead:  true,
+	stage.StoreWrite: true,
 }
 
 // typedChaosError reports whether err is one of the typed shapes the
@@ -43,6 +54,10 @@ func typedChaosError(err error) bool {
 // and in a cold run those are worker races that may land entirely off
 // the chosen path.  TestChaosSharedCachePoison warms the cache first,
 // where every lookup hits, and asserts detection there.
+// store-read IS corruptible: the sweep warms the store first, so every
+// pricing lookup is a disk hit and the injected corruption lands on
+// served values the certificates must reject — the poison-proof rule
+// extended to disk.
 var corruptibleSites = map[string]bool{
 	stage.AlignSolve: true,
 	stage.Pricing:    true,
@@ -50,6 +65,7 @@ var corruptibleSites = map[string]bool{
 	stage.BBNode:     true,
 	stage.Selection:  true,
 	stage.Cache:      true,
+	stage.StoreRead:  true,
 }
 
 // TestChaosSiteCoverage: a plain run under an armed-but-empty plan must
@@ -57,7 +73,17 @@ var corruptibleSites = map[string]bool{
 // code paths rather than dead hooks.
 func TestChaosSiteCoverage(t *testing.T) {
 	plan := fault.NewPlan(1)
-	if _, err := Analyze(context.Background(), Input{Source: adiSmall}, chaosOptions(plan)); err != nil {
+	opt := chaosOptions(t, plan)
+	// Cold run: visits store-open and store-write (a cold store has
+	// nothing to read, so its Gets are index misses that never touch
+	// the disk).
+	if _, err := Analyze(context.Background(), Input{Source: adiSmall}, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Warm re-run over the same store directory with a fresh shared
+	// cache (so L2 misses fall through to disk): visits store-read.
+	opt.Cache = NewSharedCache(0)
+	if _, err := Analyze(context.Background(), Input{Source: adiSmall}, opt); err != nil {
 		t.Fatal(err)
 	}
 	hits := plan.Hits()
@@ -83,8 +109,21 @@ func TestChaosSweep(t *testing.T) {
 		for _, action := range fault.Actions {
 			t.Run(site+"/"+action.String(), func(t *testing.T) {
 				plan := fault.NewPlan(7).Arm(site, fault.Rule{Action: action, Delay: delay})
+				opt := chaosOptions(t, plan)
+				if site == stage.StoreRead {
+					// store-read fires per disk read attempt, and a cold
+					// store has nothing to read: warm the directory with an
+					// un-faulted run first, then aim the armed run's L2
+					// misses at the resident records.
+					warm := opt
+					warm.Fault = nil
+					if _, werr := Analyze(context.Background(), Input{Source: adiSmall}, warm); werr != nil {
+						t.Fatal(werr)
+					}
+					opt.Cache = NewSharedCache(0)
+				}
 				start := time.Now()
-				res, err := Analyze(context.Background(), Input{Source: adiSmall}, chaosOptions(plan))
+				res, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
 				if elapsed := time.Since(start); elapsed > slack {
 					t.Fatalf("run took %v, past deadline+slack", elapsed)
 				}
@@ -92,6 +131,9 @@ func TestChaosSweep(t *testing.T) {
 					t.Fatalf("armed site %s never hit", site)
 				}
 				if err != nil {
+					if storeSites[site] && plan.Fired(site) > 0 && (action == fault.Fail || action == fault.Panic) {
+						t.Fatalf("store fault at %s failed the analysis: %v", site, err)
+					}
 					if !typedChaosError(err) {
 						t.Fatalf("untyped error escaped: %v (%T)", err, err)
 					}
@@ -109,9 +151,22 @@ func TestChaosSweep(t *testing.T) {
 					t.Fatalf("silent wrong answer: %v", cerr)
 				}
 				// A fault that actually fired must not vanish: fail and
-				// panic cannot produce a clean run.
+				// panic cannot produce a clean run — except at the store
+				// sites, where the clean run is the invariant and the
+				// fault's trace is a memory-only degradation entry.
 				if plan.Fired(site) > 0 && (action == fault.Fail || action == fault.Panic) {
-					t.Fatalf("%v fired %d times at %s yet the run succeeded", action, plan.Fired(site), site)
+					if !storeSites[site] {
+						t.Fatalf("%v fired %d times at %s yet the run succeeded", action, plan.Fired(site), site)
+					}
+					found := false
+					for _, d := range res.Degradations {
+						if storeSites[d.Subsystem] {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%v fired %d times at %s with no store degradation recorded", action, plan.Fired(site), site)
+					}
 				}
 				if action == fault.Corrupt && corruptibleSites[site] && plan.Fired(site) > 0 {
 					t.Fatalf("corruption fired %d times at %s yet the result certified", plan.Fired(site), site)
@@ -143,7 +198,7 @@ func TestCorruptionCaught(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.site, func(t *testing.T) {
 			plan := fault.NewPlan(13).Arm(tc.site, fault.Rule{Action: fault.Corrupt})
-			_, err := Analyze(context.Background(), Input{Source: adiSmall}, chaosOptions(plan))
+			_, err := Analyze(context.Background(), Input{Source: adiSmall}, chaosOptions(t, plan))
 			var ce *CertificationError
 			if !errors.As(err, &ce) {
 				t.Fatalf("corruption at %s not certified away: err = %v (%T)", tc.site, err, err)
@@ -194,7 +249,7 @@ func TestCorruptionEscapesWithoutVerify(t *testing.T) {
 // injected corruption lands on served values.
 func TestChaosSharedCachePoison(t *testing.T) {
 	shared := NewSharedCache(0)
-	warm := chaosOptions(fault.NewPlan(1))
+	warm := chaosOptions(t, fault.NewPlan(1))
 	warm.Cache = shared
 	if _, err := Analyze(context.Background(), Input{Source: adiSmall}, warm); err != nil {
 		t.Fatal(err)
@@ -202,7 +257,7 @@ func TestChaosSharedCachePoison(t *testing.T) {
 
 	t.Run("corrupt", func(t *testing.T) {
 		plan := fault.NewPlan(13).Arm(stage.CacheShared, fault.Rule{Action: fault.Corrupt})
-		opt := chaosOptions(plan)
+		opt := chaosOptions(t, plan)
 		opt.Cache = shared
 		_, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
 		if plan.Fired(stage.CacheShared) == 0 {
@@ -216,7 +271,7 @@ func TestChaosSharedCachePoison(t *testing.T) {
 
 	t.Run("fail", func(t *testing.T) {
 		plan := fault.NewPlan(13).Arm(stage.CacheShared, fault.Rule{Action: fault.Fail})
-		opt := chaosOptions(plan)
+		opt := chaosOptions(t, plan)
 		opt.Cache = shared
 		res, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
 		if err == nil {
@@ -224,6 +279,31 @@ func TestChaosSharedCachePoison(t *testing.T) {
 		}
 		if !typedChaosError(err) {
 			t.Fatalf("untyped error escaped the shared-cache layer: %v (%T)", err, err)
+		}
+	})
+
+	// The disk variant of the poison-proof rule: warm the on-disk store,
+	// then read it back through a fresh shared cache with the store-read
+	// Corrupt action armed — every pricing is a disk hit, the injected
+	// corruption lands on served values, and the certificates must
+	// reject the result rather than let the poisoned estimates through.
+	t.Run("disk-corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		warm := chaosOptions(t, fault.NewPlan(1))
+		warm.StoreDir = dir
+		if _, err := Analyze(context.Background(), Input{Source: adiSmall}, warm); err != nil {
+			t.Fatal(err)
+		}
+		plan := fault.NewPlan(13).Arm(stage.StoreRead, fault.Rule{Action: fault.Corrupt})
+		opt := chaosOptions(t, plan)
+		opt.StoreDir = dir
+		_, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+		if plan.Fired(stage.StoreRead) == 0 {
+			t.Fatal("warm store served no disk hits; the poison never landed")
+		}
+		var ce *CertificationError
+		if !errors.As(err, &ce) {
+			t.Fatalf("poisoned disk value not certified away: err = %v (%T)", err, err)
 		}
 	})
 }

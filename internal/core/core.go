@@ -57,6 +57,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/pcfg"
 	"repro/internal/stage"
+	"repro/internal/store"
 )
 
 // VerifyMode selects whether every solver product is independently
@@ -148,6 +149,18 @@ type Options struct {
 	// options; see SharedCache).  nil preserves the per-run-only
 	// behaviour; NoCache disables the shared layer too.
 	Cache *SharedCache
+	// StoreDir names a directory for the on-disk artifact store (L3):
+	// pricing, remapping and selection artifacts persist across
+	// processes under the same content-hash keys the shared cache uses,
+	// so a restarted run warm-starts from disk.  "" disables the store;
+	// NoCache disables it too.  A store that cannot be opened, or whose
+	// IO keeps failing, degrades the run to memory-only caching with an
+	// entry in Result.Degradations — never an analysis failure.
+	StoreDir string
+	// Store is an already opened artifact store to use instead of
+	// opening StoreDir (e.g. one store shared across a sweep's runs).
+	// When set it wins over StoreDir, and the caller owns its lifetime.
+	Store *store.Store
 	// Verify controls independent certification of every solver product
 	// (package verify): LP and 0-1 solutions, alignment resolutions, the
 	// final selection, and the Result's re-derived costs.  The zero
@@ -325,6 +338,9 @@ type Result struct {
 	// shared is the run's view of the injected SharedCache (nil when
 	// none, or with Options.NoCache).
 	shared *sharedLayer
+	// store is the run's view of the on-disk artifact store (nil when
+	// no StoreDir/Store, or with Options.NoCache).
+	store *storeLayer
 	// selCtx is the content-hash key under which this run's selection
 	// solve may be reused from the shared cache ("" when ineligible:
 	// no shared cache, a timeout/custom solver, or an armed fault

@@ -211,8 +211,16 @@ func backAnalyze(ctx context.Context, start time.Time, opt Options, budget *ilp.
 		prices:    newPriceCache(opt.NoCache),
 		remaps:    newRemapCache(opt.NoCache),
 	}
-	if opt.Cache != nil && !opt.NoCache {
-		res.shared = &sharedLayer{cache: opt.Cache, keys: deriveSharedKeys(ua.key, opt)}
+	useShared := opt.Cache != nil && !opt.NoCache
+	useStore := (opt.Store != nil || opt.StoreDir != "") && !opt.NoCache
+	if useShared || useStore {
+		keys := deriveSharedKeys(ua.key, opt)
+		if useShared {
+			res.shared = &sharedLayer{cache: opt.Cache, keys: keys}
+		}
+		if useStore {
+			res.store = newStoreLayer(opt, keys)
+		}
 		// Selection reuse needs a fully content-determined solve: a
 		// wall-clock budget or a caller-tuned solver can change the
 		// outcome (degradation, node limits), and an armed fault plan
@@ -220,8 +228,8 @@ func backAnalyze(ctx context.Context, start time.Time, opt Options, budget *ilp.
 		if opt.Timeout == 0 && opt.Solver == nil && opt.Fault == nil {
 			res.selCtx = string(artifact.NewHasher("selection-ctx").
 				Str(string(aa.key)).
-				Str(res.shared.keys.price).
-				Str(res.shared.keys.remap).
+				Str(keys.price).
+				Str(keys.remap).
 				Int(opt.Procs).
 				Bool(opt.Cyclic).
 				Bool(opt.MultiDim).
@@ -451,9 +459,9 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 	// cache can skip the 0-1 solve.  A reused selection still passes
 	// through CheckSelection below (against the freshly built graph),
 	// so a poisoned cache entry is caught, not served.
-	useSelCache := r.shared != nil && r.selCtx != "" && !r.spacesDirty
+	useSelCache := (r.shared != nil || r.store != nil) && r.selCtx != "" && !r.spacesDirty
 	var sel *layoutgraph.Selection
-	if useSelCache {
+	if useSelCache && r.shared != nil {
 		if v, ok := r.shared.cache.get(r.selCtx); ok {
 			if saved, good := v.(layoutgraph.Selection); good {
 				cp := saved
@@ -464,6 +472,25 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 		}
 		if sel == nil {
 			r.shared.selMisses.Add(1)
+		}
+	}
+	if useSelCache && sel == nil && r.store != nil {
+		// L3: a selection solved by an earlier process.  Like every disk
+		// hit it is re-verified (CheckSelection below runs against the
+		// freshly built graph), so a tampered record is caught, not
+		// served; a payload failing the codec is quarantined and solved
+		// fresh.
+		if payload, ok := r.store.get(r.selCtx); ok {
+			if saved, derr := decodeSelection(payload); derr == nil {
+				sel = &saved
+				if r.shared != nil {
+					cp := saved
+					cp.Choice = append([]int(nil), saved.Choice...)
+					r.shared.cache.put(r.selCtx, cp)
+				}
+			} else {
+				r.store.badDecode(r.selCtx)
+			}
 		}
 	}
 	if sel == nil {
@@ -502,7 +529,12 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 		if useSelCache && !sel.Degraded {
 			cp := *sel
 			cp.Choice = append([]int(nil), sel.Choice...)
-			r.shared.cache.put(r.selCtx, cp)
+			if r.shared != nil {
+				r.shared.cache.put(r.selCtx, cp)
+			}
+			if r.store != nil {
+				r.store.put(r.selCtx, encodeSelection(cp))
+			}
 		}
 	}
 	if cerr := ctx.Err(); cerr != nil {
@@ -526,6 +558,10 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 		}
 		r.Degradations = append(r.Degradations, deg)
 	}
+	// Store degradations ride along even under Strict: memory-only
+	// caching forfeits no optimality, so failing the run would punish
+	// exactly the fallback the store promises.
+	r.Degradations = append(r.Degradations, r.store.degradations()...)
 	r.Selection = sel
 	r.TotalCost = sel.Cost
 	r.summarizeSolver()

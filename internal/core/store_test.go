@@ -1,0 +1,394 @@
+package core
+
+// Integration tests for the on-disk artifact store (L3) under core:
+// warm restarts reproduce cold runs, crash debris and corruption are
+// quarantined (never served), poisoned records are caught by the
+// certificates, and store trouble degrades the run instead of failing
+// it.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/stage"
+	"repro/internal/store"
+)
+
+// storeOptions is the baseline store-backed configuration: verification
+// on, no timeout/solver/fault so selection reuse (selCtx) is eligible.
+func storeOptions(dir string) Options {
+	return Options{Procs: 8, Workers: 4, Verify: VerifyOn, StoreDir: dir}
+}
+
+func renderKey(res *Result) string {
+	var b strings.Builder
+	b.WriteString(res.EmitHPF())
+	for p, pr := range res.Phases {
+		b.WriteString(pr.ChosenLayout().FullKey())
+		_ = p
+	}
+	return b.String()
+}
+
+// TestStoreWarmRestart: a second Analyze over the same store directory
+// — a fresh process in miniature (new per-run caches, no shared cache)
+// — reproduces the cold run exactly and actually reads the disk.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := cold.Cache.Store.Writes; w == 0 {
+		t.Fatal("cold run wrote nothing to the store")
+	}
+	if cold.Cache.Store.Hits != 0 {
+		t.Fatalf("cold run reports %d store hits", cold.Cache.Store.Hits)
+	}
+	warm, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Store.Hits == 0 {
+		t.Fatal("warm run never hit the store")
+	}
+	if renderKey(cold) != renderKey(warm) {
+		t.Fatal("store-warmed run differs from the cold run")
+	}
+	if cold.TotalCost != warm.TotalCost {
+		t.Fatalf("costs differ: cold %v, warm %v", cold.TotalCost, warm.TotalCost)
+	}
+	if len(warm.Degradations) != 0 {
+		t.Fatalf("warm run degraded: %+v", warm.Degradations)
+	}
+}
+
+// TestStoreCrashConsistency: injected mid-write crashes during a run
+// leave torn temp files and a degraded (memory-only) but correct
+// result; the next open quarantines every piece of debris and a clean
+// re-run over the same directory fully recovers, matching a run that
+// never had a store.
+func TestStoreCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	plan := fault.NewPlan(11).Arm(stage.StoreWrite, fault.Rule{Action: fault.Fail})
+	opt := storeOptions(dir)
+	opt.Fault = plan
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+	if err != nil {
+		t.Fatalf("store crashes failed the analysis: %v", err)
+	}
+	if plan.Fired(stage.StoreWrite) == 0 {
+		t.Fatal("no write fault fired")
+	}
+	degraded := false
+	for _, d := range res.Degradations {
+		if d.Subsystem == stage.StoreWrite {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatalf("no store-write degradation recorded: %+v", res.Degradations)
+	}
+	if !res.Cache.Store.MemoryOnly {
+		t.Fatalf("breaker did not trip: %+v", res.Cache.Store)
+	}
+	// The crash debris is on disk: torn temp files, no final records.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := 0
+	for _, de := range des {
+		if strings.Contains(de.Name(), ".tmp-") {
+			torn++
+		}
+	}
+	if torn == 0 {
+		t.Fatal("mid-write crashes left no torn temp files")
+	}
+	// Reopen: every piece of debris is quarantined, nothing is served.
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Quarantined; got < int64(torn) {
+		t.Fatalf("reopen quarantined %d files, want at least %d", got, torn)
+	}
+	// Full recovery: a clean run over the same directory succeeds,
+	// writes real records, and matches a store-less run byte for byte.
+	clean, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Cache.Store.Writes == 0 {
+		t.Fatal("recovered store accepted no writes")
+	}
+	if len(clean.Degradations) != 0 {
+		t.Fatalf("clean run over recovered store degraded: %+v", clean.Degradations)
+	}
+	memOnly, err := Analyze(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, Workers: 4, Verify: VerifyOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderKey(clean) != renderKey(memOnly) || clean.TotalCost != memOnly.TotalCost {
+		t.Fatal("recovered-store run differs from the memory-only run")
+	}
+}
+
+// TestStoreCorruptionNeverUncertified pins the acceptance criterion: a
+// corrupted or truncated store file can never produce an uncertified
+// result.  Every record in a warmed store is damaged — half truncated,
+// half bit-flipped — and the re-run must still return a verified,
+// certificate-passing result, quarantining what it touched.
+func TestStoreCorruptionNeverUncertified(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := 0
+	for i, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".art") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if i%2 == 0 {
+			b = b[:len(b)/2] // torn
+		} else {
+			b[len(b)/2] ^= 0xff // bit flip
+		}
+		if werr := os.WriteFile(path, b, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		damaged++
+	}
+	if damaged == 0 {
+		t.Fatal("warm store holds no records to damage")
+	}
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatalf("damaged store failed the analysis: %v", err)
+	}
+	if cerr := res.Certify(); cerr != nil {
+		t.Fatalf("damaged store produced an uncertified result: %v", cerr)
+	}
+	if renderKey(res) != renderKey(cold) || res.TotalCost != cold.TotalCost {
+		t.Fatal("damaged-store run differs from the cold run")
+	}
+	if res.Cache.Store.Quarantined == 0 {
+		t.Fatalf("no damaged record was quarantined: %+v", res.Cache.Store)
+	}
+	if res.Cache.Store.Hits != 0 {
+		t.Fatalf("a damaged record was served as a hit: %+v", res.Cache.Store)
+	}
+}
+
+// TestStorePoisonedSelection extends the poison-proof rule to records
+// that pass the store checksum: a tampered-but-well-formed Selection
+// planted under the run's real selection key must be rejected by
+// CheckSelection, never served.
+func TestStorePoisonedSelection(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.selCtx == "" {
+		t.Fatal("selection reuse unexpectedly ineligible")
+	}
+	// Re-plant the selection record with a poisoned cost.  The store
+	// dedupes resident keys, so the honest record is removed first; the
+	// new record is checksum-valid — only the certificate can catch it.
+	if err := os.Remove(filepath.Join(dir, store.FileName(res.selCtx))); err != nil {
+		t.Fatal(err)
+	}
+	poisoned := *res.Selection
+	poisoned.Choice = append([]int(nil), res.Selection.Choice...)
+	poisoned.Cost += 1000
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(res.selCtx, encodeSelection(poisoned)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	var ce *CertificationError
+	if !errors.As(err, &ce) {
+		t.Fatalf("poisoned selection not certified away: err = %v (%T)", err, err)
+	}
+}
+
+// TestStoreSemanticCorruptionRecomputed: a record whose store checksum
+// passes but whose value codec fails (here: a version-skewed payload)
+// is quarantined and recomputed — a decode failure is never an analysis
+// failure.
+func TestStoreSemanticCorruptionRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.selCtx == "" {
+		t.Fatal("selection reuse unexpectedly ineligible")
+	}
+	if err := os.Remove(filepath.Join(dir, store.FileName(res.selCtx))); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(res.selCtx, []byte("not a selection payload")); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Analyze(context.Background(), Input{Source: adiSmall}, storeOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cache.Store.DecodeFailures == 0 {
+		t.Fatalf("semantic corruption not counted: %+v", again.Cache.Store)
+	}
+	if again.TotalCost != res.TotalCost {
+		t.Fatal("recomputed run differs from the original")
+	}
+}
+
+// TestStoreUnavailableDegradesMemoryOnly: a store directory that cannot
+// be opened (a plain file in the way) yields a degraded memory-only run
+// — never an analysis failure, even under Strict (memory-only caching
+// forfeits no optimality).
+func TestStoreUnavailableDegradesMemoryOnly(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "in-the-way")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt := storeOptions(file)
+	opt.Strict = true
+	res, err := Analyze(context.Background(), Input{Source: adiSmall}, opt)
+	if err != nil {
+		t.Fatalf("unavailable store failed the analysis: %v", err)
+	}
+	if !res.Cache.Store.MemoryOnly {
+		t.Fatalf("run not marked memory-only: %+v", res.Cache.Store)
+	}
+	found := false
+	for _, d := range res.Degradations {
+		if d.Subsystem == stage.StoreOpen {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no store-open degradation: %+v", res.Degradations)
+	}
+}
+
+// TestStoreCountersUnderRace: concurrent Analyze calls sharing one
+// injected Store and one SharedCache keep every counter consistent (the
+// assertion is meaningful under -race, which the CI store job runs).
+func TestStoreCountersUnderRace(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewSharedCache(0)
+	const runs = 6
+	results := make([]*Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, rerr := Analyze(context.Background(), Input{Source: adiSmall},
+				Options{Procs: 8, Workers: 2, Verify: VerifyOn, Store: st, Cache: shared})
+			if rerr != nil {
+				t.Errorf("run %d: %v", i, rerr)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	stats := st.Stats()
+	if stats.Entries == 0 || stats.Writes == 0 {
+		t.Fatalf("store stats = %+v", stats)
+	}
+	var first *Result
+	for _, res := range results {
+		if res == nil {
+			t.Fatal("missing result")
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.TotalCost != first.TotalCost {
+			t.Fatalf("concurrent runs disagree: %v vs %v", res.TotalCost, first.TotalCost)
+		}
+	}
+}
+
+// TestStoreCodecRoundTrip: the three persisted value kinds survive
+// encode/decode bit-exact, and cross-kind payloads are rejected with a
+// typed error (never misread).
+func TestStoreCodecRoundTrip(t *testing.T) {
+	res, err := Analyze(context.Background(), Input{Source: adiSmall},
+		Options{Procs: 8, Workers: 1, Verify: VerifyOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := res.Phases[0]
+	cand := pr.Candidates[pr.Chosen]
+	v := priced{plan: cand.Plan, est: cand.Estimate}
+	got, derr := decodePriced(encodePriced(v))
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if got.est != v.est || got.plan.Procs != v.plan.Procs ||
+		len(got.plan.Events) != len(v.plan.Events) ||
+		len(got.plan.CrossDeps) != len(v.plan.CrossDeps) ||
+		len(got.plan.Comp) != len(v.plan.Comp) {
+		t.Fatalf("priced round trip: got %+v", got)
+	}
+	for i := range v.plan.Events {
+		if got.plan.Events[i] != v.plan.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.plan.Events[i], v.plan.Events[i])
+		}
+	}
+	c, derr := decodeRemap(encodeRemap(3.25))
+	if derr != nil || c != 3.25 {
+		t.Fatalf("remap round trip: %v, %v", c, derr)
+	}
+	sel, derr := decodeSelection(encodeSelection(*res.Selection))
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if sel.Cost != res.Selection.Cost || len(sel.Choice) != len(res.Selection.Choice) {
+		t.Fatalf("selection round trip: %+v", sel)
+	}
+	// Cross-kind payloads carry the wrong kind tag: typed rejection.
+	if _, derr := decodePriced(encodeRemap(1)); derr == nil {
+		t.Fatal("remap payload accepted as a pricing")
+	}
+	if _, derr := decodeSelection(encodePriced(v)); derr == nil {
+		t.Fatal("pricing payload accepted as a selection")
+	}
+	if _, derr := decodeRemap(nil); derr == nil {
+		t.Fatal("empty payload accepted")
+	}
+}

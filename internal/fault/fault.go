@@ -10,6 +10,16 @@
 // a certificate-passing result, never a silent wrong answer and never
 // a hang past the deadline plus slack.
 //
+// The on-disk artifact store (internal/store) carries three sites of
+// its own — store-open, store-read, store-write — with IO-shaped
+// semantics: store-read fires once per read *attempt* (so After rules
+// model transient errors the bounded retry recovers from), and
+// store-write fires mid-record, after part of the payload reached the
+// temp file, so Fail and Panic simulate crashes that leave torn temp
+// files for the next open to quarantine.  A store fault must never
+// fail an analysis: the pipeline degrades to memory-only caching and
+// records the fallback in Result.Degradations.
+//
 // A nil *Plan is the unarmed registry: every hook short-circuits on a
 // nil receiver check, so production runs pay a single predictable
 // branch per site and allocate nothing.  Armed plans are deterministic:

@@ -48,11 +48,28 @@ const (
 	// the site fires on every cross-run lookup, and its Corrupt action
 	// poisons the value a shared hit serves.
 	CacheShared = "cache-shared"
+	// StoreOpen is the on-disk artifact store's open/scan/recovery path
+	// (internal/store): directory creation, the record scan, and the
+	// quarantine of torn or checksum-failing files.
+	StoreOpen = "store-open"
+	// StoreRead is one disk lookup of the artifact store (an L3 get
+	// after the per-run and shared caches both missed).  The site fires
+	// once per read attempt, so After-targeted rules can fail the first
+	// attempt and let the bounded retry recover; its Corrupt action
+	// poisons the decoded value a disk hit serves, same as CacheShared.
+	StoreRead = "store-read"
+	// StoreWrite is one write-through put of the artifact store.  The
+	// site fires mid-record — after part of the payload reached the
+	// temp file but before the atomic rename — so a Fail or Panic rule
+	// simulates a crash that leaves a torn temp file behind, and a
+	// Corrupt rule flips payload bytes under an already-computed
+	// checksum (a checksum-failing record on disk).
+	StoreWrite = "store-write"
 )
 
 // All lists every stage in execution order; chaos sweeps iterate it so
 // a newly added stage is exercised automatically.
-var All = []string{Parse, Dep, AlignSolve, SpaceBuild, Pricing, ILPRoot, BBNode, Selection, Cache, CacheShared}
+var All = []string{Parse, Dep, AlignSolve, SpaceBuild, Pricing, ILPRoot, BBNode, Selection, Cache, CacheShared, StoreOpen, StoreRead, StoreWrite}
 
 // order maps each stage to its position in All, for sorted rendering.
 var order = func() map[string]int {

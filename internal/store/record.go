@@ -1,0 +1,109 @@
+package store
+
+// The on-disk record format, version 1.  One record per file, named by
+// the SHA-256 of its key:
+//
+//	offset  size      field
+//	0       8         magic "ALSTOR01"
+//	8       4         keyLen, uint32 little-endian
+//	12      4         payloadLen, uint32 little-endian
+//	16      keyLen    key bytes (the cache key, arbitrary bytes)
+//	...     payload   payload bytes (the encoded artifact value)
+//	end-32  32        SHA-256 over everything before it
+//
+// The trailing checksum makes every torn, truncated or bit-flipped
+// record detectable: a crash between the temp-file write and the
+// rename leaves no final file at all (the rename is atomic), and a
+// crash mid-write leaves a temp file whose record fails this decode.
+// DecodeRecord never panics and never silently accepts malformed
+// bytes; every failure is a typed *CorruptError.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+const (
+	recordMagic  = "ALSTOR01"
+	headerLen    = len(recordMagic) + 4 + 4
+	checksumLen  = sha256.Size
+	maxRecordLen = 1 << 30 // 1 GiB: no honest cache artifact comes close
+)
+
+// CorruptError reports a record that failed validation: wrong magic,
+// torn or truncated bytes, a checksum mismatch, or a file whose name
+// does not match its embedded key.  The store quarantines the file and
+// the caller treats the lookup as a miss.
+type CorruptError struct {
+	Path   string // file path when known ("" for in-memory decodes)
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("store: corrupt record: %s", e.Reason)
+	}
+	return fmt.Sprintf("store: corrupt record %s: %s", e.Path, e.Reason)
+}
+
+// FileName returns the file name a key's record is stored under: the
+// hex SHA-256 of the key plus the record extension.  Keys are
+// arbitrary bytes (they embed program renderings), so the name is the
+// hash, and the key itself is embedded in the record for verification.
+func FileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + recordExt
+}
+
+const (
+	recordExt = ".art"
+	tempInfix = ".tmp-"
+)
+
+// EncodeRecord serializes one (key, payload) record.
+func EncodeRecord(key string, payload []byte) []byte {
+	n := headerLen + len(key) + len(payload)
+	buf := make([]byte, 0, n+checksumLen)
+	buf = append(buf, recordMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// DecodeRecord parses and validates one record.  Arbitrary input bytes
+// yield a typed *CorruptError — never a panic, and never a
+// silently-accepted record (the checksum covers every preceding byte).
+func DecodeRecord(b []byte) (key string, payload []byte, err error) {
+	bad := func(reason string) (string, []byte, error) {
+		return "", nil, &CorruptError{Reason: reason}
+	}
+	if len(b) < headerLen+checksumLen {
+		return bad(fmt.Sprintf("truncated: %d bytes, need at least %d", len(b), headerLen+checksumLen))
+	}
+	if string(b[:len(recordMagic)]) != recordMagic {
+		return bad("bad magic")
+	}
+	keyLen := binary.LittleEndian.Uint32(b[len(recordMagic):])
+	payLen := binary.LittleEndian.Uint32(b[len(recordMagic)+4:])
+	if keyLen > maxRecordLen || payLen > maxRecordLen {
+		return bad(fmt.Sprintf("implausible lengths key=%d payload=%d", keyLen, payLen))
+	}
+	want := headerLen + int(keyLen) + int(payLen) + checksumLen
+	if len(b) != want {
+		return bad(fmt.Sprintf("length %d, header claims %d", len(b), want))
+	}
+	body := b[:want-checksumLen]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], b[want-checksumLen:]) {
+		return bad("checksum mismatch")
+	}
+	key = string(b[headerLen : headerLen+int(keyLen)])
+	payload = append([]byte(nil), b[headerLen+int(keyLen):want-checksumLen]...)
+	return key, payload, nil
+}
