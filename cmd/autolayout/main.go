@@ -36,10 +36,16 @@
 // corrupted or unavailable store is never fatal — damaged records are
 // quarantined under DIR/quarantine/ and the run degrades to
 // memory-only caching, reported as "! degraded:" lines.
+//
+// -json swaps the HPF text for the versioned core.Response document —
+// the exact body layoutd's POST /v1/analyze returns — and -stats emits
+// the run's counters as one "! stats: {...}" JSON line carrying the
+// same core.Stats struct layoutd aggregates under /metrics.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,9 +56,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/machine"
-
-	alignpkg "repro/internal/align"
 )
 
 func main() {
@@ -71,8 +74,9 @@ func main() {
 	workers := flag.Int("j", 0, "worker goroutines for the evaluation pipeline (0 = all CPUs, 1 = sequential; output is identical either way)")
 	noCache := flag.Bool("no-cache", false, "disable pricing/remapping memoization")
 	storeDir := flag.String("store", "", "persist priced artifacts to this directory (crash-safe L3 store; later runs start warm)")
-	stats := flag.Bool("stats", false, "report cache hit rates and per-stage times after the tool-time line")
+	stats := flag.Bool("stats", false, "report the run's counters (stage times, cache hit rates, solver effort) as one machine-readable JSON line — the same struct layoutd's /metrics serves")
 	doVerify := flag.Bool("verify", false, "independently certify every solver product; a failed certificate exits non-zero with a claimed-vs-recomputed diff")
+	jsonOut := flag.Bool("json", false, "emit the result as a core.Response JSON document (the layoutd wire format) instead of HPF text")
 	sweep := flag.String("sweep", "", "comma-separated processor counts: analyze once, re-tune the layout per count reusing the cached front half (overrides -procs)")
 	flag.Parse()
 
@@ -80,42 +84,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := core.Options{
-		Procs:    *procs,
-		Cyclic:   *cyclic,
-		MultiDim: *multiDim,
-		UseDP:    *useDP,
-		Align:    alignpkg.Options{Greedy: *greedy},
-		Timeout:  *timeout,
-		Strict:   *strict,
-		Workers:  *workers,
-		NoCache:  *noCache,
-		StoreDir: *storeDir,
+	// The CLI speaks the same versioned wire request as layoutd: flags
+	// assemble a core.Request, and BuildOptions is the one shared
+	// defaulting + validation path, so server and CLI cannot drift.
+	req := core.Request{
+		V:               core.WireV1,
+		Source:          src,
+		Procs:           *procs,
+		Machine:         *machineName,
+		Cyclic:          *cyclic,
+		MultiDim:        *multiDim,
+		UseDP:           *useDP,
+		GreedyAlign:     *greedy,
+		IgnoreProbHints: *guess,
+		TimeoutMS:       timeout.Milliseconds(),
+		Strict:          *strict,
+		Workers:         *workers,
+		NoCache:         *noCache,
+		Verify:          *doVerify,
 	}
-	if *doVerify {
-		opt.Verify = core.VerifyOn
-	}
-	opt.PCFG.IgnoreProbHints = *guess
-	switch {
-	case *machineFile != "":
-		f, err := os.Open(*machineFile)
+	if *machineFile != "" {
+		table, err := os.ReadFile(*machineFile)
 		if err != nil {
 			fatal(err)
 		}
-		opt.Machine, err = machine.ReadTable(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	case *machineName == "ipsc860":
-		opt.Machine = machine.IPSC860()
-	case *machineName == "paragon":
-		opt.Machine = machine.Paragon()
-	case *machineName == "cluster2020":
-		opt.Machine = machine.Cluster2020()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machineName))
+		req.MachineTable = string(table)
 	}
+	opt, err := req.BuildOptions()
+	if err != nil {
+		fatal(err)
+	}
+	// Sub-millisecond budgets truncate to 0 on the wire; preserve the
+	// exact flag value locally.
+	opt.Timeout = *timeout
+	// The store is the invocation's resource, not the request's.
+	opt.StoreDir = *storeDir
 
 	if *sweep != "" {
 		if err := runSweep(src, opt, *sweep, *stats); err != nil {
@@ -140,27 +143,22 @@ func main() {
 		}
 		fatal(err)
 	}
+	if *jsonOut {
+		// The Response document embeds the Stats block, so -stats is
+		// implied here.
+		b, err := json.MarshalIndent(core.NewResponse(res), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", b)
+		return
+	}
 	fmt.Print(res.EmitHPF())
 	fmt.Printf("! tool time: %v (alignment 0-1 solves: %d, selection 0-1: %d vars / %d constraints in %v)\n",
 		res.Elapsed.Round(1e6), len(res.AlignStats),
 		res.Selection.Vars, res.Selection.Constraints, res.Selection.Duration.Round(1e5))
 	if *stats {
-		fmt.Printf("! cache: pricing %d hits / %d misses (%.0f%%), remap %d hits / %d misses (%.0f%%)\n",
-			res.Cache.Pricing.Hits, res.Cache.Pricing.Misses, res.Cache.Pricing.HitRate()*100,
-			res.Cache.Remap.Hits, res.Cache.Remap.Misses, res.Cache.Remap.HitRate()*100)
-		if *storeDir != "" {
-			st := res.Cache.Store
-			mode := "read-write"
-			if st.MemoryOnly {
-				mode = "memory-only (store unavailable)"
-			}
-			fmt.Printf("! store: %d hits / %d misses, %d writes, %d entries (%d bytes) on disk, %d quarantined, %d evicted, %s\n",
-				st.Hits, st.Misses, st.Writes, st.Entries, st.Bytes, st.Quarantined, st.Evictions, mode)
-		}
-		fmt.Printf("! stages: %s\n", res.StageTimes)
-		s := res.Solver
-		fmt.Printf("! solver: %d solves, %d bb nodes, %d lp pivots, %d warm / %d cold lps, %d rc-fixed\n",
-			s.Solves, s.Nodes, s.LPPivots, s.LPWarm, s.LPCold, s.RCFixed)
+		printStats(res)
 	}
 	for _, line := range strings.Split(strings.TrimRight(res.ExplainDegradations(), "\n"), "\n") {
 		if line != "" {
@@ -176,6 +174,19 @@ func main() {
 			fmt.Println("!", line)
 		}
 	}
+}
+
+// printStats emits the run's counters as one machine-readable JSON
+// line — the same core.Stats struct layoutd aggregates under /metrics
+// and every -json Response embeds, so scripts parse one vocabulary on
+// all three surfaces.  The "! " prefix keeps the line a comment in the
+// HPF text stream.
+func printStats(res *core.Result) {
+	b, err := json.Marshal(core.NewStats(res))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("! stats: %s\n", b)
 }
 
 // runSweep re-tunes the program across processor counts: one Session
@@ -214,7 +225,7 @@ func runSweep(src string, opt core.Options, grid string, stats bool) error {
 		fmt.Printf("! procs %3d: cost %14.3f us, %s, back half %v\n",
 			p, res.TotalCost, layout, res.Elapsed.Round(1e5))
 		if stats {
-			fmt.Printf("!   stages: %s\n", res.StageTimes)
+			printStats(res)
 		}
 	}
 	return nil

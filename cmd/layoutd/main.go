@@ -1,0 +1,97 @@
+// Command layoutd is the layout-analysis daemon: a long-running
+// HTTP/JSON server that multiplexes concurrent analysis requests over
+// one process-wide shared cache (L2) and an optional on-disk artifact
+// store (L3), so repeated and concurrent traffic for the same program
+// + machine + options is answered from warm state — and identical
+// requests in flight coalesce onto a single analysis.
+//
+// Usage:
+//
+//	layoutd -addr :8780 [-store DIR] [-max-inflight N] [-queue N]
+//	        [-cache-capacity N] [-default-timeout D] [-max-timeout D]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   core.Request (JSON, "v":1) → core.Response
+//	GET  /metrics      service.Metrics counters snapshot
+//	GET  /healthz      liveness probe
+//
+// Example:
+//
+//	curl -s -X POST localhost:8780/v1/analyze \
+//	  -d '{"v":1,"source":"...fortran dialect...","procs":16}'
+//
+// A full analysis queue is answered 429 with a Retry-After header;
+// per-request wall-clock budgets (timeout_ms, clamped by -max-timeout)
+// degrade gracefully exactly like the CLI's -timeout flag, reporting
+// what was forfeited in the response's degradations list.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8780", "listen address")
+	storeDir := flag.String("store", "", "on-disk artifact store directory (L3; \"\" = memory-only)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently running analyses (0 = NumCPU)")
+	queue := flag.Int("queue", 64, "max queued analyses before 429 (negative = no queue)")
+	cacheCap := flag.Int("cache-capacity", 0, "shared cache entry bound (0 = default)")
+	defTimeout := flag.Duration("default-timeout", 0, "budget applied to requests without timeout_ms (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on any request's budget (0 = none)")
+	maxBody := flag.Int64("max-body", 0, "request body byte bound (0 = 16MiB)")
+	flag.Parse()
+
+	srv, err := service.NewServer(service.Config{
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *queue,
+		CacheCapacity:  *cacheCap,
+		StoreDir:       *storeDir,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layoutd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	if *storeDir != "" {
+		log.Printf("layoutd: listening on %s (store %s)", *addr, *storeDir)
+	} else {
+		log.Printf("layoutd: listening on %s (memory-only)", *addr)
+	}
+
+	select {
+	case err := <-done:
+		srv.Close()
+		log.Fatalf("layoutd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("layoutd: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		log.Printf("layoutd: shutdown: %v", err)
+	}
+	srv.Close()
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("layoutd: %v", err)
+	}
+}

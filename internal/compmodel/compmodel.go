@@ -28,16 +28,16 @@ import (
 type Options struct {
 	// NoMessageVectorization disables hoisting/aggregating messages out
 	// of loops (they stay at the innermost level).
-	NoMessageVectorization bool
+	NoMessageVectorization bool `json:"no_message_vectorization,omitempty"`
 	// NoMessageCoalescing disables merging messages with the same
 	// pattern, placement and direction.
-	NoMessageCoalescing bool
+	NoMessageCoalescing bool `json:"no_message_coalescing,omitempty"`
 	// LoopInterchange allows the execution model to reorder loops when
 	// scheduling pipelines (off for the paper's target compiler).
-	LoopInterchange bool
+	LoopInterchange bool `json:"loop_interchange,omitempty"`
 	// CoarseGrainPipelining allows strip-mined pipelines (off for the
 	// paper's target compiler).
-	CoarseGrainPipelining bool
+	CoarseGrainPipelining bool `json:"coarse_grain_pipelining,omitempty"`
 }
 
 // Event is one compiler-generated communication.

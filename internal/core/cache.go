@@ -13,8 +13,8 @@ import (
 
 // CacheStats counts the traffic of one memoization layer.
 type CacheStats struct {
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 // HitRate is Hits / (Hits + Misses), or 0 before any lookup.
@@ -29,26 +29,26 @@ func (s CacheStats) HitRate() float64 {
 // layers (see Result.Cache).  With Options.NoCache set all stay zero.
 type CacheSummary struct {
 	// Pricing covers compiler/execution-model candidate evaluations.
-	Pricing CacheStats
+	Pricing CacheStats `json:"pricing"`
 	// Remap covers transition (remapping) cost evaluations.
-	Remap CacheStats
+	Remap CacheStats `json:"remap"`
 	// SharedPricing and SharedRemap count this run's traffic against
 	// the injected process-wide cache (Options.Cache): a shared lookup
 	// happens only after a per-run miss, so Pricing.Misses bounds
 	// SharedPricing.Hits + SharedPricing.Misses.  Both stay zero when
 	// no shared cache was injected.
-	SharedPricing CacheStats
-	SharedRemap   CacheStats
+	SharedPricing CacheStats `json:"shared_pricing"`
+	SharedRemap   CacheStats `json:"shared_remap"`
 	// SharedSelection counts selection-solve reuse: a hit means the
 	// final 0-1 solve was skipped because an identical problem (same
 	// program, machine, compiler, spaces and selection options) was
 	// already solved under this shared cache.  Selection reuse is
 	// gated to runs without a timeout, custom solver or fault plan.
-	SharedSelection CacheStats
+	SharedSelection CacheStats `json:"shared_selection"`
 	// Store reports the on-disk artifact store (L3, Options.StoreDir):
 	// this run's traffic plus the store's corruption and eviction
 	// counters.  All zero when no store was configured.
-	Store StoreSummary
+	Store StoreSummary `json:"store"`
 }
 
 // StoreSummary reports one run's view of the on-disk artifact store
@@ -56,17 +56,20 @@ type CacheSummary struct {
 // run's traffic; Entries, Bytes, Quarantined and Evictions snapshot the
 // underlying store (which may be shared across runs).
 type StoreSummary struct {
-	Hits, Misses, Writes int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Writes int64 `json:"writes"`
 	// DecodeFailures counts records that passed the store checksum but
 	// failed the value codec; each was quarantined and recomputed.
-	DecodeFailures int64
+	DecodeFailures int64 `json:"decode_failures"`
 	// Quarantined and Evictions are lifetime counters of the store.
-	Quarantined, Evictions int64
-	Entries                int
-	Bytes                  int64
+	Quarantined int64 `json:"quarantined"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
 	// MemoryOnly reports the run degraded to memory-only caching (store
 	// unavailable at open, or the IO failure breaker tripped).
-	MemoryOnly bool
+	MemoryOnly bool `json:"memory_only"`
 }
 
 // sharedLayer is one run's view of the injected SharedCache: the

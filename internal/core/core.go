@@ -259,12 +259,12 @@ type RemapDecision struct {
 // greedy fallback contributes no solve; one served from the shared
 // cache reports the effort of the solve that produced it.
 type SolverSummary struct {
-	Solves   int
-	Nodes    int
-	LPPivots int
-	LPWarm   int
-	LPCold   int
-	RCFixed  int
+	Solves   int `json:"solves"`
+	Nodes    int `json:"nodes"`
+	LPPivots int `json:"lp_pivots"`
+	LPWarm   int `json:"lp_warm"`
+	LPCold   int `json:"lp_cold"`
+	RCFixed  int `json:"rc_fixed"`
 }
 
 // Result is the tool's output.

@@ -19,13 +19,13 @@ type Degradation struct {
 	// stage.AlignSolve or stage.Selection, from the shared stage
 	// vocabulary (package stage), so degradations, cancellation labels,
 	// fault sites and certification failures all correlate by name.
-	Subsystem string
+	Subsystem string `json:"subsystem"`
 	// Detail describes the cutoff and the fallback taken.
-	Detail string
+	Detail string `json:"detail"`
 	// Gap is the relative optimality gap between the reported answer
 	// and the best proven bound: 0 when the fallback is exact, negative
 	// when no bound is known (e.g. a greedy fallback).
-	Gap float64
+	Gap float64 `json:"gap"`
 }
 
 func (d Degradation) String() string {

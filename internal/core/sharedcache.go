@@ -154,8 +154,10 @@ func (c *SharedCache) Len() int {
 // (across every run that used it, unlike Result.Cache which is
 // per-run).
 type SharedCacheStats struct {
-	Hits, Misses, Evictions int64
-	Entries                 int
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
 }
 
 // HitRate is Hits / (Hits + Misses), or 0 before any lookup.

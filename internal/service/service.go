@@ -1,0 +1,407 @@
+// Package service is the layout-analysis daemon behind cmd/layoutd: a
+// long-running HTTP/JSON server multiplexing concurrent analysis
+// requests over one process-wide core.SharedCache (L2) and one on-disk
+// artifact store (L3), speaking the versioned wire API of package core
+// (core.Request / core.Response, "v":1).
+//
+// # Request lifecycle
+//
+//		decode → key → singleflight → admit → session → respond
+//
+//	 1. decode: the body is decoded with core.DecodeRequest (unknown
+//	    fields, bad versions and malformed JSON are typed 400s) and
+//	    mapped to validated core.Options through the same BuildOptions
+//	    path the CLI uses — the server and CLI cannot drift.
+//	 2. key: the request's content-hash identity (core.Request.Key)
+//	    reuses the artifact keys that already address the L2/L3 cache
+//	    entries: same program + machine + options ⇒ same key.
+//	 3. singleflight: identical requests in flight coalesce onto one
+//	    analysis; every waiter receives the leader's response bytes, so
+//	    deduplicated answers are byte-identical by construction.
+//	    Distinct keys never wait on each other (each is its own flight).
+//	 4. admit: only flight leaders consume admission slots.  Up to
+//	    MaxInFlight analyses run; up to MaxQueue leaders wait in a
+//	    bounded queue; beyond that the server answers 429 with a
+//	    Retry-After header.  Waiting on a full pipeline never wedges
+//	    in-flight work — rejected flights are answered immediately.
+//	 5. session: the analysis runs under core.Analyze with the server's
+//	    shared cache and store injected; per-request budgets go through
+//	    the same Options.Timeout machinery as the CLI, so an exhausted
+//	    budget degrades gracefully (typed entries in
+//	    Response.Degradations), never fails the request.
+//	 6. respond: the Result is rendered to a core.Response; errors map
+//	    to typed JSON bodies with deterministic HTTP statuses.
+//
+// # Metrics
+//
+// GET /metrics serves a Metrics snapshot: request/queue/dedup
+// counters, per-stage wall clock, L1/L2/L3 cache traffic and hit
+// rates, solver effort, and the shared-cache and store snapshots.  The
+// per-run counters aggregate the same core.Stats struct every
+// Response (and the CLI's -stats line) carries.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fortran"
+	"repro/internal/store"
+)
+
+// Config parameterizes a Server.  The zero value is a working
+// memory-only server with sensible bounds.
+type Config struct {
+	// MaxInFlight bounds concurrently running analyses (0 ⇒ NumCPU).
+	MaxInFlight int
+	// MaxQueue bounds flight leaders waiting for an admission slot;
+	// a leader beyond the bound is answered 429 immediately (0 ⇒ 64,
+	// negative ⇒ no queue: reject as soon as MaxInFlight is busy).
+	MaxQueue int
+	// CacheCapacity bounds the process-wide shared cache entries
+	// (0 ⇒ core.DefaultSharedCapacity).
+	CacheCapacity int
+	// StoreDir names the on-disk artifact store directory ("" ⇒ no L3).
+	// The store is opened once at NewServer and shared by every
+	// request, so warm state survives restarts.
+	StoreDir string
+	// Store adopts an already opened store instead of opening StoreDir
+	// (the caller owns its lifetime).  Wins over StoreDir.
+	Store *store.Store
+	// DefaultTimeout is applied to requests that carry no timeout_ms;
+	// MaxTimeout caps every request's budget.  Zero means none.  The
+	// clamp happens before the request is keyed, so two requests that
+	// clamp to the same effective budget deduplicate.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds the request body (0 ⇒ 16 MiB).
+	MaxBodyBytes int64
+	// Fault arms the chaos fault-injection plan on every request and
+	// on the server-opened store (nil outside tests).
+	Fault *fault.Plan
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.NumCPU()
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// flight is one in-progress (or just-finished) analysis shared by
+// every request with the same key.  The leader fills the response
+// fields and closes done; waiters only read after done is closed.
+type flight struct {
+	done       chan struct{}
+	status     int
+	body       []byte
+	retryAfter string // non-empty on 429
+}
+
+// Server multiplexes layout-analysis requests.  Create with NewServer;
+// it implements http.Handler.
+type Server struct {
+	cfg      Config
+	cache    *core.SharedCache
+	store    *store.Store
+	ownStore bool
+
+	// baseCtx outlives any single request: a flight with waiters must
+	// finish even if the leader's client disconnects.  Close cancels it.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	sem      chan struct{} // admission slots (MaxInFlight)
+	queued   atomic.Int64  // leaders waiting for a slot
+	inflight atomic.Int64  // analyses currently running
+
+	mu      sync.Mutex
+	flights map[artifact.Key]*flight
+
+	m counters
+
+	// hookFlightStart, when set, runs on the flight leader right after
+	// admission and before the analysis — test seam for making flights
+	// deterministically observable mid-air.
+	hookFlightStart func(key artifact.Key)
+}
+
+// NewServer builds a server: one shared cache, one store (opened from
+// cfg.StoreDir unless cfg.Store is adopted).  A store directory that
+// cannot be opened is a configuration error and fails construction —
+// the operator asked for an L3 the process cannot provide; per-request
+// store trouble after a successful open still degrades, never fails.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   core.NewSharedCache(cfg.CacheCapacity),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		flights: map[artifact.Key]*flight{},
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	switch {
+	case cfg.Store != nil:
+		s.store = cfg.Store
+	case cfg.StoreDir != "":
+		st, err := store.Open(store.Options{Dir: cfg.StoreDir, Fault: cfg.Fault})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening artifact store: %w", err)
+		}
+		s.store = st
+		s.ownStore = true
+	}
+	return s, nil
+}
+
+// Close cancels every in-flight analysis and closes a server-owned
+// store.  Idempotent.
+func (s *Server) Close() error {
+	s.cancel()
+	if s.ownStore && s.store != nil {
+		st := s.store
+		s.store = nil
+		return st.Close()
+	}
+	return nil
+}
+
+// ServeHTTP routes the three endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/analyze" && r.Method == http.MethodPost:
+		s.handleAnalyze(w, r)
+	case r.URL.Path == "/v1/analyze":
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", "")
+	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
+		s.handleMetrics(w)
+	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"v":%d,"ok":true}`+"\n", core.WireV1)
+	default:
+		s.writeError(w, http.StatusNotFound, "not_found", "unknown endpoint "+r.URL.Path, "")
+	}
+}
+
+// handleAnalyze is the request lifecycle: decode → key → singleflight
+// → admit → session → respond.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	req, err := core.DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.m.failed.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error(), "")
+		return
+	}
+	opt, err := req.BuildOptions()
+	if err != nil {
+		s.m.failed.Add(1)
+		status, kind := classify(err)
+		s.writeError(w, status, kind, err.Error(), "")
+		return
+	}
+	// Clamp the budget before keying so requests that clamp to the same
+	// effective options deduplicate.
+	if opt.Timeout == 0 {
+		opt.Timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (opt.Timeout == 0 || opt.Timeout > s.cfg.MaxTimeout) {
+		opt.Timeout = s.cfg.MaxTimeout
+	}
+	key := req.Key(opt)
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		// Joined an identical in-flight request: wait for the leader's
+		// bytes.  A waiter whose client disconnects just stops waiting —
+		// the flight keeps running for everyone else.
+		s.m.dedup.Add(1)
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			s.writeFlight(w, f)
+		case <-r.Context().Done():
+		}
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	s.runFlight(f, key, req, opt)
+	s.writeFlight(w, f)
+}
+
+// runFlight is the leader's path: admission, analysis, rendering.  It
+// always finishes the flight (fills the response, deregisters the key,
+// closes done), so waiters can never hang on it.
+func (s *Server) runFlight(f *flight, key artifact.Key, req *core.Request, opt core.Options) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	if !s.admit() {
+		s.m.rejected.Add(1)
+		f.status = http.StatusTooManyRequests
+		f.retryAfter = "1"
+		f.body = errorBody("overloaded",
+			fmt.Sprintf("analysis queue full (%d running, %d queued)", s.cfg.MaxInFlight, s.cfg.MaxQueue), "")
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if hook := s.hookFlightStart; hook != nil {
+		hook(key)
+	}
+
+	// Inject the server's resources; they are process-wide and never
+	// part of the request key.
+	opt.Cache = s.cache
+	opt.Store = s.store
+	opt.Fault = s.cfg.Fault
+	s.m.analyses.Add(1)
+	res, err := core.Analyze(s.baseCtx, core.Input{Source: req.Source}, opt)
+	if err != nil {
+		s.m.failed.Add(1)
+		status, kind := classify(err)
+		f.status = status
+		f.body = errorBody(kind, err.Error(), detailOf(err))
+		return
+	}
+	s.m.addResult(res)
+	body, err := json.Marshal(core.NewResponse(res))
+	if err != nil {
+		s.m.failed.Add(1)
+		f.status = http.StatusInternalServerError
+		f.body = errorBody("internal", fmt.Sprintf("encoding response: %v", err), "")
+		return
+	}
+	s.m.ok.Add(1)
+	f.status = http.StatusOK
+	f.body = append(body, '\n')
+}
+
+// admit acquires an analysis slot, waiting in the bounded queue when
+// the pipeline is busy.  false means the caller must answer 429.
+// Waiting is bounded by server shutdown, never by another request's
+// client: queue occupants hold no locks and block nothing in flight.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.MaxQueue < 0 {
+		return false
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-s.baseCtx.Done():
+		return false
+	}
+}
+
+// writeFlight writes a finished flight's shared bytes.
+func (s *Server) writeFlight(w http.ResponseWriter, f *flight) {
+	w.Header().Set("Content-Type", "application/json")
+	if f.retryAfter != "" {
+		w.Header().Set("Retry-After", f.retryAfter)
+	}
+	w.WriteHeader(f.status)
+	w.Write(f.body)
+}
+
+// ErrorBody is the typed JSON error envelope of every non-200 answer.
+type ErrorBody struct {
+	V     int       `json:"v"`
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo carries the error classification: Kind is a stable
+// machine-readable label, Message the human-readable cause, Detail an
+// optional stage/check pin (certification failures).
+type ErrorInfo struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+func errorBody(kind, msg, detail string) []byte {
+	b, err := json.Marshal(ErrorBody{V: core.WireV1, Error: ErrorInfo{Kind: kind, Message: msg, Detail: detail}})
+	if err != nil { // cannot happen: the struct is marshalable
+		return []byte(fmt.Sprintf(`{"v":%d,"error":{"kind":%q,"message":"encoding failure"}}`, core.WireV1, kind))
+	}
+	return append(b, '\n')
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, kind, msg, detail string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(errorBody(kind, msg, detail))
+}
+
+// classify maps an analysis error to (HTTP status, wire error kind).
+// The mapping is part of the wire contract: clients branch on kind,
+// so each core error type gets a stable label.
+func classify(err error) (int, string) {
+	var we *core.WireError
+	var ve *core.ValidationError
+	var se *fortran.SyntaxError
+	var ste *core.StrictError
+	var ce *core.CertificationError
+	var fe *fault.Error
+	switch {
+	case errors.As(err, &we):
+		return http.StatusBadRequest, "bad_request"
+	case errors.As(err, &ve):
+		return http.StatusBadRequest, "validation"
+	case errors.As(err, &se):
+		return http.StatusBadRequest, "syntax"
+	case errors.As(err, &ste):
+		return http.StatusUnprocessableEntity, "strict"
+	case errors.As(err, &ce):
+		return http.StatusInternalServerError, "certification"
+	case errors.As(err, &fe):
+		return http.StatusInternalServerError, "fault"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// detailOf extracts the stage/check pin of a certification failure for
+// the error envelope's detail field.
+func detailOf(err error) string {
+	var ce *core.CertificationError
+	if errors.As(err, &ce) {
+		return fmt.Sprintf("%s/%s", ce.Stage, ce.Check)
+	}
+	return ""
+}

@@ -1,0 +1,200 @@
+package service
+
+// Concurrent soak: N clients replay a pool of generated dialect
+// programs — duplicates and fresh mixes, including !prob-annotated
+// branches so the pcfg path is exercised — against a live httptest
+// layoutd with an on-disk store and chaos faults armed at the store
+// sites.  Every 200 must match a no-fault direct core.Analyze
+// reference for its program (no silent wrong answers: verification is
+// automatically on in test binaries, so a 200 is a certified result),
+// and the request accounting must balance exactly:
+// analyses + dedup joins + rejections = requests.
+//
+// Run with -race; the suite doubles as the data-race soak for the
+// server's singleflight map, admission queue and counters.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/stage"
+)
+
+// genProgram renders one random program of the restricted dialect:
+// 2-4 doubly nested loop phases over shared 2-D arrays, drawn from a
+// small pattern grammar (copies, transposes, sweeps, prob-guarded
+// updates).  The same rng state always renders the same program.
+func genProgram(rng *rand.Rand, id int) string {
+	arrays := []string{"a", "b", "c"}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "program soak%d\n", id)
+	fmt.Fprintf(&b, "  parameter (n = %d)\n", 12+4*rng.Intn(2))
+	fmt.Fprintf(&b, "  real a(n,n), b(n,n), c(n,n)\n")
+	phases := 2 + rng.Intn(3)
+	for p := 0; p < phases; p++ {
+		dst := arrays[rng.Intn(len(arrays))]
+		src := arrays[rng.Intn(len(arrays))]
+		for src == dst {
+			src = arrays[rng.Intn(len(arrays))]
+		}
+		switch rng.Intn(5) {
+		case 0: // pointwise copy
+			fmt.Fprintf(&b, "  do j = 1, n\n    do i = 1, n\n")
+			fmt.Fprintf(&b, "      %s(i,j) = %s(i,j) + 1.0\n", dst, src)
+			fmt.Fprintf(&b, "    end do\n  end do\n")
+		case 1: // transpose
+			fmt.Fprintf(&b, "  do j = 1, n\n    do i = 1, n\n")
+			fmt.Fprintf(&b, "      %s(i,j) = %s(j,i) * 0.5\n", dst, src)
+			fmt.Fprintf(&b, "    end do\n  end do\n")
+		case 2: // column sweep (carried on j)
+			fmt.Fprintf(&b, "  do j = 2, n\n    do i = 1, n\n")
+			fmt.Fprintf(&b, "      %s(i,j) = %s(i,j) + %s(i,j-1)\n", dst, src, dst)
+			fmt.Fprintf(&b, "    end do\n  end do\n")
+		case 3: // row sweep (carried on i)
+			fmt.Fprintf(&b, "  do j = 1, n\n    do i = 2, n\n")
+			fmt.Fprintf(&b, "      %s(i,j) = %s(i,j) + %s(i-1,j)\n", dst, src, dst)
+			fmt.Fprintf(&b, "    end do\n  end do\n")
+		case 4: // prob-guarded update (exercises the pcfg weighting)
+			fmt.Fprintf(&b, "  do j = 1, n\n    do i = 1, n\n")
+			fmt.Fprintf(&b, "      !prob %.2f\n", 0.1+0.2*float64(rng.Intn(4)))
+			fmt.Fprintf(&b, "      if (%s(i,j) .gt. 0.0) then\n", src)
+			fmt.Fprintf(&b, "        %s(i,j) = %s(i,j) - 1.0\n", dst, src)
+			fmt.Fprintf(&b, "      else\n")
+			fmt.Fprintf(&b, "        %s(i,j) = %s(i,j) + 1.0\n", dst, src)
+			fmt.Fprintf(&b, "      end if\n")
+			fmt.Fprintf(&b, "    end do\n  end do\n")
+		}
+	}
+	fmt.Fprintf(&b, "end\n")
+	return b.String()
+}
+
+// reference is the deterministic observable of one program's analysis.
+type reference struct {
+	hpf     string
+	cost    float64
+	dynamic bool
+	remaps  int
+}
+
+func TestSoakConcurrentChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	const (
+		pool    = 6 // distinct programs (duplicates guaranteed below)
+		clients = 8
+		perEach = 10
+	)
+	rng := rand.New(rand.NewSource(42))
+	programs := make([]string, pool)
+	for i := range programs {
+		programs[i] = genProgram(rng, i)
+	}
+
+	// No-fault reference replay: the certified answer each program must
+	// keep producing under concurrency and store chaos.  (Verification
+	// is automatically on in test binaries on both paths.)
+	refs := make([]reference, pool)
+	for i, src := range programs {
+		req := &core.Request{V: core.WireV1, Source: src, Procs: 8}
+		opt, err := req.BuildOptions()
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		res, err := core.Analyze(t.Context(), core.Input{Source: src}, opt)
+		if err != nil {
+			t.Fatalf("program %d reference analysis: %v\n%s", i, err, src)
+		}
+		refs[i] = reference{hpf: res.EmitHPF(), cost: res.TotalCost, dynamic: res.Dynamic, remaps: len(res.Remaps)}
+	}
+
+	// Chaos at the store sites: the 4th write crashes mid-record and the
+	// 3rd read attempt fails transiently.  Store faults must never fail
+	// an analysis — they degrade to memory-only caching or retry.
+	plan := fault.NewPlan(7).
+		Arm(stage.StoreWrite, fault.Rule{Action: fault.Fail, After: 4}).
+		Arm(stage.StoreRead, fault.Rule{Action: fault.Fail, After: 3})
+	srv := newTestServer(t, Config{StoreDir: t.TempDir(), Fault: plan})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	bodies := make([][]byte, pool)
+	for i, src := range programs {
+		bodies[i] = requestBody(t, &core.Request{V: core.WireV1, Source: src, Procs: 8})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perEach)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Per-client rng: deterministic program choices, heavy overlap
+			// across clients so both dedup and fresh traffic occur.
+			crng := rand.New(rand.NewSource(int64(100 + c)))
+			for r := 0; r < perEach; r++ {
+				i := crng.Intn(pool)
+				hr, err := http.Post(hs.URL+"/v1/analyze", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs <- fmt.Errorf("client %d request %d: %v", c, r, err)
+					return
+				}
+				var resp core.Response
+				decErr := json.NewDecoder(hr.Body).Decode(&resp)
+				hr.Body.Close()
+				if hr.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d request %d (program %d): status %d", c, r, i, hr.StatusCode)
+					continue
+				}
+				if decErr != nil {
+					errs <- fmt.Errorf("client %d request %d: decoding response: %v", c, r, decErr)
+					continue
+				}
+				ref := refs[i]
+				if resp.HPF != ref.hpf || resp.TotalCostUS != ref.cost ||
+					resp.Dynamic != ref.dynamic || len(resp.Remaps) != ref.remaps {
+					errs <- fmt.Errorf("client %d request %d: program %d answer drifted from the certified reference", c, r, i)
+				}
+				// Store chaos may degrade caching; it must never degrade the
+				// solve itself (no budget was set).
+				for _, d := range resp.Degradations {
+					if d.Subsystem != stage.StoreOpen && d.Subsystem != stage.StoreRead && d.Subsystem != stage.StoreWrite {
+						errs <- fmt.Errorf("client %d request %d: non-store degradation %+v under store-only chaos", c, r, d)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The request accounting must balance: every arrival either ran an
+	// analysis, joined one in flight, or was rejected.
+	m := srv.Metrics()
+	total := int64(clients * perEach)
+	if m.RequestsTotal != total {
+		t.Errorf("requests_total = %d, want %d", m.RequestsTotal, total)
+	}
+	if got := m.AnalysesTotal + m.DedupInflightHits + m.RequestsRejected; got != total {
+		t.Errorf("analyses(%d) + dedup(%d) + rejected(%d) = %d, want %d",
+			m.AnalysesTotal, m.DedupInflightHits, m.RequestsRejected, got, total)
+	}
+	if m.RequestsRejected != 0 {
+		t.Errorf("requests_rejected = %d with an unbounded-enough queue", m.RequestsRejected)
+	}
+	if plan.Fired(stage.StoreWrite) == 0 {
+		t.Error("the armed store-write fault never fired during the soak")
+	}
+}
