@@ -41,6 +41,15 @@
 // the exact body layoutd's POST /v1/analyze returns — and -stats emits
 // the run's counters as one "! stats: {...}" JSON line carrying the
 // same core.Stats struct layoutd aggregates under /metrics.
+//
+// -server URL runs the same request remotely against a layoutd
+// daemon through the retrying wire client (exponential backoff with
+// jitter, server Retry-After honored, typed terminal errors surfaced
+// as-is), sharing the daemon's warm caches with every other client.
+// Remote mode supports the same request vocabulary the wire carries —
+// including -json, -stats, -verify, -timeout and -machine-file — and
+// rejects the strictly local flags (-sweep, -spaces, -explain,
+// -store).
 package main
 
 import (
@@ -55,6 +64,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/client"
 	"repro/internal/core"
 )
 
@@ -78,6 +88,7 @@ func main() {
 	doVerify := flag.Bool("verify", false, "independently certify every solver product; a failed certificate exits non-zero with a claimed-vs-recomputed diff")
 	jsonOut := flag.Bool("json", false, "emit the result as a core.Response JSON document (the layoutd wire format) instead of HPF text")
 	sweep := flag.String("sweep", "", "comma-separated processor counts: analyze once, re-tune the layout per count reusing the cached front half (overrides -procs)")
+	server := flag.String("server", "", "analyze remotely against a layoutd at this base URL (e.g. http://localhost:8780) instead of in-process")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -110,6 +121,20 @@ func main() {
 		}
 		req.MachineTable = string(table)
 	}
+	if *server != "" {
+		for flagName, set := range map[string]bool{
+			"-sweep": *sweep != "", "-spaces": *spaces, "-explain": *explain, "-store": *storeDir != "",
+		} {
+			if set {
+				fatal(fmt.Errorf("%s is a local-mode flag and cannot combine with -server (the daemon owns its own store)", flagName))
+			}
+		}
+		if err := runRemote(*server, &req, *jsonOut, *stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	opt, err := req.BuildOptions()
 	if err != nil {
 		fatal(err)
@@ -174,6 +199,48 @@ func main() {
 			fmt.Println("!", line)
 		}
 	}
+}
+
+// runRemote sends the request to a layoutd daemon through the
+// retrying wire client and renders the response.  The wire carries
+// the full request vocabulary (machine table, budget, strict, verify),
+// the client absorbs transient daemon trouble (overload, drain,
+// watchdog kills) with backoff + Retry-After, and terminal typed
+// errors — validation, strict, quarantined — surface exactly once.
+func runRemote(baseURL string, req *core.Request, jsonOut, stats bool) error {
+	c, err := client.New(client.Config{BaseURL: baseURL, Hedge: true})
+	if err != nil {
+		return err
+	}
+	resp, err := c.Analyze(context.Background(), req)
+	if err != nil {
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.Detail != "" {
+			return fmt.Errorf("%w\n  detail: %s", err, strings.ReplaceAll(ae.Detail, "\n", "\n  "))
+		}
+		return err
+	}
+	if jsonOut {
+		b, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", b)
+		return nil
+	}
+	fmt.Print(resp.HPF)
+	fmt.Printf("! analyzed remotely by %s (cost %.3f us)\n", baseURL, resp.TotalCostUS)
+	if stats {
+		b, err := json.Marshal(resp.Stats)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("! stats: %s\n", b)
+	}
+	for _, d := range resp.Degradations {
+		fmt.Printf("! degraded: %s: %s\n", d.Subsystem, d.Detail)
+	}
+	return nil
 }
 
 // printStats emits the run's counters as one machine-readable JSON

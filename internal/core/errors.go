@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/verify"
 )
@@ -67,6 +68,26 @@ type StrictError struct {
 
 func (e *StrictError) Error() string {
 	return fmt.Sprintf("core: strict mode: %s solve degraded: %s", e.Deg.Subsystem, e.Deg.Detail)
+}
+
+// WatchdogError reports an analysis the service watchdog had to shoot:
+// it exceeded Wall — a hard wall-clock multiple of its clamped Budget —
+// without returning, was canceled, and (if it still did not unwind
+// within the grace period) abandoned so its admission slot could be
+// reclaimed.  Stack carries a goroutine dump taken at the trip, so a
+// wedged solver is diagnosable from the error alone.  The wire maps it
+// to KindWatchdog (retryable: the wedge may be load-dependent, and a
+// key that trips the watchdog repeatedly is quarantined like any other
+// crash).
+type WatchdogError struct {
+	Budget time.Duration
+	Wall   time.Duration
+	Stack  []byte
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("core: watchdog: analysis exceeded %v (budget %v, hard wall-clock multiple) and was abandoned",
+		e.Wall, e.Budget)
 }
 
 // CertificationError reports a failed result certificate: with

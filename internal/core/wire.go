@@ -35,6 +35,63 @@ import (
 // Request, Response and Stats value.
 const WireV1 = 1
 
+// The wire error kinds: every non-200 layoutd answer carries exactly
+// one of these stable machine-readable labels in its ErrorBody, and
+// the retrying client (internal/client) branches on them.  Renaming
+// one is a wire break (TestErrorKindsPinned).
+const (
+	// Terminal kinds: the same request will deterministically fail
+	// again, so a client must not retry.
+	KindBadRequest    = "bad_request"   // malformed body, unknown field, version skew
+	KindValidation    = "validation"    // invalid options or directives
+	KindSyntax        = "syntax"        // the program does not parse
+	KindStrict        = "strict"        // strict mode turned a degradation into a failure
+	KindQuarantined   = "quarantined"   // the request key repeatedly crashed the analyzer
+	KindCertification = "certification" // a solver product failed its independent certificate
+
+	// Retryable kinds: the failure is about the server's state, not
+	// the request — a later attempt (or another replica) may succeed.
+	KindOverloaded = "overloaded" // admission shed the request (honor Retry-After)
+	KindDraining   = "draining"   // the replica is draining for shutdown
+	KindWatchdog   = "watchdog"   // the analysis exceeded its hard wall clock and was abandoned
+	KindCanceled   = "canceled"   // the analysis was cut off by server shutdown
+	KindFault      = "fault"      // an injected chaos fault (tests only)
+	KindInternal   = "internal"   // a recovered analyzer panic or encoding failure
+)
+
+// RetryableKind reports whether a wire error kind is worth retrying:
+// true for failures of the server's current state (overload, drain,
+// watchdog abandonment, a possibly-transient crash), false for kinds
+// that deterministically depend on the request itself.  Note that
+// retrying KindInternal/KindFault is bounded server-side: a key that
+// keeps crashing the analyzer is quarantined and the retry then lands
+// on the terminal KindQuarantined.
+func RetryableKind(kind string) bool {
+	switch kind {
+	case KindOverloaded, KindDraining, KindWatchdog, KindCanceled, KindFault, KindInternal:
+		return true
+	}
+	return false
+}
+
+// ErrorBody is the typed JSON error envelope of every non-200 wire
+// answer (layoutd and any future server speak the same envelope; the
+// client decodes it back into a typed error).
+type ErrorBody struct {
+	V     int       `json:"v"`
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo carries the error classification: Kind is one of the
+// stable Kind* labels, Message the human-readable cause, Detail an
+// optional pin — the stage/check of a certification failure, or the
+// goroutine dump of a watchdog abandonment.
+type ErrorInfo struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+}
+
 // WireError reports a request that could not be decoded or mapped to
 // valid options: a malformed body, an unknown field, an unsupported
 // version, or an unknown machine name.  Servers map it to HTTP 400.

@@ -1,0 +1,45 @@
+package core
+
+import "testing"
+
+// TestErrorKindsPinned pins the wire error-kind labels and their retry
+// classification: clients branch on these strings, so renaming one (or
+// flipping its retryability) is a wire break and must bump WireV1.
+func TestErrorKindsPinned(t *testing.T) {
+	terminal := map[string]string{
+		KindBadRequest:    "bad_request",
+		KindValidation:    "validation",
+		KindSyntax:        "syntax",
+		KindStrict:        "strict",
+		KindQuarantined:   "quarantined",
+		KindCertification: "certification",
+	}
+	retryable := map[string]string{
+		KindOverloaded: "overloaded",
+		KindDraining:   "draining",
+		KindWatchdog:   "watchdog",
+		KindCanceled:   "canceled",
+		KindFault:      "fault",
+		KindInternal:   "internal",
+	}
+	for kind, want := range terminal {
+		if kind != want {
+			t.Errorf("terminal kind constant = %q, want %q", kind, want)
+		}
+		if RetryableKind(kind) {
+			t.Errorf("RetryableKind(%q) = true, want false (terminal)", kind)
+		}
+	}
+	for kind, want := range retryable {
+		if kind != want {
+			t.Errorf("retryable kind constant = %q, want %q", kind, want)
+		}
+		if !RetryableKind(kind) {
+			t.Errorf("RetryableKind(%q) = false, want true", kind)
+		}
+	}
+	// Unknown kinds are conservative: never retried.
+	if RetryableKind("no_such_kind") {
+		t.Error("RetryableKind of an unknown kind must be false")
+	}
+}

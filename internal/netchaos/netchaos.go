@@ -1,0 +1,268 @@
+// Package netchaos is a test-only TCP chaos proxy for the layoutd wire
+// path: it sits between a client and a real HTTP server and injects
+// the network's failure vocabulary — refused connections, torn
+// uploads, slow-loris headers, truncated and duplicated responses —
+// on a deterministic per-connection schedule.
+//
+// The proxy speaks real HTTP framing (http.ReadRequest / ReadResponse)
+// rather than splicing bytes, so it can fault at protocol-meaningful
+// points: TornBody drops the connection mid-request-body before the
+// server ever sees the request; TruncateResponse forwards the request,
+// then cuts the response off mid-entity; DuplicateResponse replays the
+// full response twice on one connection.  Every proxied exchange is
+// one-per-connection (Connection: close is forced on forwarded
+// responses), so each connection's fate is exactly one schedule entry
+// and a chaos run replays deterministically.
+//
+// The resilience claim the proxy exists to prove lives in
+// internal/client's tests: a retrying client in front of a layoutd
+// server delivers byte-identical certified results through every one
+// of these failures, or a typed error — never a hang and never a
+// silently wrong answer.
+package netchaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mode is the fate of one proxied connection.
+type Mode int
+
+const (
+	// Pass forwards the exchange faithfully (with Connection: close).
+	Pass Mode = iota
+	// Refuse closes the accepted connection immediately: the client
+	// sees a connect-then-reset, before any bytes.
+	Refuse
+	// TornBody reads part of the request and drops the connection
+	// mid-body.  The server never sees the request — the client must
+	// treat the tear as retryable with no delivered side effects.
+	TornBody
+	// SlowHeaders trickles the response status line and headers a few
+	// bytes at a time before delivering the rest — the slow-loris
+	// shape.  The exchange eventually completes; the client's attempt
+	// timeout (or hedge) bounds the damage.
+	SlowHeaders
+	// TruncateResponse forwards the request but cuts the response off
+	// halfway through the declared entity, so the client sees an
+	// unexpected EOF against Content-Length.
+	TruncateResponse
+	// DuplicateResponse writes the complete response twice on the one
+	// connection.  A correct client parses exactly one and discards the
+	// rest with the closed connection.
+	DuplicateResponse
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Refuse:
+		return "refuse"
+	case TornBody:
+		return "torn-body"
+	case SlowHeaders:
+		return "slow-headers"
+	case TruncateResponse:
+		return "truncate-response"
+	case DuplicateResponse:
+		return "duplicate-response"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Faulty lists every non-Pass mode, for sweeps.
+var Faulty = []Mode{Refuse, TornBody, SlowHeaders, TruncateResponse, DuplicateResponse}
+
+// Proxy is a running chaos proxy.  Create with New; Close releases the
+// listener and waits for in-flight connection handlers.
+type Proxy struct {
+	target   string // host:port of the real server
+	ln       net.Listener
+	schedule []Mode
+
+	mu     sync.Mutex
+	conns  int // accepted connections (schedule cursor)
+	faults int // connections that received a non-Pass fate
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// New starts a proxy on a fresh loopback port in front of target (a
+// "host:port", e.g. the address of an httptest server).  Connection i
+// (0-based, in accept order) receives schedule[i % len(schedule)]; an
+// empty schedule means all-Pass.
+func New(target string, schedule []Mode) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: listen: %w", err)
+	}
+	p := &Proxy{target: target, ln: ln, schedule: schedule, closed: make(chan struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// URL returns the proxy's base URL for an HTTP client.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Connections reports how many connections were accepted.
+func (p *Proxy) Connections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conns
+}
+
+// Faults reports how many connections received a non-Pass fate.
+func (p *Proxy) Faults() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// Close stops accepting and waits for in-flight handlers to finish.
+func (p *Proxy) Close() {
+	close(p.closed)
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return
+			default:
+				// Transient accept failure: keep serving unless closed.
+				continue
+			}
+		}
+		p.mu.Lock()
+		mode := Pass
+		if len(p.schedule) > 0 {
+			mode = p.schedule[p.conns%len(p.schedule)]
+		}
+		p.conns++
+		if mode != Pass {
+			p.faults++
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn, mode)
+		}()
+	}
+}
+
+// handle runs one connection to its scheduled fate.  Exactly one HTTP
+// exchange happens per connection; both sides are closed at the end.
+func (p *Proxy) handle(client net.Conn, mode Mode) {
+	defer client.Close()
+	// A stuck peer must never wedge the proxy: every connection gets a
+	// generous hard deadline.
+	client.SetDeadline(time.Now().Add(2 * time.Minute))
+
+	switch mode {
+	case Refuse:
+		return // deferred Close is the fault
+	case TornBody:
+		// Read a fragment of the request — enough that the client has
+		// committed to the upload — then drop the connection without
+		// ever dialing the server.
+		buf := make([]byte, 64)
+		client.Read(buf)
+		return
+	}
+
+	// The remaining modes need the real exchange: frame the request,
+	// forward it, frame the response.
+	req, err := http.ReadRequest(bufio.NewReader(client))
+	if err != nil {
+		return
+	}
+	// ReadRequest leaves RequestURI set, which Write rejects; the URL
+	// field already carries the path.
+	req.RequestURI = ""
+	req.Close = true
+
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	server.SetDeadline(time.Now().Add(2 * time.Minute))
+	if err := req.Write(server); err != nil {
+		return
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(server), req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	// Force one-exchange-per-connection so the schedule maps 1:1 onto
+	// exchanges and a keep-alive client cannot smuggle a second request
+	// past its connection's fate.
+	resp.Close = true
+	dump, err := httputil.DumpResponse(resp, true)
+	if err != nil {
+		return
+	}
+
+	switch mode {
+	case Pass:
+		client.Write(dump)
+	case SlowHeaders:
+		// Trickle the start of the response (status line + headers land
+		// in the first ~200 bytes) in small chunks, then release the
+		// rest.  Bounded, so a patient client always completes.
+		head := len(dump)
+		if head > 200 {
+			head = 200
+		}
+		for i := 0; i < head; i += 16 {
+			end := i + 16
+			if end > head {
+				end = head
+			}
+			if _, err := client.Write(dump[i:end]); err != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		client.Write(dump[head:])
+	case TruncateResponse:
+		// Cut mid-entity: the headers (with their Content-Length) go
+		// out intact, then the body stops short.
+		cut := headerEnd(dump)
+		cut += (len(dump) - cut) / 2
+		client.Write(dump[:cut])
+	case DuplicateResponse:
+		client.Write(dump)
+		client.Write(dump)
+	}
+}
+
+// headerEnd returns the offset just past the header/body separator of
+// a dumped HTTP message (falling back to half the message when the
+// separator is not found).
+func headerEnd(dump []byte) int {
+	if i := strings.Index(string(dump), "\r\n\r\n"); i >= 0 {
+		return i + 4
+	}
+	return len(dump) / 2
+}

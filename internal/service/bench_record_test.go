@@ -1,0 +1,202 @@
+package service
+
+// BENCH_service.json recorder: drive the server at 2x its measured
+// capacity — once with adaptive shedding off (hard queue bound only)
+// and once with it on — and record goodput, p50/p99 latency of the
+// answers that did land, and the admission counters.  Open-loop
+// arrivals, so queueing delay is real: a closed loop of waiting
+// workers would self-throttle and hide the overload.
+//
+// Regenerate with:
+//
+//	BENCH_SERVICE=1 go test ./internal/service -run TestRecordServiceBench -count=1
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+)
+
+// benchSrc generates a distinct small program per request so neither
+// the singleflight nor any cache layer collapses the load.
+func benchSrc(i int) string {
+	return fmt.Sprintf(`
+program bench
+  parameter (n = 16)
+  real a(n,n), b(n,n)
+  do j = 1, n
+    do i = 1, n
+      a(i,j) = b(i,j) + %d.0
+    end do
+  end do
+  do j = 1, n
+    do i = 1, n
+      b(i,j) = a(j,i) * 2.0
+    end do
+  end do
+end
+`, i%1000+1)
+}
+
+type benchOutcome struct {
+	status  int
+	latency time.Duration
+}
+
+type benchRun struct {
+	Mode             string  `json:"mode"`
+	Requests         int     `json:"requests"`
+	OKs              int     `json:"oks"`
+	Rejected429      int     `json:"rejected_429"`
+	GoodputPerSec    float64 `json:"goodput_per_sec"`
+	P50OKMS          float64 `json:"p50_ok_ms"`
+	P99OKMS          float64 `json:"p99_ok_ms"`
+	P50RejectMS      float64 `json:"p50_reject_ms"`
+	ShedTotal        int64   `json:"shed_total"`
+	RequestsRejected int64   `json:"requests_rejected"`
+	AnalysesTotal    int64   `json:"analyses_total"`
+	DedupHits        int64   `json:"dedup_inflight_hits"`
+	QuarantineRejs   int64   `json:"quarantine_rejections"`
+}
+
+func percentileMS(ds []time.Duration, p float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// benchOverload fires n requests at the given interval (open loop) and
+// summarizes what came back.
+func benchOverload(t *testing.T, srv *Server, mode string, n int, interval time.Duration) benchRun {
+	t.Helper()
+	outcomes := make([]benchOutcome, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		time.Sleep(interval)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := requestBody(t, &core.Request{V: core.WireV1, Source: benchSrc(i), Procs: 8})
+			t0 := time.Now()
+			rec := post(srv, body)
+			outcomes[i] = benchOutcome{status: rec.Code, latency: time.Since(t0)}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var oks, rejects []time.Duration
+	run := benchRun{Mode: mode, Requests: n}
+	for _, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			run.OKs++
+			oks = append(oks, o.latency)
+		case http.StatusTooManyRequests:
+			run.Rejected429++
+			rejects = append(rejects, o.latency)
+		}
+	}
+	run.GoodputPerSec = float64(run.OKs) / elapsed.Seconds()
+	run.P50OKMS = percentileMS(oks, 0.50)
+	run.P99OKMS = percentileMS(oks, 0.99)
+	run.P50RejectMS = percentileMS(rejects, 0.50)
+	m := srv.Metrics()
+	run.ShedTotal = m.ShedTotal
+	run.RequestsRejected = m.RequestsRejected
+	run.AnalysesTotal = m.AnalysesTotal
+	run.DedupHits = m.DedupInflightHits
+	run.QuarantineRejs = m.QuarantineRejections
+	return run
+}
+
+// TestRecordServiceBench regenerates BENCH_service.json.  Gated behind
+// BENCH_SERVICE=1: it holds the machine at 2x overload for several
+// seconds, which is load, not a test.
+//
+// A fixed 5ms floor is added to every flight (via the start hook) so
+// the service time is deterministic enough for an honest 2x arrival
+// rate, and the load is sustained across many shedder observation
+// windows — a burst shorter than one window can only ever hit the
+// hard queue bound, which is exactly the regime the shedder is not
+// for.
+func TestRecordServiceBench(t *testing.T) {
+	if os.Getenv("BENCH_SERVICE") == "" {
+		t.Skip("set BENCH_SERVICE=1 to record BENCH_service.json")
+	}
+
+	const (
+		inflight = 2
+		floor    = 5 * time.Millisecond
+		window   = 150 * time.Millisecond
+		target   = 20 * time.Millisecond
+		n        = 1200
+	)
+	hook := func(artifact.Key) { time.Sleep(floor) }
+
+	// Calibrate: mean sequential service time on this machine, hook
+	// included.
+	cal := newTestServer(t, Config{MaxInFlight: inflight, MaxQueue: 64, QueueTarget: -1})
+	cal.hookFlightStart = hook
+	const calN = 16
+	t0 := time.Now()
+	for i := 0; i < calN; i++ {
+		if rec := post(cal, requestBody(t, &core.Request{V: core.WireV1, Source: benchSrc(i), Procs: 8})); rec.Code != http.StatusOK {
+			t.Fatalf("calibration request %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	serviceTime := time.Since(t0) / calN
+	// 2x overload: arrivals at twice the measured drain capacity.
+	interval := serviceTime / (2 * inflight)
+	t.Logf("calibrated service time %v; arrival interval %v; run %v (%v windows)",
+		serviceTime, interval, time.Duration(n)*interval, float64(n)*float64(interval)/float64(window))
+
+	fixed := newTestServer(t, Config{MaxInFlight: inflight, MaxQueue: 64, QueueTarget: -1})
+	fixed.hookFlightStart = hook
+	fixedRun := benchOverload(t, fixed, "fixed_queue_bound", n, interval)
+
+	adaptive := newTestServer(t, Config{
+		MaxInFlight: inflight,
+		MaxQueue:    64,
+		QueueTarget: target,
+		QueueWindow: window,
+	})
+	adaptive.hookFlightStart = hook
+	adaptiveRun := benchOverload(t, adaptive, "adaptive_codel", n, interval)
+
+	doc := struct {
+		V             int        `json:"v"`
+		Date          string     `json:"date"`
+		Scenario      string     `json:"scenario"`
+		ServiceTimeMS float64    `json:"calibrated_service_time_ms"`
+		Runs          []benchRun `json:"runs"`
+	}{
+		V:             1,
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		Scenario:      "open-loop arrivals at 2x measured capacity, MaxInFlight=2, MaxQueue=64, 1200 distinct requests, 5ms injected service-time floor",
+		ServiceTimeMS: float64(serviceTime) / float64(time.Millisecond),
+		Runs:          []benchRun{fixedRun, adaptiveRun},
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_service.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixed:    %+v", fixedRun)
+	t.Logf("adaptive: %+v", adaptiveRun)
+}

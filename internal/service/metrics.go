@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -22,9 +23,17 @@ type counters struct {
 	requests atomic.Int64 // POST /v1/analyze arrivals
 	ok       atomic.Int64 // 200 responses produced (per flight, not per waiter)
 	failed   atomic.Int64 // typed error responses produced
-	rejected atomic.Int64 // 429 backpressure rejections
+	rejected atomic.Int64 // 429 backpressure rejections (full queue + shed)
 	analyses atomic.Int64 // core.Analyze invocations (the singleflight counter)
 	dedup    atomic.Int64 // requests served by joining an in-flight analysis
+
+	// Resilience accounting (PR 8).
+	shed               atomic.Int64 // 429s issued by the delay-based shedder (subset of rejected)
+	drainRejected      atomic.Int64 // typed 503s issued while draining
+	crashes            atomic.Int64 // crash-shaped flight failures (panic/internal/fault/watchdog)
+	quarantineRejected atomic.Int64 // typed 422s answered from the crash table
+	watchdogTrips      atomic.Int64 // flights that overran their hard wall
+	watchdogAbandoned  atomic.Int64 // tripped flights that would not unwind within grace
 
 	mu     sync.Mutex
 	totals core.Stats // summed Response stats across completed analyses
@@ -123,6 +132,26 @@ type Metrics struct {
 	QueueCapacity    int   `json:"queue_capacity"`
 	InFlight         int64 `json:"inflight"`
 	InFlightCapacity int   `json:"inflight_capacity"`
+	// Adaptive shedding: ShedTotal counts delay-based 429s (a subset of
+	// requests_rejected), Shedding is the live CoDel state, and
+	// DrainRatePerSec the measured completion throughput behind honest
+	// Retry-After values.  DrainRejections counts typed 503s issued
+	// after Drain; Draining mirrors /readyz.
+	ShedTotal       int64   `json:"shed_total"`
+	Shedding        bool    `json:"shedding"`
+	DrainRatePerSec float64 `json:"drain_rate_per_sec"`
+	DrainRejections int64   `json:"drain_rejections"`
+	Draining        bool    `json:"draining"`
+	// Watchdog: trips are flights shot past their hard wall; abandoned
+	// are trips whose goroutine would not unwind within the grace.
+	WatchdogTrips     int64 `json:"watchdog_trips"`
+	WatchdogAbandoned int64 `json:"watchdog_abandoned"`
+	// Quarantine: CrashesTotal counts crash-shaped flight failures,
+	// QuarantinedKeys the live crash-table population, and
+	// QuarantineRejections the typed 422s answered without running.
+	CrashesTotal         int64 `json:"crashes_total"`
+	QuarantinedKeys      int   `json:"quarantined_keys"`
+	QuarantineRejections int64 `json:"quarantine_rejections"`
 	// Totals aggregates the per-run core.Stats (stage times, cache
 	// traffic, solver effort) across every completed analysis.
 	Totals core.Stats `json:"totals"`
@@ -140,6 +169,8 @@ type Metrics struct {
 func (s *Server) Metrics() Metrics {
 	totals := s.m.snapshotTotals()
 	rate := func(st core.CacheStats) float64 { return st.HitRate() }
+	now := time.Now()
+	shedding, drainRate := s.shed.snapshot(now, int(s.queued.Load()))
 	m := Metrics{
 		V:                 core.WireV1,
 		RequestsTotal:     s.m.requests.Load(),
@@ -152,7 +183,21 @@ func (s *Server) Metrics() Metrics {
 		QueueCapacity:     s.cfg.MaxQueue,
 		InFlight:          s.inflight.Load(),
 		InFlightCapacity:  s.cfg.MaxInFlight,
-		Totals:            totals,
+
+		ShedTotal:       s.m.shed.Load(),
+		Shedding:        shedding,
+		DrainRatePerSec: drainRate,
+		DrainRejections: s.m.drainRejected.Load(),
+		Draining:        s.Draining(),
+
+		WatchdogTrips:     s.m.watchdogTrips.Load(),
+		WatchdogAbandoned: s.m.watchdogAbandoned.Load(),
+
+		CrashesTotal:         s.m.crashes.Load(),
+		QuarantinedKeys:      s.crashes.quarantined(now),
+		QuarantineRejections: s.m.quarantineRejected.Load(),
+
+		Totals: totals,
 		CacheHitRates: map[string]float64{
 			"l1_pricing":   rate(totals.Cache.Pricing),
 			"l1_remap":     rate(totals.Cache.Remap),

@@ -6,7 +6,7 @@
 //
 // # Request lifecycle
 //
-//		decode → key → singleflight → admit → session → respond
+//		decode → key → singleflight → quarantine → admit → watchdog(session) → respond
 //
 //	 1. decode: the body is decoded with core.DecodeRequest (unknown
 //	    fields, bad versions and malformed JSON are typed 400s) and
@@ -19,26 +19,48 @@
 //	    analysis; every waiter receives the leader's response bytes, so
 //	    deduplicated answers are byte-identical by construction.
 //	    Distinct keys never wait on each other (each is its own flight).
-//	 4. admit: only flight leaders consume admission slots.  Up to
-//	    MaxInFlight analyses run; up to MaxQueue leaders wait in a
-//	    bounded queue; beyond that the server answers 429 with a
-//	    Retry-After header.  Waiting on a full pipeline never wedges
-//	    in-flight work — rejected flights are answered immediately.
-//	 5. session: the analysis runs under core.Analyze with the server's
-//	    shared cache and store injected; per-request budgets go through
-//	    the same Options.Timeout machinery as the CLI, so an exhausted
-//	    budget degrades gracefully (typed entries in
-//	    Response.Degradations), never fails the request.
-//	 6. respond: the Result is rendered to a core.Response; errors map
-//	    to typed JSON bodies with deterministic HTTP statuses.
+//	 4. quarantine: a key that repeatedly crashed the analyzer (recovered
+//	    panic, internal error, watchdog abandonment) is answered with an
+//	    immediate typed 422 (core.KindQuarantined) for a TTL instead of
+//	    being retried into the analyzer again (the crash table,
+//	    quarantine.go).
+//	 5. admit: only flight leaders consume admission slots.  Up to
+//	    MaxInFlight analyses run; leaders beyond that wait in a bounded
+//	    queue — but admission is delay-based, not just depth-based: when
+//	    the observed standing queueing delay exceeds the CoDel-style
+//	    target, new leaders are shed early with 429 and an honest
+//	    Retry-After computed from the measured drain rate (shed.go).  A
+//	    draining server sheds everything with a typed 503.
+//	 6. watchdog(session): the analysis runs on its own goroutine under
+//	    core.Analyze with the server's shared cache and store injected;
+//	    per-request budgets go through the same Options.Timeout
+//	    machinery as the CLI, so an exhausted budget degrades gracefully.
+//	    A flight that overruns a hard wall-clock multiple of its clamped
+//	    budget is shot by the watchdog: canceled, stack-dumped into the
+//	    error detail, and — if it will not unwind — abandoned, so a
+//	    wedged solver can never leak an admission slot (watchdog.go).
+//	 7. respond: the Result is rendered to a core.Response; errors map
+//	    to typed JSON bodies (core.ErrorBody) with deterministic HTTP
+//	    statuses, and crash-shaped failures feed the quarantine table.
+//
+// # Lifecycle
+//
+// GET /healthz is pure liveness: 200 while the process can serve
+// bytes.  GET /readyz is readiness: 503 once the server is draining
+// (or its store directory has vanished), 200 otherwise — a load
+// balancer stops routing here while in-flight work completes.  Drain
+// begins with Server.Drain (cmd/layoutd calls it on SIGTERM) and
+// Close finishes it: new work is shed, running flights get
+// DrainTimeout to complete, only then is the store closed and synced —
+// a racing flight can never write to a closing store.
 //
 // # Metrics
 //
-// GET /metrics serves a Metrics snapshot: request/queue/dedup
-// counters, per-stage wall clock, L1/L2/L3 cache traffic and hit
-// rates, solver effort, and the shared-cache and store snapshots.  The
-// per-run counters aggregate the same core.Stats struct every
-// Response (and the CLI's -stats line) carries.
+// GET /metrics serves a Metrics snapshot: request/queue/dedup/shed/
+// quarantine/watchdog counters, per-stage wall clock, L1/L2/L3 cache
+// traffic and hit rates, solver effort, and the shared-cache and store
+// snapshots.  The per-run counters aggregate the same core.Stats
+// struct every Response (and the CLI's -stats line) carries.
 package service
 
 import (
@@ -47,6 +69,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,10 +87,45 @@ import (
 type Config struct {
 	// MaxInFlight bounds concurrently running analyses (0 ⇒ NumCPU).
 	MaxInFlight int
-	// MaxQueue bounds flight leaders waiting for an admission slot;
-	// a leader beyond the bound is answered 429 immediately (0 ⇒ 64,
-	// negative ⇒ no queue: reject as soon as MaxInFlight is busy).
+	// MaxQueue bounds flight leaders waiting for an admission slot —
+	// the hard depth backstop behind the delay-based shedder; a leader
+	// beyond the bound is answered 429 immediately (0 ⇒ 64, negative ⇒
+	// no queue: reject as soon as MaxInFlight is busy).
 	MaxQueue int
+	// QueueTarget is the CoDel-style standing queueing-delay target:
+	// when the minimum admission delay over a whole QueueWindow stays
+	// above it, new leaders are shed early with 429 + an honest
+	// Retry-After from the measured drain rate (0 ⇒ 50ms, negative ⇒
+	// adaptive shedding off, fixed bounds only).
+	QueueTarget time.Duration
+	// QueueWindow is the shedder's observation interval (0 ⇒ 1s).
+	QueueWindow time.Duration
+	// WatchdogMultiple is the hard wall-clock bound on one analysis as
+	// a multiple of its clamped budget: wall = WatchdogFloor +
+	// WatchdogMultiple × budget.  A flight past its wall is canceled,
+	// stack-dumped and its slot reclaimed (0 ⇒ 8, negative ⇒ watchdog
+	// off).  Unbudgeted requests have no wall — give every request a
+	// budget via DefaultTimeout/MaxTimeout to arm the watchdog fully.
+	WatchdogMultiple int
+	// WatchdogFloor is added to every wall so microscopic budgets (a
+	// 1ns degradation probe) are not instant trips (0 ⇒ 2s).
+	WatchdogFloor time.Duration
+	// WatchdogGrace is how long a tripped flight may unwind after
+	// cancellation before its goroutine is abandoned (0 ⇒ 1s).
+	WatchdogGrace time.Duration
+	// QuarantineAfter is how many crashes (recovered panics, internal
+	// errors, watchdog abandonments) a request key is allowed before it
+	// is quarantined (0 ⇒ 2, negative ⇒ quarantine off).
+	QuarantineAfter int
+	// QuarantineTTL is how long a quarantined key is rejected with a
+	// typed 422 before it earns a fresh start (0 ⇒ 5m).
+	QuarantineTTL time.Duration
+	// QuarantineCap bounds the crash table (0 ⇒ 1024 keys; the oldest
+	// crasher is evicted beyond that).
+	QuarantineCap int
+	// DrainTimeout bounds how long Close waits for in-flight flights
+	// to complete before cutting them off and closing the store (0 ⇒ 15s).
+	DrainTimeout time.Duration
 	// CacheCapacity bounds the process-wide shared cache entries
 	// (0 ⇒ core.DefaultSharedCapacity).
 	CacheCapacity int
@@ -86,8 +144,9 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes bounds the request body (0 ⇒ 16 MiB).
 	MaxBodyBytes int64
-	// Fault arms the chaos fault-injection plan on every request and
-	// on the server-opened store (nil outside tests).
+	// Fault arms the chaos fault-injection plan on every request, on
+	// the server-opened store, and at the service-flight site (nil
+	// outside tests).
 	Fault *fault.Plan
 }
 
@@ -97,6 +156,33 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueue == 0 {
 		c.MaxQueue = 64
+	}
+	if c.QueueTarget == 0 {
+		c.QueueTarget = 50 * time.Millisecond
+	}
+	if c.QueueWindow <= 0 {
+		c.QueueWindow = time.Second
+	}
+	if c.WatchdogMultiple == 0 {
+		c.WatchdogMultiple = 8
+	}
+	if c.WatchdogFloor <= 0 {
+		c.WatchdogFloor = 2 * time.Second
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = time.Second
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 2
+	}
+	if c.QuarantineTTL <= 0 {
+		c.QuarantineTTL = 5 * time.Minute
+	}
+	if c.QuarantineCap <= 0 {
+		c.QuarantineCap = 1024
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
@@ -111,8 +197,18 @@ type flight struct {
 	done       chan struct{}
 	status     int
 	body       []byte
-	retryAfter string // non-empty on 429
+	retryAfter string // non-empty on 429/503 rejections
 }
+
+// admitResult is the admission decision for one flight leader.
+type admitResult int
+
+const (
+	admitOK       admitResult = iota
+	admitDraining             // server is draining: typed 503
+	admitShed                 // standing queue delay over target: typed 429
+	admitFull                 // hard queue bound reached: typed 429
+)
 
 // Server multiplexes layout-analysis requests.  Create with NewServer;
 // it implements http.Handler.
@@ -123,13 +219,25 @@ type Server struct {
 	ownStore bool
 
 	// baseCtx outlives any single request: a flight with waiters must
-	// finish even if the leader's client disconnects.  Close cancels it.
+	// finish even if the leader's client disconnects.  Close cancels it
+	// only after the drain wait, so flights finish before the store dies.
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
+	// draining flips once (Drain); drainCh unblocks queued leaders.
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
 	sem      chan struct{} // admission slots (MaxInFlight)
 	queued   atomic.Int64  // leaders waiting for a slot
-	inflight atomic.Int64  // analyses currently running
+	inflight atomic.Int64  // analyses currently running (admitted flights)
+	running  gauge         // live analysis goroutines, incl. watchdog-abandoned ones
+
+	shed    *shedder
+	crashes *crashTable
 
 	mu      sync.Mutex
 	flights map[artifact.Key]*flight
@@ -154,6 +262,9 @@ func NewServer(cfg Config) (*Server, error) {
 		cache:   core.NewSharedCache(cfg.CacheCapacity),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		flights: map[artifact.Key]*flight{},
+		drainCh: make(chan struct{}),
+		shed:    newShedder(cfg.QueueTarget, cfg.QueueWindow),
+		crashes: newCrashTable(cfg.QuarantineAfter, cfg.QuarantineTTL, cfg.QuarantineCap),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	switch {
@@ -170,19 +281,50 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close cancels every in-flight analysis and closes a server-owned
-// store.  Idempotent.
-func (s *Server) Close() error {
-	s.cancel()
-	if s.ownStore && s.store != nil {
-		st := s.store
-		s.store = nil
-		return st.Close()
-	}
-	return nil
+// Drain flips the server into drain mode: /readyz answers 503, new
+// flights are shed with a typed 503 (core.KindDraining), queued
+// leaders are bounced, and in-flight analyses keep running to
+// completion.  Idempotent; Close implies it.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
 }
 
-// ServeHTTP routes the three endpoints.
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the number of currently running analyses, for
+// drain-progress logging.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Close is the crash-only exit path: drain, wait for in-flight
+// flights (bounded by DrainTimeout), only then cancel stragglers and
+// close a server-owned store — so a racing flight can never write to
+// a closing store, and a clean shutdown leaves the L3 fully synced.
+// Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.Drain()
+		idle := s.running.waitZero(s.cfg.DrainTimeout)
+		s.cancel()
+		if !idle {
+			// Stragglers were cut off; give the cancellation one grace
+			// period to unwind before the store goes away under them.
+			// (A store racing a truly wedged, watchdog-abandoned flight
+			// still degrades rather than fails — but a clean drain never
+			// relies on that.)
+			s.running.waitZero(s.cfg.WatchdogGrace)
+		}
+		if s.ownStore && s.store != nil {
+			s.closeErr = s.store.Close()
+		}
+	})
+	return s.closeErr
+}
+
+// ServeHTTP routes the endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/v1/analyze" && r.Method == http.MethodPost:
@@ -193,21 +335,59 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
 		s.handleMetrics(w)
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
+		// Pure liveness: the process is up and serving bytes.
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"v":%d,"ok":true}`+"\n", core.WireV1)
+	case r.URL.Path == "/readyz" && r.Method == http.MethodGet:
+		s.handleReadyz(w)
 	default:
 		s.writeError(w, http.StatusNotFound, "not_found", "unknown endpoint "+r.URL.Path, "")
 	}
 }
 
+// handleReadyz is the readiness probe: 503 while draining or when the
+// configured store directory has vanished out from under the process,
+// 200 otherwise.  (Store *IO* trouble still degrades per request and
+// keeps the replica ready — only a missing store or a drain should
+// pull it out of rotation.)
+func (s *Server) handleReadyz(w http.ResponseWriter) {
+	type readyz struct {
+		V        int    `json:"v"`
+		Ready    bool   `json:"ready"`
+		Draining bool   `json:"draining"`
+		InFlight int64  `json:"inflight"`
+		StoreOK  bool   `json:"store_ok"`
+		Detail   string `json:"detail,omitempty"`
+	}
+	rz := readyz{V: core.WireV1, Ready: true, Draining: s.Draining(), InFlight: s.InFlight(), StoreOK: true}
+	if st := s.store; st != nil {
+		if _, err := os.Stat(st.Dir()); err != nil {
+			rz.StoreOK = false
+			rz.Ready = false
+			rz.Detail = "store directory unavailable: " + err.Error()
+		}
+	}
+	if rz.Draining {
+		rz.Ready = false
+		if rz.Detail == "" {
+			rz.Detail = "draining"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !rz.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(rz)
+}
+
 // handleAnalyze is the request lifecycle: decode → key → singleflight
-// → admit → session → respond.
+// → quarantine → admit → watchdog(session) → respond.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
 	req, err := core.DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.m.failed.Add(1)
-		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error(), "")
+		s.writeError(w, http.StatusBadRequest, core.KindBadRequest, err.Error(), "")
 		return
 	}
 	opt, err := req.BuildOptions()
@@ -249,9 +429,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.writeFlight(w, f)
 }
 
-// runFlight is the leader's path: admission, analysis, rendering.  It
-// always finishes the flight (fills the response, deregisters the key,
-// closes done), so waiters can never hang on it.
+// runFlight is the leader's path: quarantine, admission, the
+// watchdogged analysis, rendering.  It always finishes the flight
+// (fills the response, deregisters the key, closes done), so waiters
+// can never hang on it.
 func (s *Server) runFlight(f *flight, key artifact.Key, req *core.Request, opt core.Options) {
 	defer func() {
 		s.mu.Lock()
@@ -259,17 +440,54 @@ func (s *Server) runFlight(f *flight, key artifact.Key, req *core.Request, opt c
 		s.mu.Unlock()
 		close(f.done)
 	}()
-	if !s.admit() {
-		s.m.rejected.Add(1)
-		f.status = http.StatusTooManyRequests
+
+	// Poisoned-key quarantine: a key that keeps crashing the analyzer
+	// is rejected before it can consume a slot, let alone crash again.
+	if until, crashes, blocked := s.crashes.blocked(key, time.Now()); blocked {
+		s.m.quarantineRejected.Add(1)
+		f.status = http.StatusUnprocessableEntity
+		f.body = errorBody(core.KindQuarantined,
+			fmt.Sprintf("request crashed the analyzer %d time(s) and is quarantined for another %s",
+				crashes, time.Until(until).Round(time.Second)), "")
+		return
+	}
+
+	switch s.admit() {
+	case admitDraining:
+		s.m.drainRejected.Add(1)
+		f.status = http.StatusServiceUnavailable
 		f.retryAfter = "1"
-		f.body = errorBody("overloaded",
+		f.body = errorBody(core.KindDraining, "server is draining for shutdown", "")
+		return
+	case admitShed:
+		s.m.rejected.Add(1)
+		s.m.shed.Add(1)
+		ra := s.shed.retryAfter(time.Now(), int(s.queued.Load()))
+		f.status = http.StatusTooManyRequests
+		f.retryAfter = fmt.Sprintf("%d", ra)
+		f.body = errorBody(core.KindOverloaded,
+			fmt.Sprintf("standing queueing delay over target (%v); retry after ~%ds", s.cfg.QueueTarget, ra), "")
+		return
+	case admitFull:
+		s.m.rejected.Add(1)
+		ra := s.shed.retryAfter(time.Now(), int(s.queued.Load()))
+		f.status = http.StatusTooManyRequests
+		f.retryAfter = fmt.Sprintf("%d", ra)
+		f.body = errorBody(core.KindOverloaded,
 			fmt.Sprintf("analysis queue full (%d running, %d queued)", s.cfg.MaxInFlight, s.cfg.MaxQueue), "")
 		return
 	}
 	defer func() { <-s.sem }()
+	// running covers the whole admitted section (admission → response
+	// rendered), so Close's drain-wait cannot close the store under a
+	// flight that is about to write to it.  The analysis goroutine holds
+	// its own increment, which outlives this frame if the watchdog
+	// abandons it — the zombie is still visible to the drain wait.
+	s.running.add(1)
+	defer s.running.add(-1)
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	defer s.shed.noteCompletion(time.Now())
 	if hook := s.hookFlightStart; hook != nil {
 		hook(key)
 	}
@@ -280,20 +498,24 @@ func (s *Server) runFlight(f *flight, key artifact.Key, req *core.Request, opt c
 	opt.Store = s.store
 	opt.Fault = s.cfg.Fault
 	s.m.analyses.Add(1)
-	res, err := core.Analyze(s.baseCtx, core.Input{Source: req.Source}, opt)
-	if err != nil {
+	o := s.runAnalysis(req, opt)
+	if o.err != nil {
+		if crashShaped(o.err) {
+			s.m.crashes.Add(1)
+			s.crashes.record(key, time.Now())
+		}
 		s.m.failed.Add(1)
-		status, kind := classify(err)
+		status, kind := classify(o.err)
 		f.status = status
-		f.body = errorBody(kind, err.Error(), detailOf(err))
+		f.body = errorBody(kind, o.err.Error(), detailOf(o.err))
 		return
 	}
-	s.m.addResult(res)
-	body, err := json.Marshal(core.NewResponse(res))
+	s.m.addResult(o.res)
+	body, err := json.Marshal(core.NewResponse(o.res))
 	if err != nil {
 		s.m.failed.Add(1)
 		f.status = http.StatusInternalServerError
-		f.body = errorBody("internal", fmt.Sprintf("encoding response: %v", err), "")
+		f.body = errorBody(core.KindInternal, fmt.Sprintf("encoding response: %v", err), "")
 		return
 	}
 	s.m.ok.Add(1)
@@ -301,30 +523,54 @@ func (s *Server) runFlight(f *flight, key artifact.Key, req *core.Request, opt c
 	f.body = append(body, '\n')
 }
 
-// admit acquires an analysis slot, waiting in the bounded queue when
-// the pipeline is busy.  false means the caller must answer 429.
-// Waiting is bounded by server shutdown, never by another request's
-// client: queue occupants hold no locks and block nothing in flight.
-func (s *Server) admit() bool {
+// admit acquires an analysis slot.  The fast path takes a free slot;
+// otherwise the leader is shed (draining, standing delay over target,
+// or hard queue bound) or waits in the bounded queue.  Waiting is
+// bounded by drain/shutdown, never by another request's client: queue
+// occupants hold no locks and block nothing in flight.
+func (s *Server) admit() admitResult {
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		s.shed.noteAdmit(time.Now(), 0, int(s.queued.Load()))
+		return admitOK
 	default:
 	}
+	if s.Draining() {
+		return admitDraining
+	}
+	if s.cfg.QueueTarget >= 0 && s.shed.shouldShed(time.Now(), int(s.queued.Load())) {
+		return admitShed
+	}
 	if s.cfg.MaxQueue < 0 {
-		return false
+		return admitFull
 	}
 	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
-		return false
+		return admitFull
 	}
 	defer s.queued.Add(-1)
+	t0 := time.Now()
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		s.shed.noteAdmit(time.Now(), time.Since(t0), int(s.queued.Load()-1))
+		return admitOK
+	case <-s.drainCh:
+		return admitDraining
 	case <-s.baseCtx.Done():
-		return false
+		return admitDraining
 	}
+}
+
+// crashShaped reports whether a flight error counts as a crash for the
+// quarantine table: a recovered panic (internal error), an injected
+// service/pipeline fault, or a watchdog abandonment.  Degradations,
+// strict failures, validation and certification errors are NOT crashes
+// — they are the pipeline working as specified.
+func crashShaped(err error) bool {
+	var ie *core.InternalError
+	var fe *fault.Error
+	var we *core.WatchdogError
+	return errors.As(err, &ie) || errors.As(err, &fe) || errors.As(err, &we)
 }
 
 // writeFlight writes a finished flight's shared bytes.
@@ -337,20 +583,12 @@ func (s *Server) writeFlight(w http.ResponseWriter, f *flight) {
 	w.Write(f.body)
 }
 
-// ErrorBody is the typed JSON error envelope of every non-200 answer.
-type ErrorBody struct {
-	V     int       `json:"v"`
-	Error ErrorInfo `json:"error"`
-}
-
-// ErrorInfo carries the error classification: Kind is a stable
-// machine-readable label, Message the human-readable cause, Detail an
-// optional stage/check pin (certification failures).
-type ErrorInfo struct {
-	Kind    string `json:"kind"`
-	Message string `json:"message"`
-	Detail  string `json:"detail,omitempty"`
-}
+// ErrorBody and ErrorInfo are the wire error envelope, shared with the
+// client through package core.
+type (
+	ErrorBody = core.ErrorBody
+	ErrorInfo = core.ErrorInfo
+)
 
 func errorBody(kind, msg, detail string) []byte {
 	b, err := json.Marshal(ErrorBody{V: core.WireV1, Error: ErrorInfo{Kind: kind, Message: msg, Detail: detail}})
@@ -375,33 +613,41 @@ func classify(err error) (int, string) {
 	var se *fortran.SyntaxError
 	var ste *core.StrictError
 	var ce *core.CertificationError
+	var wde *core.WatchdogError
 	var fe *fault.Error
 	switch {
 	case errors.As(err, &we):
-		return http.StatusBadRequest, "bad_request"
+		return http.StatusBadRequest, core.KindBadRequest
 	case errors.As(err, &ve):
-		return http.StatusBadRequest, "validation"
+		return http.StatusBadRequest, core.KindValidation
 	case errors.As(err, &se):
-		return http.StatusBadRequest, "syntax"
+		return http.StatusBadRequest, core.KindSyntax
 	case errors.As(err, &ste):
-		return http.StatusUnprocessableEntity, "strict"
+		return http.StatusUnprocessableEntity, core.KindStrict
 	case errors.As(err, &ce):
-		return http.StatusInternalServerError, "certification"
+		return http.StatusInternalServerError, core.KindCertification
+	case errors.As(err, &wde):
+		return http.StatusServiceUnavailable, core.KindWatchdog
 	case errors.As(err, &fe):
-		return http.StatusInternalServerError, "fault"
+		return http.StatusInternalServerError, core.KindFault
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable, "canceled"
+		return http.StatusServiceUnavailable, core.KindCanceled
 	default:
-		return http.StatusInternalServerError, "internal"
+		return http.StatusInternalServerError, core.KindInternal
 	}
 }
 
-// detailOf extracts the stage/check pin of a certification failure for
-// the error envelope's detail field.
+// detailOf extracts the diagnostic pin for the error envelope's detail
+// field: the stage/check of a certification failure, or the goroutine
+// dump of a watchdog trip.
 func detailOf(err error) string {
 	var ce *core.CertificationError
 	if errors.As(err, &ce) {
 		return fmt.Sprintf("%s/%s", ce.Stage, ce.Check)
+	}
+	var we *core.WatchdogError
+	if errors.As(err, &we) {
+		return string(we.Stack)
 	}
 	return ""
 }

@@ -514,6 +514,9 @@ func TestMetricsInventory(t *testing.T) {
 		`"queue_depth"`, `"queue_capacity"`, `"inflight"`, `"inflight_capacity"`,
 		`"totals"`, `"stage_us"`, `"cache_hit_rates"`, `"l3_store"`,
 		`"solver"`, `"lp_pivots"`, `"shared_cache"`, `"store"`, `"quarantined"`,
+		`"shed_total"`, `"shedding"`, `"drain_rate_per_sec"`, `"drain_rejections"`, `"draining"`,
+		`"watchdog_trips"`, `"watchdog_abandoned"`,
+		`"crashes_total"`, `"quarantined_keys"`, `"quarantine_rejections"`,
 	} {
 		if !strings.Contains(raw, name) {
 			t.Errorf("/metrics document missing %s", name)

@@ -1,0 +1,165 @@
+package service
+
+// Adaptive load shedding: CoDel-style queue-delay-based admission.
+//
+// The fixed queue bound of PR 7 answered "how many leaders may wait"
+// but not "how long is waiting worth it" — under sustained overload a
+// deep-but-legal queue serves every request late, which for an
+// interactive layout assistant is as bad as not serving it.  The
+// shedder instead watches the *standing* queueing delay, the CoDel
+// signal: a burst that drains within one observation window is
+// tolerated (its minimum delay touches zero or stays under the
+// target), while a queue whose minimum admission delay stays above the
+// target for a whole window means throughput is saturated, and new
+// leaders are shed early with an honest Retry-After computed from the
+// measured drain rate rather than a constant.
+//
+// The shedder is pure bookkeeping over caller-supplied timestamps, so
+// its unit tests run on a synthetic clock and are fully deterministic.
+
+import (
+	"sync"
+	"time"
+)
+
+// shedder tracks queue delay and completion throughput and decides
+// when admission should shed.  All methods take the current time so
+// tests can drive a synthetic clock; the zero value is unusable — use
+// newShedder.
+type shedder struct {
+	mu sync.Mutex
+	// target is the acceptable standing queueing delay; window is the
+	// observation interval over which the minimum delay is tracked.
+	target, window time.Duration
+
+	windowStart time.Time
+	minDelay    time.Duration
+	sawAdmit    bool // an admission happened in the current window
+	shedding    bool
+
+	// completions is a ring of recent flight-completion timestamps,
+	// the drain-rate measurement behind honest Retry-After values.
+	completions []time.Time
+	compNext    int
+	compFull    bool
+}
+
+// completionWindow bounds the drain-rate measurement ring.
+const completionWindow = 64
+
+func newShedder(target, window time.Duration) *shedder {
+	return &shedder{target: target, window: window, completions: make([]time.Time, completionWindow)}
+}
+
+// roll closes the observation window if it has elapsed and derives the
+// next shedding state from what the window saw.  Callers hold mu.
+func (sh *shedder) roll(now time.Time, queued int) {
+	if sh.windowStart.IsZero() {
+		sh.windowStart = now
+		return
+	}
+	if now.Sub(sh.windowStart) < sh.window {
+		return
+	}
+	switch {
+	case sh.sawAdmit:
+		// The standing delay is the *minimum* a leader waited this
+		// window: a drained burst touches a low minimum and keeps
+		// admission open; a saturated queue keeps even its luckiest
+		// leader waiting past the target.
+		sh.shedding = sh.minDelay > sh.target
+	default:
+		// No admission for a whole window: either the server is idle
+		// (no queue — stop shedding) or the queue is wedged solid
+		// (leaders waiting, zero throughput — definitely shed).
+		sh.shedding = queued > 0
+	}
+	sh.windowStart = now
+	sh.minDelay = 0
+	sh.sawAdmit = false
+}
+
+// noteAdmit records that a leader received a slot after waiting d
+// (zero for a free-slot fast path admission).
+func (sh *shedder) noteAdmit(now time.Time, d time.Duration, queued int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.roll(now, queued)
+	if !sh.sawAdmit || d < sh.minDelay {
+		sh.minDelay = d
+	}
+	sh.sawAdmit = true
+}
+
+// noteCompletion records one finished flight for the drain rate.
+func (sh *shedder) noteCompletion(now time.Time) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.completions[sh.compNext] = now
+	sh.compNext++
+	if sh.compNext == len(sh.completions) {
+		sh.compNext = 0
+		sh.compFull = true
+	}
+}
+
+// shouldShed reports whether a new leader that found no free slot
+// should be shed instead of queued.
+func (sh *shedder) shouldShed(now time.Time, queued int) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.roll(now, queued)
+	return sh.shedding
+}
+
+// drainRate returns the measured completions per second (0 when fewer
+// than two completions have been observed).  Callers hold mu.
+func (sh *shedder) drainRate(now time.Time) float64 {
+	n := sh.compNext
+	if sh.compFull {
+		n = len(sh.completions)
+	}
+	if n < 2 {
+		return 0
+	}
+	oldest := sh.completions[0]
+	if sh.compFull {
+		oldest = sh.completions[sh.compNext] // ring: next slot holds the oldest
+	}
+	newest := sh.completions[(sh.compNext-1+len(sh.completions))%len(sh.completions)]
+	span := newest.Sub(oldest)
+	if span <= 0 {
+		return 0
+	}
+	return float64(n-1) / span.Seconds()
+}
+
+// retryAfter estimates, in whole seconds (≥ 1), how long until the
+// present queue has drained at the measured rate — the honest value
+// behind a 429's Retry-After header.  With no throughput measurement
+// yet it answers 1 rather than inventing a number.
+func (sh *shedder) retryAfter(now time.Time, queued int) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rate := sh.drainRate(now)
+	if rate <= 0 {
+		return 1
+	}
+	secs := int(float64(queued+1)/rate + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// snapshot returns the current shedding state and measured drain rate
+// for /metrics.
+func (sh *shedder) snapshot(now time.Time, queued int) (shedding bool, rate float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.roll(now, queued)
+	return sh.shedding, sh.drainRate(now)
+}

@@ -187,9 +187,11 @@ func TestSoakConcurrentChaos(t *testing.T) {
 	if m.RequestsTotal != total {
 		t.Errorf("requests_total = %d, want %d", m.RequestsTotal, total)
 	}
-	if got := m.AnalysesTotal + m.DedupInflightHits + m.RequestsRejected; got != total {
-		t.Errorf("analyses(%d) + dedup(%d) + rejected(%d) = %d, want %d",
-			m.AnalysesTotal, m.DedupInflightHits, m.RequestsRejected, got, total)
+	if got := m.AnalysesTotal + m.DedupInflightHits + m.RequestsRejected +
+		m.DrainRejections + m.QuarantineRejections; got != total {
+		t.Errorf("analyses(%d) + dedup(%d) + rejected(%d) + drain(%d) + quarantine(%d) = %d, want %d",
+			m.AnalysesTotal, m.DedupInflightHits, m.RequestsRejected,
+			m.DrainRejections, m.QuarantineRejections, got, total)
 	}
 	if m.RequestsRejected != 0 {
 		t.Errorf("requests_rejected = %d with an unbounded-enough queue", m.RequestsRejected)

@@ -67,6 +67,18 @@ const (
 	StoreWrite = "store-write"
 )
 
+// ServiceFlight is the service layer's per-flight injection site
+// (internal/service): it fires on the flight leader's analysis
+// goroutine right before core.Analyze launches, inside the service's
+// own panic-recovery boundary, so chaos tests can crash (Panic), fail
+// (Fail) or wedge (Delay) a whole flight and assert the server's
+// crash-only behaviour — slot recovery by the watchdog, poisoned-key
+// quarantine, typed error envelopes.  It is deliberately NOT part of
+// All: All enumerates the core analysis pipeline swept by core's chaos
+// matrix, and this site only exists under a running server (the
+// service and client chaos suites sweep it instead).
+const ServiceFlight = "service-flight"
+
 // All lists every stage in execution order; chaos sweeps iterate it so
 // a newly added stage is exercised automatically.
 var All = []string{Parse, Dep, AlignSolve, SpaceBuild, Pricing, ILPRoot, BBNode, Selection, Cache, CacheShared, StoreOpen, StoreRead, StoreWrite}
