@@ -37,6 +37,15 @@
 // quarantined under DIR/quarantine/ and the run degrades to
 // memory-only caching, reported as "! degraded:" lines.
 //
+// -watch FILE.f is the interactive assistant loop: the tool keeps
+// running, polls the file for edits, and re-analyzes each saved
+// version through the incremental session (core.Session.Update) — a
+// one-phase edit replays only the artifacts downstream of that phase,
+// and each edit prints the new layout plus a replayed-vs-reused
+// summary line.  A save that does not parse is reported as a comment
+// and the previous analysis stays current; -stats adds the full
+// counter line per edit.
+//
 // -json swaps the HPF text for the versioned core.Response document —
 // the exact body layoutd's POST /v1/analyze returns — and -stats emits
 // the run's counters as one "! stats: {...}" JSON line carrying the
@@ -63,6 +72,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -89,7 +99,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as a core.Response JSON document (the layoutd wire format) instead of HPF text")
 	sweep := flag.String("sweep", "", "comma-separated processor counts: analyze once, re-tune the layout per count reusing the cached front half (overrides -procs)")
 	server := flag.String("server", "", "analyze remotely against a layoutd at this base URL (e.g. http://localhost:8780) instead of in-process")
+	watch := flag.Bool("watch", false, "watch the file argument for edits and incrementally re-analyze each saved version (requires a file; edit-local changes replay only downstream artifacts)")
 	flag.Parse()
+
+	if *watch {
+		for flagName, set := range map[string]bool{
+			"-server": *server != "", "-sweep": *sweep != "", "-json": *jsonOut,
+		} {
+			if set {
+				fatal(fmt.Errorf("%s cannot combine with -watch (the watch loop is local and prints HPF text)", flagName))
+			}
+		}
+		if flag.Arg(0) == "" {
+			fatal(fmt.Errorf("-watch needs a file argument to poll (stdin cannot be re-read)"))
+		}
+	}
 
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
@@ -147,6 +171,13 @@ func main() {
 
 	if *sweep != "" {
 		if err := runSweep(src, opt, *sweep, *stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *watch {
+		if err := runWatch(flag.Arg(0), src, opt, *stats); err != nil {
 			fatal(err)
 		}
 		return
@@ -296,6 +327,65 @@ func runSweep(src string, opt core.Options, grid string, stats bool) error {
 		}
 	}
 	return nil
+}
+
+// runWatch is the interactive assistant loop: analyze the file once,
+// then poll it (~300ms) and push each saved edit through the session's
+// incremental Update.  Unchanged phases reuse their dependence info,
+// alignment solves, pricings and (when nothing relevant moved) the
+// selection; the per-edit summary line reports exactly how much
+// replayed.  A save that fails to parse — half-typed edits are normal
+// — prints a comment and leaves the previous analysis current.
+func runWatch(path, src string, opt core.Options, stats bool) error {
+	ctx := context.Background()
+	sess, err := core.NewSession(ctx, core.Input{Source: src}, opt)
+	if err != nil {
+		return err
+	}
+	res, err := sess.Update(ctx, src, opt)
+	if err != nil {
+		return err
+	}
+	printWatchResult(res, stats)
+	fmt.Printf("! watching %s for edits (interrupt to stop)\n", path)
+	last := src
+	for {
+		time.Sleep(300 * time.Millisecond)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			// A transient editor rename/replace; report once per change.
+			fmt.Printf("! watch: %v\n", err)
+			continue
+		}
+		cur := string(b)
+		if cur == last {
+			continue
+		}
+		last = cur
+		res, err := sess.Update(ctx, cur, opt)
+		if err != nil {
+			fmt.Printf("! watch: edit rejected (previous analysis stays current): %v\n", err)
+			continue
+		}
+		printWatchResult(res, stats)
+	}
+}
+
+// printWatchResult prints one edit's layout and its replay/reuse line.
+func printWatchResult(res *core.Result, stats bool) {
+	fmt.Print(res.EmitHPF())
+	inc := res.Incremental
+	var replayed, reused int64
+	for _, sr := range inc.Stages {
+		replayed += sr.Replayed
+		reused += sr.Reused
+	}
+	fmt.Printf("! edit %d: cost %.3f us, elapsed %v, reused %d / replayed %d artifacts (reuse ratio %.2f)\n",
+		inc.Edits, res.TotalCost, res.Elapsed.Round(1e5), reused, replayed, inc.ReuseRatio)
+	if stats {
+		printStats(res)
+	}
+	fmt.Println()
 }
 
 func dumpSpaces(res *core.Result) {

@@ -1,0 +1,74 @@
+// Incremental golden parity: for every program in the golden corpus,
+// a chain of seeded one-phase edits pushed through Session.Update must
+// render byte-identically to a cold core.Analyze of each edited
+// source.  This is the end-to-end contract of the incremental pipeline
+// — per-phase reuse, the alignment memo, the carried shared cache and
+// the warm-started selection are latency optimizations, never behavior
+// changes — proven over the same corpus the golden files pin.
+package repro_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fortran"
+	"repro/internal/pcfg"
+	"repro/internal/programs"
+)
+
+func TestIncrementalGoldenParity(t *testing.T) {
+	adi128, err := os.ReadFile(filepath.Join("testdata", "adi128.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := []struct {
+		name string
+		src  string
+	}{
+		{"adi", programs.Adi(48, fortran.Double)},
+		{"erlebacher", programs.Erlebacher(16, fortran.Double)},
+		{"tomcatv", programs.Tomcatv(32, fortran.Double)},
+		{"shallow", programs.Shallow(32, fortran.Real)},
+		{"adi128", string(adi128)},
+		{"quickstart", exampleSource(t, "quickstart")},
+		{"conflict", exampleSource(t, "conflict")},
+	}
+	const editsPerProgram = 2
+	for pi, tc := range corpus {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			ctx := context.Background()
+			opt := core.Options{Procs: 8, Verify: core.VerifyOn}
+			sess, err := core.NewSession(ctx, core.Input{Source: tc.src}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := tc.src
+			for i := 0; i < editsPerProgram; i++ {
+				next, m, merr := pcfg.MutateProgram(src, int64(100*pi+i), pcfg.Options{})
+				if merr != nil {
+					t.Fatalf("edit %d: %v", i, merr)
+				}
+				src = next
+				warm, werr := sess.Update(ctx, src, core.Options{})
+				if werr != nil {
+					t.Fatalf("edit %d (%v): Update: %v", i, m, werr)
+				}
+				cold, cerr := core.Analyze(ctx, core.Input{Source: src}, opt)
+				if cerr != nil {
+					t.Fatalf("edit %d: cold Analyze: %v", i, cerr)
+				}
+				if got, want := goldenRender(warm), goldenRender(cold); got != want {
+					t.Errorf("edit %d (%v): incremental Update diverged from cold Analyze:\n--- warm ---\n%s\n--- cold ---\n%s",
+						i, m, got, want)
+				}
+				if warm.Incremental.Edits != int64(i+1) {
+					t.Errorf("edit %d: incremental edit counter = %d", i, warm.Incremental.Edits)
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/cag"
 	"repro/internal/dep"
 	"repro/internal/fault"
@@ -50,6 +51,22 @@ type Options struct {
 	// stage.AlignSolve site fires around every resolution, and its
 	// Corrupt action perturbs the claimed cut weight.
 	Fault *fault.Plan
+	// Memo is an optional cross-run memoization layer for conflict
+	// resolutions, keyed by the content hash of the (graph, dimension,
+	// resolver) triple.  Unchanged phases of an edited program present
+	// byte-identical CAGs, so their 0-1 solves hit the memo
+	// (core.Session's incremental Update path installs one).  Only
+	// proven-optimal resolutions are stored, and — poison-proof rule —
+	// a memo hit is re-certified like a fresh solve when Verify is on.
+	// Implementations must be safe for concurrent use; resolutions are
+	// treated as immutable by both sides.
+	Memo Memo
+}
+
+// Memo is the resolution memoization interface Options.Memo accepts.
+type Memo interface {
+	GetResolution(key string) (*cag.Resolution, bool)
+	PutResolution(key string, res *cag.Resolution)
 }
 
 func (o Options) defaults() Options {
@@ -400,6 +417,20 @@ func resolveOne(g *cag.Graph, d int, opt Options, ws *lp.Workspace, where string
 	if err := opt.Fault.Err(stage.AlignSolve); err != nil {
 		return nil, err
 	}
+	var memoKey string
+	if opt.Memo != nil {
+		memoKey = resolutionMemoKey(g, d, opt)
+		if res, ok := opt.Memo.GetResolution(memoKey); ok {
+			// Re-certify the memoized resolution exactly like a fresh
+			// solve — a corrupted memo entry must not escape.
+			if opt.Verify {
+				if cerr := verify.CheckAlignment(g, d, res); cerr != nil {
+					return nil, cerr
+				}
+			}
+			return &resolution{res: res}, nil
+		}
+	}
 	var res *cag.Resolution
 	var err error
 	if opt.Greedy {
@@ -420,7 +451,35 @@ func resolveOne(g *cag.Graph, d int, opt Options, ws *lp.Workspace, where string
 	if !opt.Greedy && res.Degraded {
 		out.deg = &Degradation{Where: where, Reason: res.DegradeReason, Gap: res.Gap}
 	}
+	// Only proven-optimal resolutions are worth memoizing: a degraded
+	// one depends on the budget that cut it off, not just the graph.
+	if opt.Memo != nil && !res.Degraded {
+		opt.Memo.PutResolution(memoKey, res)
+	}
 	return out, nil
+}
+
+// resolutionMemoKey is the content hash of everything one 0-1
+// resolution depends on: the graph (sorted arrays with ranks, sorted
+// edges with bit-exact weights), the template dimensionality and the
+// resolver choice.  Budget-shaped options (Solver, Timeout) are
+// deliberately absent — callers must only install a Memo when the
+// solve is fully content-determined (no budget, default solver), the
+// same precondition core applies to selection reuse.
+func resolutionMemoKey(g *cag.Graph, d int, opt Options) string {
+	h := artifact.NewHasher("align-memo")
+	h.Int(d).Bool(opt.Greedy)
+	arrays := g.Arrays()
+	h.Int(len(arrays))
+	for _, a := range arrays {
+		h.Str(a).Int(g.Rank(a))
+	}
+	edges := g.Edges()
+	h.Int(len(edges))
+	for _, e := range edges {
+		h.Str(e.From.String()).Str(e.To.String()).Float(e.Weight)
+	}
+	return string(h.Key())
 }
 
 // record folds one resolution's stats and degradation into the Spaces.

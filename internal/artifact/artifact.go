@@ -123,6 +123,53 @@ func UnitKey(u *fortran.Unit) Key {
 	return NewHasher("unit").Str(fortran.Print(u.Prog)).Key()
 }
 
+// DeclsKey is the content hash of a program's declaration context: the
+// parameters, array and scalar declarations, and layout directives —
+// everything the pipeline reads about a program *besides* a phase's
+// statements.  Two units with equal decls keys give every analysis
+// stage an identical view of the symbol table, so a phase whose
+// statement rendering is unchanged between them produces identical
+// dependence info, pricings and remap costs.  The program name is
+// deliberately excluded: no analysis result depends on it, and folding
+// it in would invalidate every phase artifact on a rename.
+func DeclsKey(u *fortran.Unit) Key {
+	h := NewHasher("decls")
+	p := u.Prog
+	h.Int(len(p.Params))
+	for _, pa := range p.Params {
+		h.Str(pa.Name).Int(pa.Value)
+	}
+	h.Int(len(p.Decls))
+	for _, d := range p.Decls {
+		h.Str(d.Name).Str(d.Type.String()).Int(len(d.Dims))
+		for _, ext := range d.Dims {
+			h.Str(ext.String())
+		}
+	}
+	h.Int(len(p.Directives))
+	for _, dir := range p.Directives {
+		h.Str(dir.Text)
+	}
+	return h.Key()
+}
+
+// PhaseKey is the content hash of one phase of a program: the decls
+// key chained with the phase's canonical statement rendering
+// (fortran.PrintStmts round-trips trip and probability hints but not
+// source line numbers).  An edit that touches only other phases leaves
+// this key — and therefore every artifact derived from it — unchanged,
+// which is what lets Session.Update reuse per-phase artifacts across
+// edits.
+func PhaseKey(u *fortran.Unit, stmts []fortran.Stmt) Key {
+	return PhaseKeyFrom(DeclsKey(u), fortran.PrintStmts(stmts))
+}
+
+// PhaseKeyFrom derives a phase key from an already-computed decls key
+// and statement rendering.
+func PhaseKeyFrom(decls Key, sig string) Key {
+	return NewHasher("phase").Str(string(decls)).Str(sig).Key()
+}
+
 // MachineKey is the content hash of a machine model: its name plus the
 // full serialized training tables (machine.WriteTable emits every
 // operation time and communication training set in deterministic

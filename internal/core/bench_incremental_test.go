@@ -1,0 +1,146 @@
+package core
+
+// BENCH_incremental.json recorder: measure the warm-edit latency of
+// Session.Update against a cold Analyze of the same edited source on a
+// multi-phase program.  Each sample applies one seeded one-phase edit;
+// the warm path reuses the unchanged phases' dependence infos,
+// alignment solves and pricings, so its median must beat the cold
+// median by a wide margin (the acceptance bar is 3x).
+//
+// Verification is off on BOTH paths: Certify re-derives every cost
+// from the models outside the caches, which measures the certifier,
+// not the incremental pipeline.
+//
+// Regenerate with:
+//
+//	BENCH_INCREMENTAL=1 go test ./internal/core -run TestRecordIncrementalBench -count=1
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pcfg"
+)
+
+// benchProgram builds a many-phase sweep chain with several distinct
+// statements per phase (distinct constants, rotating arrays,
+// alternating access orientations), so nothing collapses into one
+// cached phase and the front half — dependence analysis and the
+// alignment 0-1 solves — carries realistic weight relative to the
+// always-replayed parse and selection.
+func benchProgram(phases, stmts, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program bench\n  parameter (n = %d)\n  real a(n,n), b(n,n), c(n,n), d(n,n), e(n,n)\n", n)
+	arrs := []string{"a", "b", "c", "d", "e"}
+	for k := 0; k < phases; k++ {
+		b.WriteString("  do j = 1, n\n    do i = 1, n\n")
+		for s := 0; s < stmts; s++ {
+			dst, s1, s2 := arrs[(k+s)%5], arrs[(k+s+1)%5], arrs[(k+s+2)%5]
+			idx := "i,j"
+			if (k+s)%2 == 1 {
+				idx = "j,i"
+			}
+			fmt.Fprintf(&b, "      %s(i,j) = %s(%s) + %s(i,j) * %d.0\n", dst, s1, idx, s2, k*stmts+s+1)
+		}
+		b.WriteString("    end do\n  end do\n")
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+type incrementalBench struct {
+	Program      string  `json:"program"`
+	Phases       int     `json:"phases"`
+	Edits        int     `json:"edits"`
+	ColdMedianUS int64   `json:"cold_median_us"`
+	WarmMedianUS int64   `json:"warm_median_us"`
+	Speedup      float64 `json:"speedup"`
+	ReuseRatio   float64 `json:"reuse_ratio"`
+}
+
+func medianUS(ds []time.Duration) int64 {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2].Microseconds()
+}
+
+func TestRecordIncrementalBench(t *testing.T) {
+	if os.Getenv("BENCH_INCREMENTAL") == "" {
+		t.Skip("set BENCH_INCREMENTAL=1 to record BENCH_incremental.json")
+	}
+	ctx := context.Background()
+	prog := benchProgram(16, 6, 64)
+	opt := Options{Procs: 8, Verify: VerifyOff}
+	sess, err := NewSession(ctx, Input{Source: prog}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the session once so the first measured edit is a steady-state
+	// edit, not the initial population of the memo and carried cache.
+	if _, err := sess.Update(ctx, prog, Options{Verify: VerifyOff}); err != nil {
+		t.Fatal(err)
+	}
+
+	const edits = 15
+	var warmTimes, coldTimes []time.Duration
+	var lastReuse float64
+	var phases int
+	src := prog
+	for i := 0; i < edits; i++ {
+		next, _, merr := pcfg.MutateProgram(src, int64(9000+i), pcfg.Options{})
+		if merr != nil {
+			t.Fatalf("edit %d: %v", i, merr)
+		}
+		src = next
+
+		t0 := time.Now()
+		warm, werr := sess.Update(ctx, src, Options{Verify: VerifyOff})
+		warmTimes = append(warmTimes, time.Since(t0))
+		if werr != nil {
+			t.Fatalf("edit %d: Update: %v", i, werr)
+		}
+		lastReuse = warm.Incremental.ReuseRatio
+		phases = len(warm.Phases)
+
+		t0 = time.Now()
+		cold, cerr := Analyze(ctx, Input{Source: src}, opt)
+		coldTimes = append(coldTimes, time.Since(t0))
+		if cerr != nil {
+			t.Fatalf("edit %d: cold Analyze: %v", i, cerr)
+		}
+		if render(warm) != render(cold) {
+			t.Fatalf("edit %d: warm result diverged from cold", i)
+		}
+	}
+
+	doc := incrementalBench{
+		Program:      "bench-sweeps-16x6x64",
+		Phases:       phases,
+		Edits:        edits,
+		ColdMedianUS: medianUS(coldTimes),
+		WarmMedianUS: medianUS(warmTimes),
+		ReuseRatio:   lastReuse,
+	}
+	if doc.WarmMedianUS > 0 {
+		doc.Speedup = float64(doc.ColdMedianUS) / float64(doc.WarmMedianUS)
+	}
+	if doc.Speedup < 3 {
+		t.Errorf("warm edits only %.2fx faster than cold (cold %dus, warm %dus), want >= 3x",
+			doc.Speedup, doc.ColdMedianUS, doc.WarmMedianUS)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_incremental.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold median %dus, warm median %dus, speedup %.2fx, reuse %.2f",
+		doc.ColdMedianUS, doc.WarmMedianUS, doc.Speedup, doc.ReuseRatio)
+}

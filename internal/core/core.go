@@ -170,6 +170,12 @@ type Options struct {
 	// Fault is the fault-injection plan driving chaos tests (package
 	// fault).  nil — the default — disarms every injection site.
 	Fault *fault.Plan
+
+	// inc is the incremental-update context Session.Update threads
+	// through the stage functions (nil on every other path): the
+	// previous run's artifacts to reuse from, the replay/reuse
+	// counters, the alignment memo and the carried LP workspace.
+	inc *incrementalRun
 }
 
 // Validate checks the options without normalizing them: the processor
@@ -312,6 +318,11 @@ type Result struct {
 	// Cache reports the hit rates of the run's memoization layers (all
 	// zero with Options.NoCache).
 	Cache CacheSummary
+
+	// Incremental reports, for a Session.Update run, how much of the
+	// pipeline was reused from the previous run's artifacts versus
+	// replayed (zero value for cold Analyze and Session.Analyze runs).
+	Incremental IncrementalSummary
 
 	// StageTimes records the wall-clock time spent in each pipeline
 	// stage, keyed by the package stage vocabulary.  Stages that run

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/lp"
 	"repro/internal/stage"
 )
 
@@ -17,18 +19,43 @@ import (
 // framework is explicitly parameterized by machine and processor count,
 // and only the pricing and selection stages read those parameters.
 //
-// A Session is immutable after NewSession returns; concurrent Analyze
-// calls on one Session are safe and produce byte-identical results to
-// cold Analyze calls with the same options.  The front-half options the
-// session was built with (PCFG, DefaultTrip, Align) are pinned: Analyze
-// silently substitutes the session's values, because the cached
-// artifacts were derived from them.
+// Since the incremental refactor a Session is also *edit-aware*:
+// Update re-analyzes an edited version of the program, reusing every
+// front-half artifact whose per-phase content key is unchanged (and,
+// through the session-carried shared cache and alignment memo, the
+// unchanged phases' pricings, remap costs and alignment solves), so a
+// one-phase edit replays only the artifacts downstream of that phase.
+//
+// Concurrent Analyze calls on one Session are safe and produce
+// byte-identical results to cold Analyze calls with the same options:
+// the front-half artifacts live in an immutable snapshot that Update
+// swaps atomically under the session mutex (Update calls themselves
+// serialize).  The front-half options the session was built with
+// (PCFG, DefaultTrip, Align) are pinned: Analyze and Update silently
+// substitute the session's values, because the cached artifacts were
+// derived from them.
 type Session struct {
-	opt   Options // validated + defaulted front-half options
-	unit  *unitArtifact
-	dep   *depArtifact
-	align *alignArtifact
-	front stage.Timings
+	opt Options // validated + defaulted front-half options
+
+	mu sync.Mutex  // guards st swap and all edit-carry state below
+	st *frontState // immutable snapshot of the front-half artifacts
+
+	// Edit-carry state (Update only): the alignment-resolution memo,
+	// the session-owned shared cache injected when the caller brings
+	// none, the selection solve's warm-started LP workspace, the
+	// Update counter and the last edit's invalidation DAG.
+	memo    *sessionMemo
+	carried *SharedCache
+	ws      *lp.Workspace
+	edits   int64
+	lastDAG *invalidationDAG
+}
+
+// snapshot returns the current immutable front-half state.
+func (s *Session) snapshot() *frontState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
 }
 
 // NewSession runs the front half of the pipeline once — parse,
@@ -49,6 +76,16 @@ func NewSession(ctx context.Context, in Input, opt Options) (s *Session, err err
 		return nil, err
 	}
 	opt = opt.withDefaults()
+	// Seed the alignment memo from the initial build (when the solves
+	// are content-determined), so the very first Update already reuses
+	// the unchanged phases' resolutions.  Memoization never changes a
+	// result: only proven-optimal resolutions are stored, keyed by the
+	// full graph content.
+	var memo *sessionMemo
+	if opt.Timeout == 0 && opt.Solver == nil && opt.Fault == nil {
+		memo = newSessionMemo()
+		opt.inc = &incrementalRun{memo: memo}
+	}
 	tm := stage.Timings{}
 	ua, err := stageParse(in, opt, tm)
 	if err != nil {
@@ -63,7 +100,8 @@ func NewSession(ctx context.Context, in Input, opt Options) (s *Session, err err
 	if err != nil {
 		return nil, err
 	}
-	return &Session{opt: opt, unit: ua, dep: da, align: aa, front: tm}, nil
+	opt.inc = nil
+	return &Session{opt: opt, st: &frontState{unit: ua, dep: da, align: aa, front: tm}, memo: memo}, nil
 }
 
 // Analyze runs the machine-dependent back half — candidate search
@@ -95,13 +133,137 @@ func (s *Session) Analyze(ctx context.Context, opt Options) (res *Result, err er
 		return nil, err
 	}
 	opt = opt.withDefaults()
+	st := s.snapshot()
 	// The front half already degraded gracefully when the session was
 	// built; a Strict re-run must not silently accept that.
-	if opt.Strict && len(s.align.degs) > 0 {
-		return nil, &StrictError{Deg: s.align.degs[0]}
+	if opt.Strict && len(st.align.degs) > 0 {
+		return nil, &StrictError{Deg: st.align.degs[0]}
 	}
 	budget := solverBudget(&opt, ctx, start)
-	return backAnalyze(ctx, start, opt, budget, s.unit, s.dep, s.align, stage.Timings{})
+	return backAnalyze(ctx, start, opt, budget, st.unit, st.dep, st.align, stage.Timings{})
+}
+
+// Update re-analyzes an edited version of the session's program.  It
+// parses src, diffs the resulting phase list against the previous
+// run's per-phase artifact keys, and replays only the artifacts
+// downstream of the changed phases: unchanged phases reuse their
+// dependence info by key, their 0-1 alignment resolutions through the
+// session memo, and their candidate pricings, remap costs and the
+// selection solve through the session-carried shared cache (installed
+// when the caller injects none).  The returned Result is byte-identical
+// to a cold core.Analyze of src with the effective options, and its
+// Incremental summary reports per-stage replayed-vs-reused counts.
+//
+// Reused artifacts are never trusted blindly: reuse requires the
+// content key to re-derive identically from the new source, memo and
+// cache hits re-certify when verification is on, and the final Certify
+// pass re-derives every claimed cost from the models.  Option merging
+// follows Analyze (front-half options pinned, Procs/Machine inherited).
+// Update calls serialize on the session; concurrent Analyze calls keep
+// reading the previous snapshot until Update swaps in the new one.
+func (s *Session) Update(ctx context.Context, src string, opt Options) (res *Result, err error) {
+	defer promoteCert(&err)
+	defer guard(&err)
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Procs == 0 {
+		opt.Procs = s.opt.Procs
+	}
+	if opt.Machine == nil {
+		opt.Machine = s.opt.Machine
+	}
+	opt.PCFG = s.opt.PCFG
+	opt.DefaultTrip = s.opt.DefaultTrip
+	opt.Align = s.opt.Align
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.st
+	inc := &incrementalRun{prev: prev, fault: opt.Fault}
+	opt.inc = inc
+	tm := stage.Timings{}
+	ua, err := stageParse(Input{Source: src}, opt, tm)
+	if err != nil {
+		return nil, err
+	}
+	// Parsing is how an edit is detected, so it always replays.
+	inc.count(stage.Parse, 1, 0)
+	budget := solverBudget(&opt, ctx, start)
+	var st *frontState
+	if ua.key == prev.unit.key {
+		// Observably unchanged source: the whole front half is current.
+		st = prev
+		inc.count(stage.Dep, 0, int64(len(prev.dep.graph.Phases)))
+		inc.count(stage.AlignSolve, 0, int64(len(prev.align.spaces.Stats)))
+		s.lastDAG = buildInvalidationDAG(prev.dep, prev.dep)
+	} else {
+		// The alignment memo requires a fully content-determined solve,
+		// the same precondition selection reuse applies: a wall-clock
+		// budget or a caller-tuned solver can change the outcome, and an
+		// armed fault plan must reach the solver's injection sites.
+		if opt.Timeout == 0 && opt.Solver == nil && opt.Fault == nil {
+			if s.memo == nil {
+				s.memo = newSessionMemo()
+			}
+			s.memo.takeDelta() // discard traffic attributed to earlier edits
+			inc.memo = s.memo
+		}
+		da, derr := stageDep(ctx, opt, ua, tm)
+		if derr != nil {
+			return nil, derr
+		}
+		s.lastDAG = buildInvalidationDAG(prev.dep, da)
+		aa, aerr := stageAlignSpaces(ctx, opt, budget, ua, da, tm)
+		if aerr != nil {
+			return nil, aerr
+		}
+		// Snapshot the front timings before backAnalyze keeps adding
+		// back-half stages to the same map.
+		front := stage.Timings{}
+		for k, v := range tm {
+			front[k] = v
+		}
+		st = &frontState{unit: ua, dep: da, align: aa, front: front}
+		if inc.memo != nil {
+			hits, misses := inc.memo.takeDelta()
+			inc.count(stage.AlignSolve, misses, hits)
+		} else {
+			inc.count(stage.AlignSolve, int64(len(aa.spaces.Stats)), 0)
+		}
+	}
+	if opt.Strict && len(st.align.degs) > 0 {
+		return nil, &StrictError{Deg: st.align.degs[0]}
+	}
+	// Carry the session's shared cache across edits when the caller
+	// brings none, so unchanged phases' pricings, remap costs and the
+	// selection hit L2 on the next edit.
+	if opt.Cache == nil && !opt.NoCache {
+		if s.carried == nil {
+			s.carried = NewSharedCache(0)
+		}
+		opt.Cache = s.carried
+	}
+	if s.ws == nil {
+		s.ws = lp.NewWorkspace()
+	}
+	inc.ws = s.ws
+	res, err = backAnalyze(ctx, start, opt, budget, st.unit, st.dep, st.align, tm)
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+	s.edits++
+	inc.finish(res, s.edits)
+	// Detach the update context: the session's LP workspace and
+	// counters must not leak into later Reselect calls on the Result.
+	res.opt.inc = nil
+	return res, nil
 }
 
 // Key is the content-hash key of the session's most derived cached
@@ -109,23 +271,25 @@ func (s *Session) Analyze(ctx context.Context, opt Options) (res *Result, err er
 // program and every front-half option: two sessions with equal keys are
 // interchangeable.
 func (s *Session) Key() artifact.Key {
-	return s.align.key
+	return s.snapshot().align.key
 }
 
 // Artifacts returns the content-hash keys of the cached front-half
 // stage products, keyed by the package stage vocabulary (the same map
 // every derived Result carries).
 func (s *Session) Artifacts() map[string]artifact.Key {
+	st := s.snapshot()
 	return map[string]artifact.Key{
-		stage.Parse:      s.unit.key,
-		stage.Dep:        s.dep.key,
-		stage.AlignSolve: s.align.key,
+		stage.Parse:      st.unit.key,
+		stage.Dep:        st.dep.key,
+		stage.AlignSolve: st.align.key,
 	}
 }
 
 // FrontTimes reports the wall-clock time the front-half stages took
-// when the session was built (Result.StageTimes on a Session re-run
+// when the current snapshot was built — by NewSession, or by the last
+// Update (replayed stages only; Result.StageTimes on a Session re-run
 // covers only the back half).
 func (s *Session) FrontTimes() stage.Timings {
-	return s.front
+	return s.snapshot().front
 }

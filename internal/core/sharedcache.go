@@ -187,25 +187,33 @@ func (c *SharedCache) Stats() SharedCacheStats {
 // Deriving them once per run keeps per-lookup key construction to a
 // couple of string concatenations.
 type sharedKeys struct {
-	price string // unit + machine + compiler options + default trip
-	remap string // unit + machine
+	price string // decls + machine + compiler options + default trip
+	remap string // decls + machine
 }
 
 // deriveSharedKeys computes the run's cache-key prefixes from the
 // option and input artifacts.  Key derivation (documented in DESIGN.md):
 //
-//	unitKey    = H(canonical program rendering)
+//	declsKey   = H(parameters, declarations, directives)
 //	machineKey = H(model name + serialized training tables)
-//	priceCtx   = H(unitKey, machineKey, compiler options, default trip)
-//	remapCtx   = H(unitKey, machineKey)
+//	priceCtx   = H(declsKey, machineKey, compiler options, default trip)
+//	remapCtx   = H(declsKey, machineKey)
 //
 // and a full entry key is priceCtx ∥ phase signature ∥ layout FullKey
 // (resp. remapCtx ∥ from ∥ to ∥ live-array list).  Procs is absent by
 // design: it is fully determined by the layouts in the entry key.
-func deriveSharedKeys(unitKey artifact.Key, opt Options) sharedKeys {
+//
+// The context hashes the *declaration* key, not the whole-program unit
+// key: a pricing depends on the phase's statements (the signature in
+// the entry key), the symbol table (declsKey) and the machine — never
+// on the other phases' bodies.  Keying by declsKey therefore keeps
+// every unchanged phase's pricing and remap entries valid across a
+// one-phase source edit, which is what Session.Update's incremental
+// reuse of L1/L2/L3 entries relies on.
+func deriveSharedKeys(declsKey artifact.Key, opt Options) sharedKeys {
 	machineKey := artifact.MachineKey(opt.Machine)
 	price := artifact.NewHasher("price-ctx").
-		Str(string(unitKey)).
+		Str(string(declsKey)).
 		Str(string(machineKey)).
 		Bool(opt.Compiler.NoMessageVectorization).
 		Bool(opt.Compiler.NoMessageCoalescing).
@@ -215,6 +223,6 @@ func deriveSharedKeys(unitKey artifact.Key, opt Options) sharedKeys {
 		Key()
 	return sharedKeys{
 		price: string(price),
-		remap: string(artifact.Combine("remap-ctx", unitKey, machineKey)),
+		remap: string(artifact.Combine("remap-ctx", declsKey, machineKey)),
 	}
 }

@@ -47,21 +47,33 @@ import (
 	"repro/internal/verify"
 )
 
-// unitArtifact is the parse stage's product: the analyzed program and
-// its content-hash key.
+// unitArtifact is the parse stage's product: the analyzed program, its
+// whole-program content-hash key, and the declaration-context key the
+// per-phase artifact keys chain from.
 type unitArtifact struct {
-	unit *fortran.Unit
-	key  artifact.Key
+	unit  *fortran.Unit
+	key   artifact.Key
+	decls artifact.Key
 }
 
 // depArtifact is the dep stage's product: the PCFG with per-phase
-// dependence information.  Its key folds the unit key with every
-// option the stage read (trip and probability defaults), so equal keys
-// mean interchangeable dependence artifacts.
+// dependence information.  Since the incremental refactor the key is
+// phase-granular: each phase gets a phase key (decls key + canonical
+// statement rendering) and a dep key (phase key + the trip and
+// probability options the stage read); the artifact's own key folds
+// the per-phase dep keys with the PCFG's topology and frequencies.  An
+// edit confined to one phase therefore changes exactly that phase's
+// keys — every other phase's subgraph hashes identically across the
+// edit, which is what Session.Update's invalidation walks on.
 type depArtifact struct {
 	graph *pcfg.Graph
 	infos map[int]*dep.PhaseInfo
 	key   artifact.Key
+
+	declsKey  artifact.Key   // the unit's declaration-context key
+	sigs      []string       // per phase index: canonical statement rendering
+	phaseKeys []artifact.Key // per phase index: PhaseKeyFrom(declsKey, sig)
+	depKeys   []artifact.Key // per phase index: phase key + stage options
 }
 
 // alignArtifact is the align-solve stage's product: the alignment
@@ -100,22 +112,85 @@ func stageParse(in Input, opt Options, tm stage.Timings) (*unitArtifact, error) 
 			return nil, err
 		}
 	}
-	return &unitArtifact{unit: u, key: artifact.UnitKey(u)}, nil
+	return &unitArtifact{unit: u, key: artifact.UnitKey(u), decls: artifact.DeclsKey(u)}, nil
+}
+
+// depPhaseKey folds one phase key with the options the dependence
+// stage reads, yielding the per-phase dependence artifact key.  The
+// probability options affect only the PCFG frequencies (hashed into
+// the graph key, not here), but folding them in costs nothing and
+// keeps the key an over- rather than under-approximation.
+func depPhaseKey(phaseKey artifact.Key, opt Options) artifact.Key {
+	return artifact.NewHasher("dep-phase").
+		Str(string(phaseKey)).
+		Int(opt.DefaultTrip).
+		Int(opt.PCFG.DefaultTrip).
+		Float(opt.PCFG.DefaultProb).
+		Bool(opt.PCFG.IgnoreProbHints).
+		Key()
+}
+
+// depGraphKey is the dep artifact's own key: the per-phase dep keys in
+// program order plus the PCFG's execution frequencies and edge
+// structure.  Phase labels and source lines are deliberately absent —
+// they would re-key unchanged phases when an edit merely shifts line
+// numbers.
+func depGraphKey(g *pcfg.Graph, depKeys []artifact.Key) artifact.Key {
+	h := artifact.NewHasher("dep")
+	h.Int(len(depKeys))
+	for i, k := range depKeys {
+		h.Str(string(k)).Float(g.Phases[i].Freq)
+	}
+	h.Int(len(g.Edges))
+	for _, e := range g.Edges {
+		h.Int(e.From).Int(e.To).Float(e.Freq)
+	}
+	return h.Key()
 }
 
 // stageDep builds the PCFG and fans the per-phase dependence analysis
-// out over the worker pool into index-addressed slots.
+// out over the worker pool into index-addressed slots.  On the
+// incremental path (opt.inc non-nil) phases whose phase key matches
+// the previous run reuse the stored dependence info and only the
+// changed phases are re-analyzed.
 func stageDep(ctx context.Context, opt Options, ua *unitArtifact, tm stage.Timings) (*depArtifact, error) {
 	defer timed(tm, stage.Dep)()
 	g, err := pcfg.Build(ua.unit, opt.PCFG)
 	if err != nil {
 		return nil, err
 	}
-	infoSlots := make([]*dep.PhaseInfo, len(g.Phases))
-	if err := par.Do(ctx, opt.Workers, len(g.Phases), func(i int) error {
+	n := len(g.Phases)
+	sigs := make([]string, n)
+	phaseKeys := make([]artifact.Key, n)
+	for i, ph := range g.Phases {
+		sigs[i] = fortran.PrintStmts(ph.Stmts())
+		phaseKeys[i] = artifact.PhaseKeyFrom(ua.decls, sigs[i])
+	}
+	infoSlots := make([]*dep.PhaseInfo, n)
+	todo := make([]int, 0, n)
+	if prev := opt.inc.prevDep(ua.decls); prev != nil {
+		byKey := make(map[artifact.Key]*dep.PhaseInfo, len(prev.phaseKeys))
+		for j, pk := range prev.phaseKeys {
+			byKey[pk] = prev.infos[prev.graph.Phases[j].ID]
+		}
+		for i := range g.Phases {
+			if info := byKey[phaseKeys[i]]; info != nil && opt.inc.admitReuse(opt.Fault) {
+				infoSlots[i] = info
+				continue
+			}
+			todo = append(todo, i)
+		}
+		opt.inc.count(stage.Dep, int64(len(todo)), int64(n-len(todo)))
+	} else {
+		for i := 0; i < n; i++ {
+			todo = append(todo, i)
+		}
+	}
+	if err := par.Do(ctx, opt.Workers, len(todo), func(k int) error {
 		if ferr := opt.Fault.Err(stage.Dep); ferr != nil {
 			return ferr
 		}
+		i := todo[k]
 		infoSlots[i] = dep.Analyze(ua.unit, g.Phases[i].Stmts(), opt.DefaultTrip)
 		return nil
 	}); err != nil {
@@ -125,14 +200,14 @@ func stageDep(ctx context.Context, opt Options, ua *unitArtifact, tm stage.Timin
 	for i, ph := range g.Phases {
 		infos[ph.ID] = infoSlots[i]
 	}
-	key := artifact.NewHasher("dep").
-		Str(string(ua.key)).
-		Int(opt.DefaultTrip).
-		Int(opt.PCFG.DefaultTrip).
-		Float(opt.PCFG.DefaultProb).
-		Bool(opt.PCFG.IgnoreProbHints).
-		Key()
-	return &depArtifact{graph: g, infos: infos, key: key}, nil
+	depKeys := make([]artifact.Key, n)
+	for i := range depKeys {
+		depKeys[i] = depPhaseKey(phaseKeys[i], opt)
+	}
+	return &depArtifact{
+		graph: g, infos: infos, key: depGraphKey(g, depKeys),
+		declsKey: ua.decls, sigs: sigs, phaseKeys: phaseKeys, depKeys: depKeys,
+	}, nil
 }
 
 // stageAlignSpaces builds the alignment search spaces (the 0-1
@@ -153,6 +228,9 @@ func stageAlignSpaces(ctx context.Context, opt Options, solver *ilp.Solver, ua *
 	}
 	alignOpt.Fault = opt.Fault
 	alignOpt.Verify = opt.Verify.enabled()
+	if m := opt.inc.alignMemo(); m != nil {
+		alignOpt.Memo = m
+	}
 	spaces, err := align.BuildSearchSpaces(ctx, ua.unit, da.graph, da.infos, alignOpt)
 	if err != nil {
 		return nil, pipelineErr(stage.AlignSolve, err)
@@ -214,7 +292,7 @@ func backAnalyze(ctx context.Context, start time.Time, opt Options, budget *ilp.
 	useShared := opt.Cache != nil && !opt.NoCache
 	useStore := (opt.Store != nil || opt.StoreDir != "") && !opt.NoCache
 	if useShared || useStore {
-		keys := deriveSharedKeys(ua.key, opt)
+		keys := deriveSharedKeys(ua.decls, opt)
 		if useShared {
 			res.shared = &sharedLayer{cache: opt.Cache, keys: keys}
 		}
@@ -498,7 +576,14 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 		// may try the ILP right after the DP refuses, and Reselect calls
 		// land here repeatedly — the workspace keeps the simplex buffers
 		// (and, within a solve, the warm-start basis) alive across them.
-		ws := lp.NewWorkspace()
+		// On the incremental path the session's carried workspace is
+		// used instead, so an edit's re-solve warm-starts from the
+		// previous edit's basis (Update serializes, so no two solves
+		// share it concurrently).
+		ws := r.opt.inc.workspace()
+		if ws == nil {
+			ws = lp.NewWorkspace()
+		}
 		var err error
 		if r.opt.UseDP {
 			sel, err = lg.SolveDP()

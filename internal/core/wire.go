@@ -297,16 +297,21 @@ type Stats struct {
 	StageUS   map[string]int64 `json:"stage_us"`
 	Cache     CacheSummary     `json:"cache"`
 	Solver    SolverSummary    `json:"solver"`
+	// Incremental is the replay-vs-reuse account of a Session.Update
+	// run (all zero for cold analyses).  Additive v1 field: clients
+	// decode Responses leniently, so old clients skip it.
+	Incremental IncrementalSummary `json:"incremental"`
 }
 
 // NewStats snapshots a Result's counters into the wire form.
 func NewStats(res *Result) Stats {
 	st := Stats{
-		V:         WireV1,
-		ElapsedUS: res.Elapsed.Microseconds(),
-		StageUS:   map[string]int64{},
-		Cache:     res.Cache,
-		Solver:    res.Solver,
+		V:           WireV1,
+		ElapsedUS:   res.Elapsed.Microseconds(),
+		StageUS:     map[string]int64{},
+		Cache:       res.Cache,
+		Solver:      res.Solver,
+		Incremental: res.Incremental,
 	}
 	for name, d := range res.StageTimes {
 		st.StageUS[name] = d.Microseconds()

@@ -239,8 +239,10 @@ func TestResponseSchemaPinned(t *testing.T) {
 				p = prefix + "." + k
 			}
 			// Map-valued leaves with dynamic keys (stage names, artifact
-			// stages) are pinned as the container only.
-			if prefix == "stats" && k == "stage_us" || k == "artifacts" {
+			// stages, incremental stage counters) are pinned as the
+			// container only.
+			if prefix == "stats" && k == "stage_us" || k == "artifacts" ||
+				prefix == "stats.incremental" && k == "stages" {
 				paths = append(paths, p)
 				continue
 			}
@@ -258,7 +260,8 @@ func TestResponseSchemaPinned(t *testing.T) {
 		"selection.duration_us", "selection.degraded", "selection.gap",
 		"stats.v", "stats.elapsed_us", "stats.stage_us",
 		"stats.solver.solves", "stats.solver.nodes", "stats.solver.lp_pivots",
-		"stats.solver.lp_warm", "stats.solver.lp_cold", "stats.solver.rc_fixed")
+		"stats.solver.lp_warm", "stats.solver.lp_cold", "stats.solver.rc_fixed",
+		"stats.incremental.edits", "stats.incremental.reuse_ratio")
 	for _, layer := range []string{"pricing", "remap", "shared_pricing", "shared_remap", "shared_selection"} {
 		want = append(want, cacheLeaves("stats.cache."+layer)...)
 	}

@@ -1,0 +1,97 @@
+package pcfg
+
+import (
+	"testing"
+
+	"repro/internal/fortran"
+)
+
+const mutateSrc = `program sweep
+      parameter (n = 32)
+      real a(n,n), b(n,n), c(n,n)
+      do k = 1, 10
+        do j = 1, n
+          do i = 1, n
+            a(i,j) = b(i,j) + 0.5
+          end do
+        end do
+        do j = 2, n
+          do i = 1, n
+            c(i,j) = a(j,i) * 1.5
+          end do
+        end do
+      end do
+      end
+`
+
+func TestMutateProgramDeterministic(t *testing.T) {
+	a1, m1, err := MutateProgram(mutateSrc, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, m2, err := MutateProgram(mutateSrc, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || m1 != m2 {
+		t.Errorf("same seed produced different edits: %v vs %v", m1, m2)
+	}
+	if a1 == mutateSrc {
+		t.Error("mutation left the source unchanged")
+	}
+}
+
+func TestMutateProgramTouchesOnePhase(t *testing.T) {
+	origSigs, err := phaseSigs(mutateSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for seed := int64(0); seed < 25; seed++ {
+		out, m, err := MutateProgram(mutateSrc, seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		kinds[m.Kind] = true
+		// The edited program must be valid…
+		prog, perr := fortran.Parse(out)
+		if perr != nil {
+			t.Fatalf("seed %d: edited source does not parse: %v", seed, perr)
+		}
+		if _, aerr := fortran.Analyze(prog); aerr != nil {
+			t.Fatalf("seed %d: edited source fails sema: %v", seed, aerr)
+		}
+		// …and must differ from the original in exactly the named phase.
+		newSigs, serr := phaseSigs(out, Options{})
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if len(newSigs) != len(origSigs) {
+			t.Fatalf("seed %d: phase count changed %d -> %d", seed, len(origSigs), len(newSigs))
+		}
+		for i := range origSigs {
+			if changed := origSigs[i] != newSigs[i]; changed != (i == m.Phase) {
+				t.Errorf("seed %d: phase %d changed=%v, want touched phase %d only",
+					seed, i, changed, m.Phase)
+			}
+		}
+	}
+	// Across seeds the generator should exercise more than one edit kind.
+	if len(kinds) < 2 {
+		t.Errorf("edit kinds not diverse: %v", kinds)
+	}
+}
+
+func TestMutateProgramChainsEdits(t *testing.T) {
+	src := mutateSrc
+	for seed := int64(100); seed < 105; seed++ {
+		out, _, err := MutateProgram(src, seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out == src {
+			t.Fatalf("seed %d: no-op edit", seed)
+		}
+		src = out
+	}
+}

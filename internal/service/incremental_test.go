@@ -1,0 +1,123 @@
+package service
+
+// Incremental service-path tests: a stream of edited posts for one
+// program family is served through Session.Update with answers
+// byte-identical to cold core.Analyze, budgeted flights fall back to
+// the cold path, and the session table stays bounded under many
+// families.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// editedSrc perturbs one constant in testSrc's second phase.
+func editedSrc(t *testing.T, old, new string) string {
+	t.Helper()
+	out := strings.Replace(testSrc, old, new, 1)
+	if out == testSrc {
+		t.Fatalf("edit %q -> %q did not apply", old, new)
+	}
+	return out
+}
+
+// TestIncrementalFlightMatchesCold posts an edit stream and checks
+// every response against a cold core.Analyze of the same source: the
+// incremental path is a latency optimization, never a behavior change.
+func TestIncrementalFlightMatchesCold(t *testing.T) {
+	srv := newTestServer(t, Config{MaxInFlight: 2})
+	sources := []string{
+		testSrc,
+		editedSrc(t, "b(i,j) + 1.0", "b(i,j) + 3.0"),
+		editedSrc(t, "a(j,i) * 2.0", "a(j,i) * 8.0"),
+		testSrc, // back to the original: everything reuses
+	}
+	for i, src := range sources {
+		rec := post(srv, requestBody(t, &core.Request{V: core.WireV1, Source: src, Procs: 8, Verify: true}))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("post %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var resp core.Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+		cold, err := core.Analyze(context.Background(), core.Input{Source: src},
+			core.Options{Procs: 8, Verify: core.VerifyOn})
+		if err != nil {
+			t.Fatalf("post %d: cold Analyze: %v", i, err)
+		}
+		if resp.HPF != cold.EmitHPF() || resp.TotalCostUS != cold.TotalCost {
+			t.Errorf("post %d: incremental answer diverged from cold Analyze", i)
+		}
+		if resp.Stats.Incremental.Edits != int64(i+1) {
+			t.Errorf("post %d: stats.incremental.edits = %d, want %d",
+				i, resp.Stats.Incremental.Edits, i+1)
+		}
+		if i > 0 && resp.Stats.Incremental.ReuseRatio <= 0 {
+			t.Errorf("post %d: reuse ratio = %v, want > 0 on a one-phase edit",
+				i, resp.Stats.Incremental.ReuseRatio)
+		}
+	}
+	if got := srv.m.incrementalFlights.Load(); got != int64(len(sources)) {
+		t.Errorf("incremental_flights = %d, want %d", got, len(sources))
+	}
+}
+
+// TestIncrementalFallbacks: a budgeted flight, and every flight on a
+// server with incremental off, run the cold path.
+func TestIncrementalFallbacks(t *testing.T) {
+	srv := newTestServer(t, Config{MaxInFlight: 2})
+	rec := post(srv, requestBody(t, &core.Request{V: core.WireV1, Source: testSrc, Procs: 8, TimeoutMS: 60000}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budgeted post: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := srv.m.incrementalFlights.Load(); got != 0 {
+		t.Errorf("budgeted flight took the incremental path (%d flights)", got)
+	}
+
+	off := newTestServer(t, Config{MaxInFlight: 2, MaxSessions: -1})
+	if rec := post(off, requestBody(t, &core.Request{V: core.WireV1, Source: testSrc, Procs: 8})); rec.Code != http.StatusOK {
+		t.Fatalf("post with sessions off: status %d", rec.Code)
+	}
+	if off.sessions != nil || off.m.incrementalFlights.Load() != 0 {
+		t.Error("MaxSessions < 0 did not disable the incremental path")
+	}
+}
+
+// TestSessionTableBounded: posting more program families than
+// MaxSessions keeps the table at its cap (LRU eviction), and every
+// family still answers correctly.
+func TestSessionTableBounded(t *testing.T) {
+	srv := newTestServer(t, Config{MaxInFlight: 2, MaxSessions: 2})
+	for _, name := range []string{"fam1", "fam2", "fam3"} {
+		src := strings.Replace(testSrc, "program svc", "program "+name, 1)
+		if rec := post(srv, requestBody(t, &core.Request{V: core.WireV1, Source: src, Procs: 8})); rec.Code != http.StatusOK {
+			t.Fatalf("family %s: status %d", name, rec.Code)
+		}
+	}
+	if got := srv.sessions.size(); got != 2 {
+		t.Errorf("session table size = %d, want cap 2", got)
+	}
+	if got := srv.m.incrementalFlights.Load(); got != 3 {
+		t.Errorf("incremental_flights = %d, want 3", got)
+	}
+}
+
+func TestProgramName(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{testSrc, "svc"},
+		{"      PROGRAM Adi\n      end\n", "adi"},
+		{"! comment only\n      end\n", ""},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := programName(tc.src); got != tc.want {
+			t.Errorf("programName(%q) = %q, want %q", tc.src[:min(20, len(tc.src))], got, tc.want)
+		}
+	}
+}

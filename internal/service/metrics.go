@@ -35,6 +35,9 @@ type counters struct {
 	watchdogTrips      atomic.Int64 // flights that overran their hard wall
 	watchdogAbandoned  atomic.Int64 // tripped flights that would not unwind within grace
 
+	// Incremental accounting (PR 9).
+	incrementalFlights atomic.Int64 // flights served through a Session.Update
+
 	mu     sync.Mutex
 	totals core.Stats // summed Response stats across completed analyses
 }
@@ -70,6 +73,7 @@ func (c *counters) addResult(res *core.Result) {
 	t.Cache.Store.Quarantined = st.Cache.Store.Quarantined
 	t.Cache.Store.Evictions = st.Cache.Store.Evictions
 	t.Cache.Store.MemoryOnly = t.Cache.Store.MemoryOnly || st.Cache.Store.MemoryOnly
+	t.Incremental.Add(st.Incremental)
 	t.Solver.Solves += st.Solver.Solves
 	t.Solver.Nodes += st.Solver.Nodes
 	t.Solver.LPPivots += st.Solver.LPPivots
@@ -152,6 +156,15 @@ type Metrics struct {
 	CrashesTotal         int64 `json:"crashes_total"`
 	QuarantinedKeys      int   `json:"quarantined_keys"`
 	QuarantineRejections int64 `json:"quarantine_rejections"`
+	// Incremental re-analysis: IncrementalFlights counts flights served
+	// through an edit-aware Session.Update instead of a cold Analyze,
+	// IncrementalSessions is the live session-table population, and
+	// IncrementalReuseRatio the aggregate reused/(reused+replayed)
+	// artifact ratio across those flights (the per-stage replayed and
+	// reused counters live under totals.incremental.stages).
+	IncrementalFlights    int64   `json:"incremental_flights"`
+	IncrementalSessions   int     `json:"incremental_sessions"`
+	IncrementalReuseRatio float64 `json:"incremental_reuse_ratio"`
 	// Totals aggregates the per-run core.Stats (stage times, cache
 	// traffic, solver effort) across every completed analysis.
 	Totals core.Stats `json:"totals"`
@@ -196,6 +209,10 @@ func (s *Server) Metrics() Metrics {
 		CrashesTotal:         s.m.crashes.Load(),
 		QuarantinedKeys:      s.crashes.quarantined(now),
 		QuarantineRejections: s.m.quarantineRejected.Load(),
+
+		IncrementalFlights:    s.m.incrementalFlights.Load(),
+		IncrementalSessions:   s.sessions.size(),
+		IncrementalReuseRatio: totals.Incremental.ReuseRatio,
 
 		Totals: totals,
 		CacheHitRates: map[string]float64{

@@ -144,6 +144,13 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes bounds the request body (0 ⇒ 16 MiB).
 	MaxBodyBytes int64
+	// MaxSessions bounds the edit-aware session table: unbudgeted
+	// flights for the same program family are served through an
+	// incremental core.Session (Update) instead of a cold Analyze, so a
+	// client iterating on one program replays only the artifacts
+	// downstream of each edit (0 ⇒ 8 sessions, negative ⇒ incremental
+	// path off; see incremental.go).
+	MaxSessions int
 	// Fault arms the chaos fault-injection plan on every request, on
 	// the server-opened store, and at the service-flight site (nil
 	// outside tests).
@@ -186,6 +193,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 8
 	}
 	return c
 }
@@ -236,8 +246,9 @@ type Server struct {
 	inflight atomic.Int64  // analyses currently running (admitted flights)
 	running  gauge         // live analysis goroutines, incl. watchdog-abandoned ones
 
-	shed    *shedder
-	crashes *crashTable
+	shed     *shedder
+	crashes  *crashTable
+	sessions *sessionTable // edit-aware session families (nil ⇒ incremental path off)
 
 	mu      sync.Mutex
 	flights map[artifact.Key]*flight
@@ -265,6 +276,9 @@ func NewServer(cfg Config) (*Server, error) {
 		drainCh: make(chan struct{}),
 		shed:    newShedder(cfg.QueueTarget, cfg.QueueWindow),
 		crashes: newCrashTable(cfg.QuarantineAfter, cfg.QuarantineTTL, cfg.QuarantineCap),
+	}
+	if cfg.MaxSessions > 0 {
+		s.sessions = newSessionTable(cfg.MaxSessions)
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	switch {

@@ -501,6 +501,18 @@ func TestMetricsInventory(t *testing.T) {
 	if !m.Store.Configured {
 		t.Error("store.configured = false with a store directory set")
 	}
+	// All three unbudgeted requests route through the incremental
+	// session path: one program family, three Session.Update flights,
+	// and a positive reuse ratio (identical re-posts reuse everything).
+	if m.IncrementalFlights != 3 {
+		t.Errorf("incremental_flights = %d, want 3", m.IncrementalFlights)
+	}
+	if m.IncrementalSessions != 1 {
+		t.Errorf("incremental_sessions = %d, want 1", m.IncrementalSessions)
+	}
+	if m.IncrementalReuseRatio <= 0 {
+		t.Errorf("incremental_reuse_ratio = %v, want > 0", m.IncrementalReuseRatio)
+	}
 	if m.Store.Writes == 0 {
 		t.Error("store.writes = 0 after analyses over a store")
 	}
@@ -517,6 +529,7 @@ func TestMetricsInventory(t *testing.T) {
 		`"shed_total"`, `"shedding"`, `"drain_rate_per_sec"`, `"drain_rejections"`, `"draining"`,
 		`"watchdog_trips"`, `"watchdog_abandoned"`,
 		`"crashes_total"`, `"quarantined_keys"`, `"quarantine_rejections"`,
+		`"incremental_flights"`, `"incremental_sessions"`, `"incremental_reuse_ratio"`,
 	} {
 		if !strings.Contains(raw, name) {
 			t.Errorf("/metrics document missing %s", name)

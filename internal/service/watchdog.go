@@ -74,7 +74,7 @@ func (s *Server) runAnalysis(req *core.Request, opt core.Options) outcome {
 			ch <- outcome{err: err}
 			return
 		}
-		res, err := core.Analyze(ctx, core.Input{Source: req.Source}, opt)
+		res, err := s.analyzeFlight(ctx, req, opt)
 		ch <- outcome{res: res, err: err}
 	}()
 

@@ -79,6 +79,20 @@ const (
 // service and client chaos suites sweep it instead).
 const ServiceFlight = "service-flight"
 
+// IncrementalInvalidate is Session.Update's reuse-admission injection
+// site (core's incremental path): it fires once per reuse decision —
+// each previous-run phase artifact or memoized alignment resolution
+// about to be served instead of recomputed.  A Fail rule drops the
+// candidate (simulating a lost artifact), a Corrupt rule makes the
+// re-verification of the stored artifact fail (simulating a corrupted
+// one); both force a replay of that artifact, so the poison-proof rule
+// — reused artifacts are re-verified, never silently trusted — is
+// directly exercisable.  A Panic rule unwinds through core's usual
+// guard into a typed InternalError.  Like ServiceFlight it is
+// deliberately NOT part of All: the site only exists on the Update
+// path, which the dedicated incremental chaos tests sweep.
+const IncrementalInvalidate = "incremental-invalidate"
+
 // All lists every stage in execution order; chaos sweeps iterate it so
 // a newly added stage is exercised automatically.
 var All = []string{Parse, Dep, AlignSolve, SpaceBuild, Pricing, ILPRoot, BBNode, Selection, Cache, CacheShared, StoreOpen, StoreRead, StoreWrite}
