@@ -20,11 +20,15 @@ type Stats struct {
 	// LPWarm / LPCold split BBNodes by how the node relaxation was
 	// solved: dual-simplex reoptimization from the parent basis vs a
 	// from-scratch two-phase solve.  RCFixed counts binaries fixed by
-	// root reduced-cost presolve.
-	LPWarm   int
-	LPCold   int
-	RCFixed  int
-	Duration time.Duration
+	// root reduced-cost presolve; Presolved counts binaries fixed by
+	// constraint propagation before branch and bound; LPSparse counts
+	// node relaxations served by the sparse revised simplex.
+	LPWarm    int
+	LPCold    int
+	RCFixed   int
+	Presolved int
+	LPSparse  int
+	Duration  time.Duration
 }
 
 // Resolution is the result of resolving the inter-dimensional
@@ -246,6 +250,8 @@ func ResolveWS(g *Graph, d int, solver *ilp.Solver, ws *lp.Workspace) (*Resoluti
 		LPWarm:      res.LPWarm,
 		LPCold:      res.LPCold,
 		RCFixed:     res.RCFixed,
+		Presolved:   res.Presolved,
+		LPSparse:    res.LPSparse,
 		Duration:    time.Since(start),
 	}
 	out := &Resolution{Assignment: map[Node]int{}, Stats: stats}

@@ -109,6 +109,12 @@ type Options struct {
 	// formulation for the final selection (ablation baseline; falls
 	// back to the ILP on general graphs).
 	UseDP bool
+	// ForceILP disables the structure router for the final selection:
+	// the 0-1 formulation runs even on forest-shaped layout graphs the
+	// polynomial tree DP would answer exactly.  Both produce the same
+	// selection; this is the measurement/ablation arm for problem-size
+	// figures and routed-vs-ILP benchmarks.  Not a wire option.
+	ForceILP bool
 	// MergePhases ties adjacent phases together in the selection when
 	// remapping between them can never be profitable (§2.1's phase
 	// merging, after Sheffler et al.), shrinking the search.
@@ -271,6 +277,16 @@ type SolverSummary struct {
 	LPWarm   int `json:"lp_warm"`
 	LPCold   int `json:"lp_cold"`
 	RCFixed  int `json:"rc_fixed"`
+	// Presolved counts binaries fixed by constraint-propagation
+	// presolve across all solves; LPSparse counts node relaxations
+	// served by the sparse revised simplex.
+	Presolved int `json:"presolved"`
+	LPSparse  int `json:"lp_sparse"`
+	// Route names how the layout selection was answered: "tree-dp"
+	// (exact polynomial DP on a forest-shaped layout graph),
+	// "presolved", "sparse" or "dense" (ILP variants), or "" when the
+	// selection came from an explicit baseline or fallback.
+	Route string `json:"route"`
 }
 
 // Result is the tool's output.

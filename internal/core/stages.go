@@ -456,14 +456,23 @@ func (r *Result) summarizeSolver() {
 		s.LPWarm += st.LPWarm
 		s.LPCold += st.LPCold
 		s.RCFixed += st.RCFixed
+		s.Presolved += st.Presolved
+		s.LPSparse += st.LPSparse
 	}
-	if sel := r.Selection; sel != nil && sel.BBNodes > 0 {
+	// A routed selection counts as a solve even with zero
+	// branch-and-bound nodes (the tree DP and a fully presolved ILP
+	// both answer without branching); the legacy DP/greedy fallbacks
+	// report an empty route and, as before, no solve.
+	if sel := r.Selection; sel != nil && (sel.Solver != "" || sel.BBNodes > 0) {
 		s.Solves++
 		s.Nodes += sel.BBNodes
 		s.LPPivots += sel.LPPivots
 		s.LPWarm += sel.LPWarm
 		s.LPCold += sel.LPCold
 		s.RCFixed += sel.RCFixed
+		s.Presolved += sel.Presolved
+		s.LPSparse += sel.LPSparse
+		s.Route = sel.Solver
 	}
 	r.Solver = s
 }
@@ -585,13 +594,20 @@ func (r *Result) reselect(ctx context.Context, solver *ilp.Solver) error {
 			ws = lp.NewWorkspace()
 		}
 		var err error
-		if r.opt.UseDP {
+		switch {
+		case r.opt.UseDP:
 			sel, err = lg.SolveDP()
 			if err != nil {
-				sel, err = lg.SolveILPWS(solver, ws)
+				sel, err = lg.SolveAutoWS(solver, ws)
 			}
-		} else {
+		case r.opt.ForceILP:
 			sel, err = lg.SolveILPWS(solver, ws)
+		default:
+			// Structure-routed: forest-shaped graphs take the exact
+			// polynomial tree DP, everything else the 0-1 ILP (whose node
+			// LPs route dense/sparse by size).  Both minimize the same
+			// perturbed objective, so the route never changes the choice.
+			sel, err = lg.SolveAutoWS(solver, ws)
 		}
 		var noInc *layoutgraph.NoIncumbentError
 		if errors.As(err, &noInc) {

@@ -27,7 +27,9 @@ import (
 // payload; bumping it invalidates (quarantines) old records rather than
 // misreading them.
 const (
-	storeCodecVersion = 1
+	// v2: selection records carry the solver route and the
+	// presolve/sparse-LP counters.
+	storeCodecVersion = 2
 	storeKindPriced   = "priced"
 	storeKindRemap    = "remap"
 	storeKindSel      = "selection"
@@ -222,6 +224,7 @@ func encodeSelection(sel layoutgraph.Selection) []byte {
 	e.Float(sel.Cost)
 	e.Int(sel.Vars).Int(sel.Constraints).Int(sel.BBNodes)
 	e.Int(sel.LPPivots).Int(sel.LPWarm).Int(sel.LPCold).Int(sel.RCFixed)
+	e.Int(sel.Presolved).Int(sel.LPSparse).Str(sel.Solver)
 	e.Int(int(sel.Duration))
 	e.Bool(sel.Degraded).Str(sel.DegradeReason).Float(sel.Gap)
 	return e.Out()
@@ -247,6 +250,9 @@ func decodeSelection(b []byte) (layoutgraph.Selection, error) {
 	sel.LPWarm = d.Int()
 	sel.LPCold = d.Int()
 	sel.RCFixed = d.Int()
+	sel.Presolved = d.Int()
+	sel.LPSparse = d.Int()
+	sel.Solver = d.Str()
 	sel.Duration = time.Duration(d.Int())
 	sel.Degraded = d.Bool()
 	sel.DegradeReason = d.Str()

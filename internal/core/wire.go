@@ -283,6 +283,10 @@ type SelectionWire struct {
 	DurationUS  int64   `json:"duration_us"`
 	Degraded    bool    `json:"degraded"`
 	Gap         float64 `json:"gap"`
+	// Route names the solver that answered the selection ("tree-dp",
+	// "presolved", "sparse", "dense", or "" for baseline fallbacks).
+	// Additive v1 field: lenient clients skip it.
+	Route string `json:"route"`
 }
 
 // Stats is the machine-readable counters struct of one run: per-stage
@@ -374,6 +378,7 @@ func NewResponse(res *Result) *Response {
 			DurationUS:  sel.Duration.Microseconds(),
 			Degraded:    sel.Degraded,
 			Gap:         sel.Gap,
+			Route:       sel.Solver,
 		}
 	}
 	if len(res.Artifacts) > 0 {

@@ -258,9 +258,11 @@ func TestResponseSchemaPinned(t *testing.T) {
 	want = append(want, "v", "hpf", "total_cost_us", "dynamic", "procs", "machine", "artifacts",
 		"selection.vars", "selection.constraints", "selection.bb_nodes",
 		"selection.duration_us", "selection.degraded", "selection.gap",
+		"selection.route",
 		"stats.v", "stats.elapsed_us", "stats.stage_us",
 		"stats.solver.solves", "stats.solver.nodes", "stats.solver.lp_pivots",
 		"stats.solver.lp_warm", "stats.solver.lp_cold", "stats.solver.rc_fixed",
+		"stats.solver.presolved", "stats.solver.lp_sparse", "stats.solver.route",
 		"stats.incremental.edits", "stats.incremental.reuse_ratio")
 	for _, layer := range []string{"pricing", "remap", "shared_pricing", "shared_remap", "shared_selection"} {
 		want = append(want, cacheLeaves("stats.cache."+layer)...)

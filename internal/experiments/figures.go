@@ -256,7 +256,10 @@ func ILPSizes() ([]ILPSizeRow, error) {
 	var rows []ILPSizeRow
 	for _, c := range headline {
 		spec, _ := programs.ByName(c.Program)
-		res, err := core.Analyze(context.Background(), core.Input{Source: spec.Source(c.N, c.Type)}, core.Options{Procs: c.Procs})
+		// ForceILP: the table reports the 0-1 formulation's size, so the
+		// structure router (which answers forest-shaped selections with
+		// the tree DP and never builds the ILP) is bypassed.
+		res, err := core.Analyze(context.Background(), core.Input{Source: spec.Source(c.N, c.Type)}, core.Options{Procs: c.Procs, ForceILP: true})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Program, err)
 		}

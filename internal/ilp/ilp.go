@@ -74,7 +74,9 @@ type Result struct {
 	LPPivots  int           // total simplex iterations across all nodes
 	LPWarm    int           // node LPs served by the warm dual-simplex path
 	LPCold    int           // node LPs solved cold (two-phase from scratch)
+	LPSparse  int           // node LPs served by the sparse revised simplex
 	RCFixed   int           // binaries fixed by root reduced-cost fixing
+	Presolved int           // binaries fixed by constraint-propagation presolve
 	Duration  time.Duration // wall-clock solve time
 }
 
@@ -141,6 +143,16 @@ type Solver struct {
 	// independent reference for warm-vs-cold cross-checks in tests and
 	// benchmarks.
 	ColdStart bool
+	// LPMode routes the node LPs between the dense tableau simplex and
+	// the sparse revised simplex (lp.Auto picks by problem size and
+	// density).  It only takes effect on the workspace path; forcing a
+	// mode overrides whatever the caller's workspace was set to.
+	LPMode lp.Mode
+	// NoPresolve disables the constraint-propagation presolve that runs
+	// before branch and bound and fixes binaries forced by the rows
+	// (exactly-one cliques, implied bounds).  The presolve never changes
+	// the optimum, so this is only the reference arm for cross-checks.
+	NoPresolve bool
 }
 
 // deadline resolves the effective absolute cutoff for a solve starting
@@ -233,6 +245,36 @@ func (s *Solver) solve(p *lp.Problem, binaries []int, ws *lp.Workspace) (*Result
 			p.SetBounds(v, savedLo[i], savedHi[i])
 		}
 	}()
+	// Presolve before perturbation so activity arithmetic sees the
+	// caller's true coefficients.  The fixings are implied constraints
+	// (see presolve.go), so the optimum is unchanged; a proven
+	// infeasibility skips branch and bound entirely (the deferred
+	// restore still undoes any fixings already applied).
+	presolved := 0
+	if !s.NoPresolve {
+		var infeasible bool
+		presolved, infeasible = presolve01(p, binaries)
+		if infeasible {
+			return &Result{
+				Status:    Infeasible,
+				Bound:     math.Inf(-1),
+				Presolved: presolved,
+				Duration:  time.Since(start),
+			}, nil
+		}
+	}
+	// Branch and bound must treat presolve fixings as the variables'
+	// real bounds: reduced-cost fixing widens bounds back to its saved
+	// spans, and a frame pop restores them, so handing bb the
+	// pre-presolve bounds would silently undo the fixings mid-search.
+	bbLo, bbHi := savedLo, savedHi
+	if presolved > 0 {
+		bbLo = make([]float64, len(binaries))
+		bbHi = make([]float64, len(binaries))
+		for i, v := range binaries {
+			bbLo[i], bbHi[i] = p.Bounds(v)
+		}
+	}
 	var savedObj []float64
 	if !s.NoPerturb {
 		savedObj = make([]float64, len(binaries))
@@ -251,6 +293,14 @@ func (s *Solver) solve(p *lp.Problem, binaries []int, ws *lp.Workspace) (*Result
 	} else if ws == nil {
 		ws = lp.NewWorkspace()
 	}
+	if ws != nil {
+		if s.LPMode != lp.Auto {
+			ws.Mode = s.LPMode
+		}
+		if s.Fault != nil {
+			ws.Fault = s.Fault
+		}
+	}
 
 	bb := &bbState{
 		p:         p,
@@ -264,8 +314,8 @@ func (s *Solver) solve(p *lp.Problem, binaries []int, ws *lp.Workspace) (*Result
 		certifyLP: s.CertifyLP,
 		fault:     s.Fault,
 		ws:        ws,
-		savedLo:   savedLo,
-		savedHi:   savedHi,
+		savedLo:   bbLo,
+		savedHi:   bbHi,
 		pendV:     -1,
 	}
 	bb.initBuffers()
@@ -276,23 +326,25 @@ func (s *Solver) solve(p *lp.Problem, binaries []int, ws *lp.Workspace) (*Result
 		k := float64(len(binaries))
 		bb.boundSlack = perturbEps * k * (k + 1) / 2
 	}
-	warm0, cold0 := 0, 0
+	warm0, cold0, sparse0 := 0, 0, 0
 	if ws != nil {
-		warm0, cold0 = ws.Warm, ws.Cold
+		warm0, cold0, sparse0 = ws.Warm, ws.Cold, ws.Sparse
 	}
 	err := bb.search()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Bound:    bb.rootBound,
-		Nodes:    bb.nodes,
-		LPPivots: bb.pivots,
-		RCFixed:  bb.rcFixed,
-		Duration: time.Since(start),
+		Bound:     bb.rootBound,
+		Nodes:     bb.nodes,
+		LPPivots:  bb.pivots,
+		RCFixed:   bb.rcFixed,
+		Presolved: presolved,
+		Duration:  time.Since(start),
 	}
 	if ws != nil {
 		res.LPWarm, res.LPCold = ws.Warm-warm0, ws.Cold-cold0
+		res.LPSparse = ws.Sparse - sparse0
 	} else {
 		res.LPCold = bb.nodes
 	}
@@ -680,8 +732,16 @@ func (bb *bbState) backtrack() bool {
 	return false
 }
 
-// perturbEps is the per-variable anti-degeneracy increment.
-const perturbEps = 1e-6
+// PerturbEps is the per-variable anti-degeneracy increment: unless
+// NoPerturb is set, binary i's objective coefficient is raised by
+// PerturbEps*(i+1) (in binaries-slice order) so alternative optima are
+// strictly ordered.  Exported so exact special-case solvers (the tree
+// DP in package layoutgraph) can minimize the identical perturbed
+// objective and land on the same unique argmin as branch and bound.
+const PerturbEps = 1e-6
+
+// perturbEps is the internal alias predating the export.
+const perturbEps = PerturbEps
 
 // Maximize solves the maximization version of p over the binaries by
 // negating the objective in place (restored before return).  The

@@ -1,0 +1,218 @@
+package ilp
+
+// Constraint-propagation presolve for the 0-1 models, after Chen &
+// Kandemir's constraint-network view of the layout problem: most
+// variables in the paper's selection and alignment formulations are
+// decided by logical implication alone, and branch and bound should
+// only ever see the residue.
+//
+// Three rules run to a fixpoint over the rows, all of them implied
+// constraints — a fixing removes only assignments that violate some
+// row outright, so the feasible set and the optimum are untouched:
+//
+//   - exactly-one cliques: a row Σx_i = 1 over binaries with unit
+//     coefficients fixes everything else to 0 once a member hits 1,
+//     and fixes the last free member to 1 once the rest are 0;
+//   - implied bounds: for every row, the residual activity range of
+//     the other terms bounds this term — when the bound forbids one
+//     side of a binary, the binary is fixed (a singleton row is the
+//     degenerate case: its "residual" is empty, so the row's bound
+//     applies directly);
+//   - infeasibility: a row whose activity range cannot reach its
+//     right-hand side at all proves the whole model infeasible
+//     without a single LP solve.
+//
+// Only binaries are fixed; continuous variables contribute their
+// bounds to the activity ranges but are never tightened, which keeps
+// the presolve read-only with respect to everything the LP relaxation
+// owns.
+
+import (
+	"math"
+
+	"repro/internal/lp"
+)
+
+// presolveTol is the comparison slack for activity arithmetic.
+const presolveTol = 1e-9
+
+// presolve01 propagates the rows of p over the binary variables,
+// fixing forced binaries in place via p.SetBounds.  It returns the
+// number of binaries fixed and whether a row proved the model
+// infeasible.  The caller owns restoring the original bounds.
+func presolve01(p *lp.Problem, binaries []int) (fixed int, infeasible bool) {
+	isBin := make([]bool, p.NumVariables())
+	for _, v := range binaries {
+		isBin[v] = true
+	}
+	// Fixpoint iteration: each pass applies every rule to every row;
+	// a pass that fixes nothing ends the loop.  The pass cap bounds
+	// the worst case at O(passes·nnz); each productive pass fixes at
+	// least one binary, so the cap only truncates pathological chains.
+	for pass := 0; pass < 32; pass++ {
+		changed := false
+		bad := false
+		p.EachConstraint(func(row lp.Constraint) {
+			if bad {
+				return
+			}
+			c, inf := propagateRow(p, row, isBin)
+			fixed += c
+			if c > 0 {
+				changed = true
+			}
+			if inf {
+				bad = true
+			}
+		})
+		if bad {
+			return fixed, true
+		}
+		if !changed {
+			break
+		}
+	}
+	return fixed, false
+}
+
+// propagateRow applies the clique and implied-bound rules to one row.
+func propagateRow(p *lp.Problem, row lp.Constraint, isBin []bool) (fixed int, infeasible bool) {
+	// Exactly-one clique fast path: Σ x_i = 1, unit coefficients, all
+	// binary.
+	if row.Rel == lp.EQ && row.RHS == 1 {
+		clique := len(row.Terms) > 0
+		ones, free := 0, 0
+		for _, t := range row.Terms {
+			lo, hi := p.Bounds(t.Var)
+			if t.Coeff != 1 || !isBin[t.Var] {
+				clique = false
+				break
+			}
+			switch {
+			case lo == hi && lo == 1:
+				ones++
+			case lo != hi:
+				free++
+			}
+		}
+		if clique {
+			switch {
+			case ones > 1, ones == 0 && free == 0:
+				return 0, true
+			case ones == 1:
+				for _, t := range row.Terms {
+					if lo, hi := p.Bounds(t.Var); lo != hi {
+						p.SetBounds(t.Var, 0, 0)
+						fixed++
+					}
+				}
+				return fixed, false
+			case free == 1:
+				for _, t := range row.Terms {
+					if lo, hi := p.Bounds(t.Var); lo != hi {
+						p.SetBounds(t.Var, 1, 1)
+						fixed++
+					}
+				}
+				return fixed, false
+			}
+			return 0, false
+		}
+	}
+	// Activity range of the row.  Infinite bounds are counted, not
+	// summed, so a single infinite contributor can be subtracted back
+	// out when computing a term's residual.
+	minSum, maxSum := 0.0, 0.0
+	minInf, maxInf := 0, 0
+	for _, t := range row.Terms {
+		lo, hi := p.Bounds(t.Var)
+		l, h := t.Coeff*lo, t.Coeff*hi
+		if t.Coeff < 0 {
+			l, h = h, l
+		}
+		if math.IsInf(l, -1) {
+			minInf++
+		} else {
+			minSum += l
+		}
+		if math.IsInf(h, 1) {
+			maxInf++
+		} else {
+			maxSum += h
+		}
+	}
+	ge := row.Rel == lp.GE || row.Rel == lp.EQ
+	le := row.Rel == lp.LE || row.Rel == lp.EQ
+	if le && minInf == 0 && minSum > row.RHS+presolveTol {
+		return 0, true
+	}
+	if ge && maxInf == 0 && maxSum < row.RHS-presolveTol {
+		return 0, true
+	}
+	// Implied bound per binary term: residual activity of the others
+	// bounds c·x.
+	for _, t := range row.Terms {
+		if !isBin[t.Var] || t.Coeff == 0 {
+			continue
+		}
+		lo, hi := p.Bounds(t.Var)
+		if lo == hi {
+			continue
+		}
+		l, h := t.Coeff*lo, t.Coeff*hi
+		if t.Coeff < 0 {
+			l, h = h, l
+		}
+		// LE side: c·x ≤ RHS − residMin.
+		if le {
+			rm := minSum - l
+			if minInf == 0 {
+				if up := row.RHS - rm; true {
+					// c·x ≤ up
+					if t.Coeff > 0 && up < t.Coeff*hi-presolveTol {
+						if up < t.Coeff*lo-presolveTol {
+							return fixed, true
+						}
+						p.SetBounds(t.Var, lo, lo)
+						fixed++
+						continue
+					}
+					if t.Coeff < 0 && up < t.Coeff*lo-presolveTol {
+						if up < t.Coeff*hi-presolveTol {
+							return fixed, true
+						}
+						p.SetBounds(t.Var, hi, hi)
+						fixed++
+						continue
+					}
+				}
+			}
+		}
+		// GE side: c·x ≥ RHS − residMax.
+		if ge {
+			rm := maxSum - h
+			if maxInf == 0 {
+				if down := row.RHS - rm; true {
+					// c·x ≥ down
+					if t.Coeff > 0 && down > t.Coeff*lo+presolveTol {
+						if down > t.Coeff*hi+presolveTol {
+							return fixed, true
+						}
+						p.SetBounds(t.Var, hi, hi)
+						fixed++
+						continue
+					}
+					if t.Coeff < 0 && down > t.Coeff*hi+presolveTol {
+						if down > t.Coeff*lo+presolveTol {
+							return fixed, true
+						}
+						p.SetBounds(t.Var, lo, lo)
+						fixed++
+						continue
+					}
+				}
+			}
+		}
+	}
+	return fixed, false
+}

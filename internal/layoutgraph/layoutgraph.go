@@ -62,6 +62,17 @@ type Selection struct {
 	LPWarm, LPCold             int
 	RCFixed                    int
 	Duration                   time.Duration
+	// Solver names the route that produced the selection: "tree-dp"
+	// (exact dynamic program on a forest-shaped graph), "presolved"
+	// (constraint propagation fixed every binary before branch and
+	// bound), "sparse" (ILP with node LPs on the sparse revised
+	// simplex), "dense" (ILP on the dense tableau simplex), or "" for
+	// the explicit baselines (SolveDP, SolveGreedy, SolveExhaustive).
+	Solver string
+	// Presolved counts binaries fixed by the ILP's constraint
+	// propagation; LPSparse counts node LPs served by the sparse
+	// revised simplex.  Both are zero on the tree-dp route.
+	Presolved, LPSparse int
 	// Degraded reports the selection is a feasible incumbent (or a
 	// heuristic fallback) rather than a proven optimum — the solve was
 	// cut off by a node or wall-clock limit.  Cost is still exact for
@@ -229,7 +240,17 @@ func (g *Graph) SolveILPWS(solver *ilp.Solver, ws *lp.Workspace) (*Selection, er
 		LPWarm:      res.LPWarm,
 		LPCold:      res.LPCold,
 		RCFixed:     res.RCFixed,
+		Presolved:   res.Presolved,
+		LPSparse:    res.LPSparse,
 		Duration:    time.Since(start),
+	}
+	switch {
+	case res.Presolved == len(binaries) && len(binaries) > 0:
+		sel.Solver = "presolved"
+	case res.LPSparse > 0:
+		sel.Solver = "sparse"
+	default:
+		sel.Solver = "dense"
 	}
 	switch {
 	case res.Status == ilp.Optimal:

@@ -1,0 +1,269 @@
+package layoutgraph
+
+// Structure-detected polynomial routing.  [Kre93] proves general
+// layout selection NP-complete, but the hard instances need diamonds:
+// on a graph whose undirected phase structure is a forest the problem
+// is a textbook tree DP, exact in O(Σ_e |cand|²) time.  Interphase
+// structure in real programs is overwhelmingly path- or tree-shaped
+// (straight-line phase sequences, call trees), so SolveAuto checks the
+// shape first and only falls back to branch and bound for the
+// genuinely hard graphs (rings from PCFG loops, tied phases, reconverging
+// control flow).
+//
+// The DP minimizes the SAME perturbed objective branch and bound does
+// (each node binary's cost raised by ilp.PerturbEps*(index+1) in the
+// exact binaries-slice order SolveILPWS would build: phase-major,
+// candidate-minor; edge y variables are continuous and unperturbed).
+// The perturbation strictly orders alternative optima, so both solvers
+// return the identical argmin and the route switch is invisible in
+// every byte of downstream output.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// treePair is one merged undirected adjacency between two phases.
+// cost[i][j] is the total remapping cost when lo picks i and hi picks
+// j (lo < hi): parallel edges sum, reverse edges sum transposed.
+type treePair struct {
+	lo, hi int
+	cost   [][]float64
+}
+
+// treeShape classifies the undirected edge structure.  It returns the
+// merged pair list and the per-phase self-loop diagonal additions when
+// the graph is a forest (no ties, no undirected cycles), or ok=false
+// when the instance needs the ILP.
+func (g *Graph) treeShape() (pairs []*treePair, selfCost [][]float64, ok bool) {
+	if len(g.Ties) > 0 {
+		return nil, nil, false
+	}
+	n := len(g.NodeCost)
+	byPair := make(map[[2]int]*treePair)
+	for _, e := range g.Edges {
+		if e.FromPhase == e.ToPhase {
+			// A self-loop contributes Cost[i][i] whenever the phase picks
+			// i — a pure node-cost term.
+			p := e.FromPhase
+			if selfCost == nil {
+				selfCost = make([][]float64, n)
+			}
+			if selfCost[p] == nil {
+				selfCost[p] = make([]float64, len(g.NodeCost[p]))
+			}
+			for i := range selfCost[p] {
+				selfCost[p][i] += e.Cost[i][i]
+			}
+			continue
+		}
+		lo, hi := e.FromPhase, e.ToPhase
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pr := byPair[[2]int{lo, hi}]
+		if pr == nil {
+			pr = &treePair{lo: lo, hi: hi, cost: make([][]float64, len(g.NodeCost[lo]))}
+			for i := range pr.cost {
+				pr.cost[i] = make([]float64, len(g.NodeCost[hi]))
+			}
+			byPair[[2]int{lo, hi}] = pr
+			pairs = append(pairs, pr)
+		}
+		if e.FromPhase == lo {
+			for i := range e.Cost {
+				for j, c := range e.Cost[i] {
+					pr.cost[i][j] += c
+				}
+			}
+		} else {
+			for i := range e.Cost {
+				for j, c := range e.Cost[i] {
+					pr.cost[j][i] += c
+				}
+			}
+		}
+	}
+	// Forest check: union-find over the merged pairs.  Parallel and
+	// reverse edges are already one pair, so any union of two phases
+	// that are connected is a genuine undirected cycle (e.g. a ring).
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, pr := range pairs {
+		a, b := find(pr.lo), find(pr.hi)
+		if a == b {
+			return nil, nil, false
+		}
+		parent[a] = b
+	}
+	return pairs, selfCost, true
+}
+
+// SolveTree selects optimally by dynamic programming when the graph's
+// undirected structure is a forest; other shapes (rings, reconverging
+// paths, tied phases) return an error and belong to SolveILP.  The
+// solver argument only supplies NoPerturb (nil means perturb, matching
+// ilp.Solver's default); limits are ignored — the DP is polynomial and
+// needs none.
+func (g *Graph) SolveTree(solver *ilp.Solver) (*Selection, error) {
+	g.validate()
+	start := time.Now()
+	pairs, selfCost, ok := g.treeShape()
+	if !ok {
+		return nil, fmt.Errorf("layoutgraph: graph is not a forest; use SolveILP")
+	}
+	n := len(g.NodeCost)
+	perturb := solver == nil || !solver.NoPerturb
+
+	// Per-phase DP node costs: candidate cost, folded self-loops, and
+	// the exact perturbation branch and bound would apply to the
+	// corresponding binary (phase-major, candidate-minor index order).
+	node := make([][]float64, n)
+	binIndex := 0
+	for p, costs := range g.NodeCost {
+		node[p] = make([]float64, len(costs))
+		for i, c := range costs {
+			node[p][i] = c
+			if selfCost != nil && selfCost[p] != nil {
+				node[p][i] += selfCost[p][i]
+			}
+			if perturb {
+				node[p][i] += ilp.PerturbEps * float64(binIndex+1)
+			}
+			binIndex++
+		}
+	}
+
+	type halfEdge struct {
+		to   int
+		pair *treePair // cost oriented lo→hi; flip says this phase is hi
+		flip bool
+	}
+	adj := make([][]halfEdge, n)
+	for _, pr := range pairs {
+		adj[pr.lo] = append(adj[pr.lo], halfEdge{to: pr.hi, pair: pr})
+		adj[pr.hi] = append(adj[pr.hi], halfEdge{to: pr.lo, pair: pr, flip: true})
+	}
+	edgeCost := func(h halfEdge, self, other int) float64 {
+		if h.flip {
+			return h.pair.cost[other][self]
+		}
+		return h.pair.cost[self][other]
+	}
+
+	// Rooted post-order DP per component.  dp[v][i] is the minimum
+	// perturbed cost of v's subtree with v picking i; bestJ[w][i] is
+	// w's optimal candidate when its DP parent picks i (ties broken
+	// toward the smaller candidate index, the direction branch and
+	// bound's round-nearest dive also prefers under perturbation).
+	dp := make([][]float64, n)
+	bestJ := make([][]int, n)
+	visited := make([]bool, n)
+	var dfs func(v, from int)
+	dfs = func(v, from int) {
+		visited[v] = true
+		dp[v] = append([]float64(nil), node[v]...)
+		for _, h := range adj[v] {
+			if h.to == from {
+				continue
+			}
+			w := h.to
+			dfs(w, v)
+			bestJ[w] = make([]int, len(dp[v]))
+			for i := range dp[v] {
+				bi, bv := -1, math.Inf(1)
+				for j := range dp[w] {
+					if c := dp[w][j] + edgeCost(h, i, j); c < bv {
+						bi, bv = j, c
+					}
+				}
+				dp[v][i] += bv
+				bestJ[w][i] = bi
+			}
+		}
+	}
+	choice := make([]int, n)
+	var assign func(v, from int)
+	assign = func(v, from int) {
+		for _, h := range adj[v] {
+			if h.to == from {
+				continue
+			}
+			choice[h.to] = bestJ[h.to][choice[v]]
+			assign(h.to, v)
+		}
+	}
+	perturbedTotal := 0.0
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		dfs(root, -1)
+		bi, bv := -1, math.Inf(1)
+		for i, c := range dp[root] {
+			if c < bv {
+				bi, bv = i, c
+			}
+		}
+		choice[root] = bi
+		perturbedTotal += bv
+		assign(root, -1)
+	}
+
+	sel := &Selection{
+		Choice:   choice,
+		Cost:     g.evaluate(choice),
+		Solver:   "tree-dp",
+		Duration: time.Since(start),
+	}
+	// Self-certification: the reconstructed selection, costed from the
+	// original graph plus the perturbation terms, must reproduce the DP
+	// optimum exactly (up to float noise).  A mismatch means the
+	// reconstruction and the recurrence disagree — never return it.
+	check := sel.Cost
+	if perturb {
+		binIndex = 0
+		for p := range g.NodeCost {
+			check += ilp.PerturbEps * float64(binIndex+choice[p]+1)
+			binIndex += len(g.NodeCost[p])
+		}
+	}
+	if math.Abs(check-perturbedTotal) > 1e-6*math.Max(1, math.Abs(perturbedTotal)) {
+		return nil, fmt.Errorf("layoutgraph: tree DP self-check failed: reconstructed cost %g, DP optimum %g", check, perturbedTotal)
+	}
+	return sel, nil
+}
+
+// SolveAuto routes the selection by structure: forest-shaped graphs go
+// to the exact polynomial tree DP, everything else to the 0-1 ILP
+// (whose node LPs in turn route between the dense and sparse simplex
+// by size).  Selection.Solver records the route taken.  Both routes
+// minimize the same (perturbed) objective, so the router never changes
+// the selection — only how fast it arrives.
+func (g *Graph) SolveAuto(solver *ilp.Solver) (*Selection, error) {
+	return g.SolveAutoWS(solver, nil)
+}
+
+// SolveAutoWS is SolveAuto with a caller-owned lp.Workspace for the
+// ILP route (see SolveILPWS).
+func (g *Graph) SolveAutoWS(solver *ilp.Solver, ws *lp.Workspace) (*Selection, error) {
+	g.validate()
+	if _, _, ok := g.treeShape(); ok {
+		return g.SolveTree(solver)
+	}
+	return g.SolveILPWS(solver, ws)
+}

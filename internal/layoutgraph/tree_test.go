@@ -1,0 +1,212 @@
+package layoutgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ilp"
+)
+
+// randomForestGraph builds a random forest-shaped layout graph:
+// each phase links to at most one earlier phase (random direction, so
+// the DP sees both edge orientations), with occasional parallel edges,
+// reverse duplicates and self-loops that the merger must fold.
+// Float64 costs keep perturbed optima unique, so choice vectors — not
+// just costs — must agree across solvers.
+func randomForestGraph(rng *rand.Rand) *Graph {
+	phases := 1 + rng.Intn(6)
+	g := &Graph{NodeCost: make([][]float64, phases)}
+	for p := range g.NodeCost {
+		g.NodeCost[p] = make([]float64, 1+rng.Intn(3))
+		for i := range g.NodeCost[p] {
+			g.NodeCost[p][i] = rng.Float64() * 50
+		}
+	}
+	link := func(from, to int) {
+		e := &Edge{FromPhase: from, ToPhase: to}
+		e.Cost = make([][]float64, len(g.NodeCost[from]))
+		for i := range e.Cost {
+			e.Cost[i] = make([]float64, len(g.NodeCost[to]))
+			for j := range e.Cost[i] {
+				e.Cost[i][j] = rng.Float64() * 30
+			}
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	for p := 1; p < phases; p++ {
+		if rng.Intn(4) == 0 {
+			continue // new component: a forest, not one tree
+		}
+		anchor := rng.Intn(p)
+		if rng.Intn(2) == 0 {
+			link(anchor, p)
+		} else {
+			link(p, anchor) // back edge: same undirected pair
+		}
+		if rng.Intn(5) == 0 {
+			if rng.Intn(2) == 0 {
+				link(anchor, p) // parallel duplicate
+			} else {
+				link(p, anchor) // reverse duplicate
+			}
+		}
+	}
+	if rng.Intn(4) == 0 {
+		link(rng.Intn(phases), rng.Intn(phases)) // may be a self-loop or a cycle-closer
+	}
+	return g
+}
+
+// TestQuickTreeMatchesILP is the routing soundness property: on every
+// graph the shape detector accepts, the tree DP must return the exact
+// choice vector branch and bound would — the identical perturbed
+// argmin — with zero branch-and-bound nodes spent.
+func TestQuickTreeMatchesILP(t *testing.T) {
+	routed := 0
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomForestGraph(rng)
+		treeSel, err := g.SolveTree(nil)
+		if err != nil {
+			// Not a forest (the random cycle-closer fired): ILP territory,
+			// nothing to compare.
+			return true
+		}
+		routed++
+		if treeSel.Solver != "tree-dp" || treeSel.BBNodes != 0 {
+			t.Logf("seed %d: route %q, %d nodes", seed, treeSel.Solver, treeSel.BBNodes)
+			return false
+		}
+		ilpSel, err := g.SolveILP(nil)
+		if err != nil {
+			t.Logf("seed %d: SolveILP: %v", seed, err)
+			return false
+		}
+		if !approx(treeSel.Cost, ilpSel.Cost) {
+			t.Logf("seed %d: tree cost %v, ilp %v", seed, treeSel.Cost, ilpSel.Cost)
+			return false
+		}
+		for p := range treeSel.Choice {
+			if treeSel.Choice[p] != ilpSel.Choice[p] {
+				t.Logf("seed %d: choice diverges at phase %d: tree %v, ilp %v",
+					seed, p, treeSel.Choice, ilpSel.Choice)
+				return false
+			}
+		}
+		ex, err := g.SolveExhaustive()
+		if err != nil {
+			return false
+		}
+		return approx(treeSel.Cost, ex.Cost)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+	if routed == 0 {
+		t.Fatal("no random graph routed to the tree DP")
+	}
+}
+
+// TestTreeNoPerturb: with perturbation off on both sides the costs
+// still agree (choices may legitimately differ between tied optima).
+func TestTreeNoPerturb(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomForestGraph(rng)
+		s := &ilp.Solver{NoPerturb: true}
+		treeSel, err := g.SolveTree(s)
+		if err != nil {
+			continue
+		}
+		ilpSel, err := g.SolveILP(s)
+		if err != nil {
+			t.Fatalf("seed %d: SolveILP: %v", seed, err)
+		}
+		if !approx(treeSel.Cost, ilpSel.Cost) {
+			t.Fatalf("seed %d: tree cost %v, ilp %v", seed, treeSel.Cost, ilpSel.Cost)
+		}
+	}
+}
+
+// TestTreeRejectsNonForests: rings, tied phases and reconverging
+// structure must refuse the DP route.
+func TestTreeRejectsNonForests(t *testing.T) {
+	ring := frustratedRing(4, rand.New(rand.NewSource(1)))
+	if _, err := ring.SolveTree(nil); err == nil {
+		t.Fatal("tree DP accepted a ring")
+	}
+	tied := &Graph{
+		NodeCost: [][]float64{{1, 2}, {3, 4}},
+		Ties:     [][2]int{{0, 1}},
+	}
+	if _, err := tied.SolveTree(nil); err == nil {
+		t.Fatal("tree DP accepted tied phases")
+	}
+}
+
+// TestSolveAutoRouting pins the router: forests take the DP route with
+// zero branch-and-bound nodes, rings fall back to the ILP.
+func TestSolveAutoRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	chain := &Graph{NodeCost: [][]float64{{3, 1}, {2, 5}, {4, 2}}}
+	chain.Edges = []*Edge{randomEdge(rng, chain, 0, 1), randomEdge(rng, chain, 1, 2)}
+	sel, err := chain.SolveAuto(nil)
+	if err != nil {
+		t.Fatalf("SolveAuto(chain): %v", err)
+	}
+	if sel.Solver != "tree-dp" || sel.BBNodes != 0 {
+		t.Fatalf("chain routed to %q with %d nodes, want tree-dp with 0", sel.Solver, sel.BBNodes)
+	}
+	ex, err := chain.SolveExhaustive()
+	if err != nil {
+		t.Fatalf("SolveExhaustive: %v", err)
+	}
+	if !approx(sel.Cost, ex.Cost) {
+		t.Fatalf("chain cost %v, exhaustive %v", sel.Cost, ex.Cost)
+	}
+
+	ring := frustratedRing(5, rng)
+	rsel, err := ring.SolveAuto(nil)
+	if err != nil {
+		t.Fatalf("SolveAuto(ring): %v", err)
+	}
+	switch rsel.Solver {
+	case "dense", "sparse", "presolved":
+	default:
+		t.Fatalf("ring routed to %q, want an ILP route", rsel.Solver)
+	}
+	rex, err := ring.SolveExhaustive()
+	if err != nil {
+		t.Fatalf("SolveExhaustive(ring): %v", err)
+	}
+	if !approx(rsel.Cost, rex.Cost) {
+		t.Fatalf("ring cost %v, exhaustive %v", rsel.Cost, rex.Cost)
+	}
+}
+
+// TestTreeSelfLoopFolding: a self-loop edge is a node-cost term; the DP
+// must fold its diagonal and still match enumeration.
+func TestTreeSelfLoopFolding(t *testing.T) {
+	g := &Graph{NodeCost: [][]float64{{1, 1}, {2, 0}}}
+	g.Edges = []*Edge{
+		{FromPhase: 0, ToPhase: 1, Cost: [][]float64{{0, 5}, {5, 0}}},
+		// Self-loop on phase 0: picking candidate 1 costs 10 more.
+		{FromPhase: 0, ToPhase: 0, Cost: [][]float64{{0, 99}, {99, 10}}},
+	}
+	sel, err := g.SolveTree(nil)
+	if err != nil {
+		t.Fatalf("SolveTree: %v", err)
+	}
+	ex, err := g.SolveExhaustive()
+	if err != nil {
+		t.Fatalf("SolveExhaustive: %v", err)
+	}
+	if !approx(sel.Cost, ex.Cost) {
+		t.Fatalf("cost %v (choice %v), exhaustive %v (choice %v)", sel.Cost, sel.Choice, ex.Cost, ex.Choice)
+	}
+	if sel.Choice[0] != 0 {
+		t.Fatalf("self-loop penalty ignored: choice %v", sel.Choice)
+	}
+}

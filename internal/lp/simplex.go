@@ -68,27 +68,27 @@ func (p *Problem) SolveAbort(abort func() bool) (*Solution, error) {
 func (tb *tableau) runTwoPhase(p *Problem) (Status, error) {
 	if tb.needPhase1() {
 		tb.loadPhase1Cost()
-		st := tb.iterate()
-		if st == nil {
+		st, ok := tb.iterate()
+		if !ok {
 			if tb.aborted {
 				return 0, ErrCanceled
 			}
 			return 0, ErrIterationLimit
 		}
-		if *st != Optimal || tb.objective() > 1e-7 {
+		if st != Optimal || tb.objective() > 1e-7 {
 			return Infeasible, nil
 		}
 		tb.banishArtificials()
 	}
 	tb.loadPhase2Cost(p)
-	st := tb.iterate()
-	if st == nil {
+	st, ok := tb.iterate()
+	if !ok {
 		if tb.aborted {
 			return 0, ErrCanceled
 		}
 		return 0, ErrIterationLimit
 	}
-	return *st, nil
+	return st, nil
 }
 
 func newTableau(p *Problem) *tableau {
@@ -371,26 +371,27 @@ func (tb *tableau) nonbasicValue(j int) float64 {
 	return 0
 }
 
-// iterate runs simplex pivots until optimal or unbounded.  It returns
-// nil when the iteration limit is exceeded or the abort probe fires
-// (distinguished by tb.aborted).
-func (tb *tableau) iterate() *Status {
+// iterate runs simplex pivots until optimal or unbounded.  ok=false
+// means the iteration limit was exceeded or the abort probe fired
+// (distinguished by tb.aborted).  The status is returned by value — a
+// boxed *Status here would escape and put two heap allocations on
+// every cold solve, which the workspace's zero-steady-state-allocation
+// contract forbids.
+func (tb *tableau) iterate() (Status, bool) {
 	stall := 0
 	bland := false
 	for ; tb.iters < tb.maxIters; tb.iters++ {
 		if tb.abort != nil && tb.iters%abortCheckInterval == 0 && tb.abort() {
 			tb.aborted = true
-			return nil
+			return 0, false
 		}
 		j, dir := tb.chooseEntering(bland)
 		if j < 0 {
-			s := Optimal
-			return &s
+			return Optimal, true
 		}
 		step, leaveRow, leaveToUpper := tb.ratioTest(j, dir, bland)
 		if math.IsInf(step, 1) {
-			s := Unbounded
-			return &s
+			return Unbounded, true
 		}
 		if step < eps {
 			stall++
@@ -403,7 +404,7 @@ func (tb *tableau) iterate() *Status {
 		}
 		tb.applyStep(j, dir, step, leaveRow, leaveToUpper)
 	}
-	return nil
+	return 0, false
 }
 
 // chooseEntering picks an entering variable and its movement direction

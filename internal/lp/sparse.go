@@ -1,0 +1,1100 @@
+package lp
+
+// Sparse revised simplex.
+//
+// The dense tableau in simplex.go carries B⁻¹A explicitly: O(m·n)
+// memory and O(m·n) work per pivot, which is exactly right for the
+// small alignment and selection LPs the pipeline mostly solves and
+// exactly wrong once hundred-phase programs push m·n into the tens of
+// millions.  This file is the scaling path: the same two-phase
+// bounded-variable primal simplex and the same dual reoptimization,
+// but over the problem's sparse columns with the basis kept as a
+// product-form (eta-file) factorization instead of an explicit
+// inverse.
+//
+// Representation.  The constraint matrix — structural columns, one
+// slack per inequality row, one artificial per row — is stored in
+// compressed sparse column form.  The basis inverse is a product of
+// elementary column transforms ("etas"): each pivot on entering column
+// q with leaving row r appends the FTRAN'd column w = B⁻¹a_q as an eta
+// with pivot row r, so B'⁻¹ = E⁻¹B⁻¹ without touching anything else.
+// FTRAN applies the etas forward to a column, BTRAN applies them
+// backward to a row vector; both visit only eta nonzeros.
+//
+// Refactorization.  The eta file grows with every pivot and its error
+// compounds, so every refactorEvery pivots (or when the file outgrows
+// the matrix) the factorization is rebuilt from scratch: the basic
+// columns are processed in nonzero-count order, each FTRAN'd through
+// the etas emitted so far, and the largest remaining entry is chosen
+// as the pivot row — product-form Gaussian elimination with partial
+// pivoting.  The initial (all-slack/artificial, diagonal) basis goes
+// through the same routine, so a cold start, a warm start and a
+// mid-solve refactorization share one code path — and one fault
+// injection site (stage.LPFactorize).
+//
+// Trust boundary.  The dense path is the reference; the sparse core is
+// never allowed to be wrong, only to give up.  Every terminal claim is
+// verified against the original matrix before it is believed: an
+// Optimal must pass a primal residual check (A·x ≈ b), a bound check,
+// a basic-reduced-cost check (|c_B − y·A_B| ≈ 0, which catches a
+// drifted or corrupted factorization because y comes from the etas but
+// A and c do not) and the usual sign conditions; an Infeasible claim
+// from the dual path must additionally prove its pricing row really is
+// row r of B⁻¹.  Any failure — including an injected lp-factorize
+// fault — makes the workspace fall back to the dense two-phase solve.
+import (
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/stage"
+)
+
+// refactorEvery is the pivot count between basis refactorizations.
+const refactorEvery = 64
+
+// sparseCore is the sparse sibling of tableau: the working state of
+// one revised-simplex solve, sized for reuse across solves.
+type sparseCore struct {
+	m, n     int // rows, total columns (structural + slack + artificial)
+	nStruct  int
+	artFirst int // first artificial column; artificial i covers row i
+
+	// CSC matrix of all n columns.
+	colStart []int32
+	rowIdx   []int32
+	aval     []float64
+
+	b []float64 // row right-hand sides
+
+	lo, hi, cost, d []float64
+	status          []int8
+	basis           []int
+	xB              []float64
+
+	// Eta file: entries of eta e live in etaIdx/etaVal
+	// [etaStart[e]:etaStart[e+1]]; the first entry is the pivot
+	// (row, pivot value), the rest the off-pivot multipliers.
+	etaStart []int32
+	etaIdx   []int32
+	etaVal   []float64
+	nEta     int
+
+	// FTRAN scratch: dense accumulator + touched-row pattern, with a
+	// stamped mark array so clearing costs O(|pattern|).
+	work  []float64
+	wpat  []int32
+	wn    int
+	mark  []int32
+	stamp int32
+
+	rho   []float64 // dense BTRAN / residual scratch, length m
+	alpha []float64 // dual pricing row scratch, length n
+
+	colPerm  []int // factorization column order scratch
+	newBasis []int
+	rowTag   []int32 // factorization assigned-row marks (stamped)
+	rowStamp int32
+
+	iters       int
+	maxIters    int
+	abort       func() bool
+	aborted     bool
+	pivotsSince int
+	fp          *fault.Plan
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// init (re)builds the sparse state for p in place, mirroring
+// tableau.init: CSC matrix, bounds, initial all-slack/artificial
+// basis, and the initial factorization.  It returns false when the
+// initial factorization fails (only under an injected fault — the
+// initial basis is diagonal), which sends the workspace to the dense
+// path.
+func (sc *sparseCore) init(p *Problem) bool {
+	m := len(p.rows)
+	nStruct := len(p.obj)
+	nSlack := 0
+	nnz := 0
+	for _, r := range p.rows {
+		if r.Rel != EQ {
+			nSlack++
+		}
+		nnz += len(r.Terms)
+	}
+	artFirst := nStruct + nSlack
+	n := artFirst + m
+	sc.m, sc.n, sc.nStruct, sc.artFirst = m, n, nStruct, artFirst
+	sc.maxIters = 200*(m+nStruct) + 20000
+	sc.iters, sc.aborted, sc.pivotsSince = 0, false, 0
+
+	total := nnz + nSlack + m
+	sc.colStart = resizeI32(sc.colStart, n+1)
+	sc.rowIdx = resizeI32(sc.rowIdx, total)
+	sc.aval = resizeF(sc.aval, total)
+	sc.b = resizeF(sc.b, m)
+	sc.lo = resizeF(sc.lo, n)
+	sc.hi = resizeF(sc.hi, n)
+	sc.cost = resizeF(sc.cost, n)
+	sc.d = resizeF(sc.d, n)
+	if cap(sc.status) < n {
+		sc.status = make([]int8, n)
+	} else {
+		sc.status = sc.status[:n]
+	}
+	sc.basis = resizeInt(sc.basis, m)
+	sc.xB = resizeF(sc.xB, m)
+	sc.work = resizeF(sc.work, m)
+	sc.wpat = resizeI32(sc.wpat, m)
+	sc.mark = resizeI32(sc.mark, m)
+	sc.rho = resizeF(sc.rho, m)
+	sc.alpha = resizeF(sc.alpha, n)
+	sc.colPerm = resizeInt(sc.colPerm, m)
+	sc.newBasis = resizeInt(sc.newBasis, m)
+	sc.rowTag = resizeI32(sc.rowTag, m)
+	for i := 0; i < m; i++ {
+		sc.mark[i], sc.rowTag[i] = 0, 0
+	}
+	sc.stamp, sc.rowStamp = 0, 0
+	sc.etaStart = resizeI32(sc.etaStart, 1)
+	sc.etaStart[0] = 0
+	sc.etaIdx = sc.etaIdx[:0]
+	sc.etaVal = sc.etaVal[:0]
+	sc.nEta = 0
+
+	// CSC build: count structural entries per column, prefix-sum, fill.
+	// Duplicate (row, var) terms stay as separate entries — every use
+	// of a column is additive, matching the dense += semantics.
+	for j := 0; j <= n; j++ {
+		sc.colStart[j] = 0
+	}
+	for _, r := range p.rows {
+		for _, t := range r.Terms {
+			sc.colStart[t.Var+1]++
+		}
+	}
+	// Slack and artificial columns have one entry each.
+	for j := nStruct; j < n; j++ {
+		sc.colStart[j+1] = 1
+	}
+	for j := 0; j < n; j++ {
+		sc.colStart[j+1] += sc.colStart[j]
+	}
+	// Fill using alpha[:n] as the per-column write cursor.
+	next := sc.alpha
+	for j := 0; j < n; j++ {
+		next[j] = float64(sc.colStart[j])
+	}
+	for i, r := range p.rows {
+		sc.b[i] = r.RHS
+		for _, t := range r.Terms {
+			k := int(next[t.Var])
+			sc.rowIdx[k] = int32(i)
+			sc.aval[k] = t.Coeff
+			next[t.Var]++
+		}
+	}
+	col := nStruct
+	for i, r := range p.rows {
+		if r.Rel == EQ {
+			continue
+		}
+		k := sc.colStart[col]
+		sc.rowIdx[k] = int32(i)
+		if r.Rel == LE {
+			sc.aval[k] = 1
+		} else {
+			sc.aval[k] = -1
+		}
+		sc.lo[col], sc.hi[col] = 0, Inf
+		col++
+	}
+	for i := 0; i < m; i++ {
+		k := sc.colStart[artFirst+i]
+		sc.rowIdx[k] = int32(i)
+		sc.aval[k] = 1 // sign set below once the residual is known
+	}
+
+	// Structural variables rest at their preferred bound; row residuals
+	// decide slack-vs-artificial for the initial basis, exactly like
+	// tableau.init.
+	resid := sc.rho
+	copy(resid, sc.b)
+	for j := 0; j < nStruct; j++ {
+		sc.lo[j], sc.hi[j] = p.lo[j], p.hi[j]
+		var x float64
+		switch {
+		case !math.IsInf(p.lo[j], -1):
+			sc.status[j] = atLower
+			x = p.lo[j]
+		case !math.IsInf(p.hi[j], 1):
+			sc.status[j] = atUpper
+			x = p.hi[j]
+		default:
+			sc.status[j] = atFree
+		}
+		if x != 0 {
+			for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+				resid[sc.rowIdx[k]] -= sc.aval[k] * x
+			}
+		}
+	}
+	col = nStruct
+	for i, r := range p.rows {
+		slack := -1
+		if r.Rel != EQ {
+			slack = col
+			col++
+		}
+		art := artFirst + i
+		switch {
+		case slack >= 0 && r.Rel == LE && resid[i] >= -eps:
+			sc.basis[i], sc.status[slack] = slack, inBasis
+			sc.xB[i] = math.Max(resid[i], 0)
+			sc.lo[art], sc.hi[art] = 0, 0
+			sc.status[art] = atLower
+		case slack >= 0 && r.Rel == GE && resid[i] <= eps:
+			sc.basis[i], sc.status[slack] = slack, inBasis
+			sc.xB[i] = math.Max(-resid[i], 0)
+			sc.lo[art], sc.hi[art] = 0, 0
+			sc.status[art] = atLower
+		default:
+			if slack >= 0 {
+				sc.status[slack] = atLower
+			}
+			if resid[i] < 0 {
+				sc.aval[sc.colStart[art]] = -1
+			}
+			sc.lo[art], sc.hi[art] = 0, Inf
+			sc.basis[i], sc.status[art] = art, inBasis
+			sc.xB[i] = math.Abs(resid[i])
+		}
+	}
+	return sc.factorize()
+}
+
+// nnzCol is column j's stored entry count.
+func (sc *sparseCore) nnzCol(j int) int {
+	return int(sc.colStart[j+1] - sc.colStart[j])
+}
+
+// clearWork resets the FTRAN accumulator in O(1) via the stamp.
+func (sc *sparseCore) clearWork() {
+	sc.stamp++
+	sc.wn = 0
+}
+
+func (sc *sparseCore) addWork(i int32, v float64) {
+	if sc.mark[i] != sc.stamp {
+		sc.mark[i] = sc.stamp
+		sc.wpat[sc.wn] = i
+		sc.wn++
+		sc.work[i] = v
+	} else {
+		sc.work[i] += v
+	}
+}
+
+// ftranCol computes w = B⁻¹ a_j into work/wpat.
+func (sc *sparseCore) ftranCol(j int) {
+	sc.clearWork()
+	for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+		sc.addWork(sc.rowIdx[k], sc.aval[k])
+	}
+	for e := 0; e < sc.nEta; e++ {
+		s, end := sc.etaStart[e], sc.etaStart[e+1]
+		r := sc.etaIdx[s]
+		if sc.mark[r] != sc.stamp || sc.work[r] == 0 {
+			continue
+		}
+		t := sc.work[r] / sc.etaVal[s]
+		sc.work[r] = t
+		for k := s + 1; k < end; k++ {
+			sc.addWork(sc.etaIdx[k], -sc.etaVal[k]*t)
+		}
+	}
+}
+
+// ftranDense applies the eta file to a dense length-m vector in place.
+func (sc *sparseCore) ftranDense(v []float64) {
+	for e := 0; e < sc.nEta; e++ {
+		s, end := sc.etaStart[e], sc.etaStart[e+1]
+		r := sc.etaIdx[s]
+		t := v[r]
+		if t == 0 {
+			continue
+		}
+		t /= sc.etaVal[s]
+		v[r] = t
+		for k := s + 1; k < end; k++ {
+			v[sc.etaIdx[k]] -= sc.etaVal[k] * t
+		}
+	}
+}
+
+// btranDense applies the eta file to a dense row vector in place:
+// z ← z·E_k⁻¹···E_1⁻¹, so z = c_B gives the pricing vector y = c_B·B⁻¹
+// and z = e_r gives row r of B⁻¹.  Each eta only rewrites z at its
+// pivot row: z_r ← z_r + (z_r − z·w)/w_r.
+func (sc *sparseCore) btranDense(z []float64) {
+	for e := sc.nEta - 1; e >= 0; e-- {
+		s, end := sc.etaStart[e], sc.etaStart[e+1]
+		r, pv := sc.etaIdx[s], sc.etaVal[s]
+		sum := 0.0
+		for k := s; k < end; k++ {
+			sum += sc.etaVal[k] * z[sc.etaIdx[k]]
+		}
+		z[r] += (z[r] - sum) / pv
+	}
+}
+
+// appendEta records the current work/wpat column as a new eta with
+// pivot row r, dropping off-pivot entries below the stored-zero
+// threshold.
+func (sc *sparseCore) appendEta(r int32, pv float64) {
+	sc.etaIdx = append(sc.etaIdx, r)
+	sc.etaVal = append(sc.etaVal, pv)
+	for _, i := range sc.wpat[:sc.wn] {
+		if i == r {
+			continue
+		}
+		v := sc.work[i]
+		if v > -1e-12 && v < 1e-12 {
+			continue
+		}
+		sc.etaIdx = append(sc.etaIdx, i)
+		sc.etaVal = append(sc.etaVal, v)
+	}
+	sc.nEta++
+	if cap(sc.etaStart) > sc.nEta {
+		sc.etaStart = sc.etaStart[:sc.nEta+1]
+	} else {
+		sc.etaStart = append(sc.etaStart, 0)
+	}
+	sc.etaStart[sc.nEta] = int32(len(sc.etaIdx))
+}
+
+// factorize rebuilds the eta file from the current basis by
+// product-form Gaussian elimination: basic columns in nonzero-count
+// order, each FTRAN'd through the etas so far, pivoting on the largest
+// entry in a still-unassigned row.  Pivot rows are reassigned, so
+// callers must recompute xB afterwards.  Returns false on a (numerically)
+// singular basis or an injected lp-factorize Fail — the workspace then
+// falls back to dense.
+func (sc *sparseCore) factorize() bool {
+	if err := sc.fp.Err(stage.LPFactorize); err != nil {
+		return false
+	}
+	sc.nEta = 0
+	sc.etaStart = sc.etaStart[:1]
+	sc.etaIdx = sc.etaIdx[:0]
+	sc.etaVal = sc.etaVal[:0]
+	perm := sc.colPerm[:sc.m]
+	copy(perm, sc.basis)
+	// Shell sort by column nonzero count (allocation-free; sort.Slice
+	// would allocate its closure on every refactorization).
+	for gap := len(perm) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(perm); i++ {
+			v := perm[i]
+			nv := sc.nnzCol(v)
+			j := i
+			for j >= gap && sc.nnzCol(perm[j-gap]) > nv {
+				perm[j] = perm[j-gap]
+				j -= gap
+			}
+			perm[j] = v
+		}
+	}
+	sc.rowStamp++
+	corruptArmed := sc.fp.ShouldCorrupt(stage.LPFactorize)
+	for _, v := range perm {
+		sc.ftranCol(v)
+		r := int32(-1)
+		best := 0.0
+		for _, i := range sc.wpat[:sc.wn] {
+			if sc.rowTag[i] == sc.rowStamp {
+				continue
+			}
+			a := sc.work[i]
+			if a < 0 {
+				a = -a
+			}
+			if a > best {
+				r, best = i, a
+			}
+		}
+		if best < 1e-10 {
+			return false
+		}
+		pv := sc.work[r]
+		if corruptArmed {
+			// Perturb the first pivot value: the factorized B⁻¹ silently
+			// drifts and only the terminal verification can notice.
+			pv = pv * 1.5
+			if pv == 0 {
+				pv = 1
+			}
+			corruptArmed = false
+		}
+		sc.appendEta(r, pv)
+		sc.rowTag[r] = sc.rowStamp
+		sc.newBasis[r] = v
+	}
+	copy(sc.basis, sc.newBasis[:sc.m])
+	sc.pivotsSince = 0
+	return true
+}
+
+// computeXB rebuilds the basic values from scratch:
+// xB = B⁻¹(b − Σ_{nonbasic j} a_j·x_j).
+func (sc *sparseCore) computeXB() {
+	t := sc.rho
+	copy(t, sc.b)
+	for j := 0; j < sc.n; j++ {
+		if sc.status[j] == inBasis {
+			continue
+		}
+		v := sc.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+			t[sc.rowIdx[k]] -= sc.aval[k] * v
+		}
+	}
+	sc.ftranDense(t)
+	copy(sc.xB, t)
+}
+
+func (sc *sparseCore) nonbasicValue(j int) float64 {
+	switch sc.status[j] {
+	case atLower:
+		return sc.lo[j]
+	case atUpper:
+		return sc.hi[j]
+	}
+	return 0
+}
+
+// refreshD recomputes the reduced costs d = c − c_B·B⁻¹·A from scratch
+// (one BTRAN plus one matrix pass).  Basic entries keep their raw
+// residual value — at a trustworthy factorization they are ≈0, which
+// is exactly what the terminal verification checks.
+func (sc *sparseCore) refreshD() {
+	y := sc.rho
+	for i := 0; i < sc.m; i++ {
+		y[i] = 0
+	}
+	for i := 0; i < sc.m; i++ {
+		y[i] = sc.cost[sc.basis[i]]
+	}
+	sc.btranDense(y)
+	for j := 0; j < sc.n; j++ {
+		dj := sc.cost[j]
+		for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+			dj -= y[sc.rowIdx[k]] * sc.aval[k]
+		}
+		sc.d[j] = dj
+	}
+}
+
+func (sc *sparseCore) loadPhase1Cost() {
+	for j := 0; j < sc.n; j++ {
+		if j >= sc.artFirst {
+			sc.cost[j] = 1
+		} else {
+			sc.cost[j] = 0
+		}
+	}
+}
+
+func (sc *sparseCore) loadPhase2Cost(p *Problem) {
+	for j := 0; j < sc.n; j++ {
+		if j < sc.nStruct {
+			sc.cost[j] = p.obj[j]
+		} else {
+			sc.cost[j] = 0
+		}
+	}
+}
+
+func (sc *sparseCore) needPhase1() bool {
+	for _, v := range sc.basis {
+		if v >= sc.artFirst {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *sparseCore) objective() float64 {
+	z := 0.0
+	for i := 0; i < sc.m; i++ {
+		z += sc.cost[sc.basis[i]] * sc.xB[i]
+	}
+	for j := 0; j < sc.n; j++ {
+		if c := sc.cost[j]; c != 0 && sc.status[j] != inBasis {
+			z += c * sc.nonbasicValue(j)
+		}
+	}
+	return z
+}
+
+// pinArtificials forbids artificials after phase 1 by fixing their
+// range to [0,0].  Basic artificials stay basic at (numerically) zero;
+// fixed columns are never picked to enter, and the dual path skips
+// them too.
+func (sc *sparseCore) pinArtificials() {
+	for j := sc.artFirst; j < sc.n; j++ {
+		sc.lo[j], sc.hi[j] = 0, 0
+		if sc.status[j] != inBasis {
+			sc.status[j] = atLower
+		}
+	}
+}
+
+// runTwoPhase drives the cold sparse solve.  ok=false means the sparse
+// core gave up (iteration cap, singular refactorization, failed
+// terminal verification, injected fault) and the caller must fall back
+// to the dense path; sc.aborted distinguishes cancellation.
+func (sc *sparseCore) runTwoPhase(p *Problem) (Status, bool) {
+	if sc.needPhase1() {
+		sc.loadPhase1Cost()
+		st, ok := sc.iterate()
+		if !ok {
+			return 0, false
+		}
+		if st != Optimal {
+			// Phase 1 is bounded below by zero; an Unbounded claim means
+			// the factorization drifted.
+			return 0, false
+		}
+		if sc.objective() > 1e-7 {
+			if !sc.verifyState(1e-6) {
+				return 0, false
+			}
+			return Infeasible, true
+		}
+		sc.pinArtificials()
+	}
+	sc.loadPhase2Cost(p)
+	st, ok := sc.iterate()
+	if !ok {
+		return 0, false
+	}
+	if st == Optimal && !sc.verifyState(1e-6) {
+		return 0, false
+	}
+	// Unbounded claims are verified by iterate itself (verifyColumn on
+	// the unblocked entering column).
+	return st, true
+}
+
+// iterate runs primal pivots until optimal or unbounded, refreshing
+// the reduced costs from the factorization each pivot.  ok=false on
+// the iteration cap, a failed refactorization, or an abort
+// (distinguished by sc.aborted).
+func (sc *sparseCore) iterate() (Status, bool) {
+	stall := 0
+	bland := false
+	for ; sc.iters < sc.maxIters; sc.iters++ {
+		if sc.abort != nil && sc.iters%abortCheckInterval == 0 && sc.abort() {
+			sc.aborted = true
+			return 0, false
+		}
+		sc.refreshD()
+		j, dir := sc.chooseEntering(bland)
+		if j < 0 {
+			return Optimal, true
+		}
+		sc.ftranCol(j)
+		step, leaveRow, toUpper := sc.ratioTest(j, dir, bland)
+		if math.IsInf(step, 1) {
+			if !sc.verifyColumn(j) {
+				return 0, false
+			}
+			return Unbounded, true
+		}
+		if step < eps {
+			stall++
+			if stall > 40 {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+		sc.applyStep(j, dir, step, leaveRow, toUpper)
+		if leaveRow >= 0 {
+			sc.pivotsSince++
+			if sc.needRefactor() {
+				if !sc.factorize() {
+					return 0, false
+				}
+				sc.computeXB()
+			}
+		}
+	}
+	return 0, false
+}
+
+func (sc *sparseCore) needRefactor() bool {
+	if sc.pivotsSince >= refactorEvery {
+		return true
+	}
+	// Eta fill outgrowing the matrix means FTRAN/BTRAN cost more than
+	// a rebuild would save.
+	return len(sc.etaIdx) > 4*len(sc.aval)+4*sc.m
+}
+
+// chooseEntering mirrors the dense rule: Dantzig by default, Bland's
+// rule under stalling.
+func (sc *sparseCore) chooseEntering(bland bool) (j int, dir float64) {
+	best, bestScore := -1, eps
+	var bestDir float64
+	for v := 0; v < sc.n; v++ {
+		var score, d float64
+		switch sc.status[v] {
+		case atLower:
+			if sc.d[v] < -eps && sc.hi[v] > sc.lo[v] {
+				score, d = -sc.d[v], 1
+			}
+		case atUpper:
+			if sc.d[v] > eps && sc.hi[v] > sc.lo[v] {
+				score, d = sc.d[v], -1
+			}
+		case atFree:
+			if sc.d[v] < -eps {
+				score, d = -sc.d[v], 1
+			} else if sc.d[v] > eps {
+				score, d = sc.d[v], -1
+			}
+		}
+		if d == 0 {
+			continue
+		}
+		if bland {
+			return v, d
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = v, score, d
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestDir
+}
+
+// ratioTest is the dense ratioTest restricted to the support of the
+// FTRAN'd entering column in work/wpat.
+func (sc *sparseCore) ratioTest(j int, dir float64, bland bool) (step float64, leaveRow int, toUpper bool) {
+	step = Inf
+	leaveRow = -1
+	if span := sc.hi[j] - sc.lo[j]; !math.IsInf(span, 1) {
+		step = span
+	}
+	for _, i := range sc.wpat[:sc.wn] {
+		delta := -dir * sc.work[i]
+		bv := sc.basis[i]
+		var limit float64
+		var hitsUpper bool
+		switch {
+		case delta < -pivotEps:
+			if math.IsInf(sc.lo[bv], -1) {
+				continue
+			}
+			limit = (sc.xB[i] - sc.lo[bv]) / -delta
+			hitsUpper = false
+		case delta > pivotEps:
+			if math.IsInf(sc.hi[bv], 1) {
+				continue
+			}
+			limit = (sc.hi[bv] - sc.xB[i]) / delta
+			hitsUpper = true
+		default:
+			continue
+		}
+		if limit < -eps {
+			limit = 0
+		}
+		better := limit < step-eps
+		if bland && !better && limit < step+eps && leaveRow >= 0 && bv < sc.basis[leaveRow] {
+			better = true
+		}
+		if better {
+			step, leaveRow, toUpper = limit, int(i), hitsUpper
+		}
+	}
+	if step < 0 {
+		step = 0
+	}
+	return step, leaveRow, toUpper
+}
+
+// applyStep moves entering j by step along dir and pivots (appending
+// an eta) when a basic variable leaves.  The entering column must be
+// in work/wpat.
+func (sc *sparseCore) applyStep(j int, dir, step float64, leaveRow int, toUpper bool) {
+	if step > 0 {
+		for _, i := range sc.wpat[:sc.wn] {
+			sc.xB[i] += step * (-dir * sc.work[i])
+		}
+	}
+	enterVal := sc.nonbasicValue(j) + step*dir
+	if leaveRow < 0 {
+		if dir > 0 {
+			sc.status[j] = atUpper
+		} else {
+			sc.status[j] = atLower
+		}
+		return
+	}
+	leaving := sc.basis[leaveRow]
+	if toUpper {
+		sc.status[leaving] = atUpper
+	} else {
+		sc.status[leaving] = atLower
+	}
+	sc.appendEta(int32(leaveRow), sc.work[leaveRow])
+	sc.basis[leaveRow] = j
+	sc.status[j] = inBasis
+	sc.xB[leaveRow] = enterVal
+}
+
+// extractInto writes the structural solution into x (length nStruct).
+func (sc *sparseCore) extractInto(x []float64) {
+	for j := 0; j < sc.nStruct; j++ {
+		x[j] = sc.nonbasicValue(j)
+	}
+	for i, v := range sc.basis {
+		if v < sc.nStruct {
+			x[v] = sc.xB[i]
+		}
+	}
+}
+
+// verifyState checks the terminal basis against the original problem
+// data, independently of the factorization wherever possible:
+//
+//  1. basics within bounds;
+//  2. primal residual A·x ≈ b over the true sparse matrix (catches a
+//     drifted/corrupted xB);
+//  3. basic reduced costs ≈ 0 (catches a drifted/corrupted pricing
+//     vector y, because d = c − y·A uses the true A and c);
+//  4. dual-feasible sign conditions on nonbasic reduced costs.
+//
+// d must be freshly computed (iterate refreshes it every pivot; the
+// dual path refreshes before verifying).  A false return sends the
+// workspace to the dense path.
+func (sc *sparseCore) verifyState(tol float64) bool {
+	for i := 0; i < sc.m; i++ {
+		bv := sc.basis[i]
+		if sc.xB[i] < sc.lo[bv]-tol || sc.xB[i] > sc.hi[bv]+tol {
+			return false
+		}
+	}
+	act := sc.rho
+	for i := 0; i < sc.m; i++ {
+		act[i] = 0
+	}
+	for j := 0; j < sc.n; j++ {
+		var v float64
+		if sc.status[j] == inBasis {
+			continue
+		}
+		v = sc.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+			act[sc.rowIdx[k]] += sc.aval[k] * v
+		}
+	}
+	for i := 0; i < sc.m; i++ {
+		v := sc.xB[i]
+		if v == 0 {
+			continue
+		}
+		j := sc.basis[i]
+		for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+			act[sc.rowIdx[k]] += sc.aval[k] * v
+		}
+	}
+	for i := 0; i < sc.m; i++ {
+		if diff := math.Abs(act[i] - sc.b[i]); diff > tol*(1+math.Abs(sc.b[i])) {
+			return false
+		}
+	}
+	for i := 0; i < sc.m; i++ {
+		bv := sc.basis[i]
+		if math.Abs(sc.d[bv]) > tol*(1+math.Abs(sc.cost[bv])) {
+			return false
+		}
+	}
+	for j := 0; j < sc.n; j++ {
+		st := sc.status[j]
+		if st == inBasis || sc.lo[j] == sc.hi[j] {
+			continue
+		}
+		switch st {
+		case atLower:
+			if sc.d[j] < -tol {
+				return false
+			}
+		case atUpper:
+			if sc.d[j] > tol {
+				return false
+			}
+		default:
+			if sc.d[j] < -tol || sc.d[j] > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// verifyColumn checks that the FTRAN result in work/wpat really is
+// B⁻¹a_j by testing B·w = a_j against the true matrix — the guard an
+// Unbounded claim must pass, since it rests entirely on one column.
+func (sc *sparseCore) verifyColumn(j int) bool {
+	acc := sc.rho
+	for i := 0; i < sc.m; i++ {
+		acc[i] = 0
+	}
+	for _, i := range sc.wpat[:sc.wn] {
+		w := sc.work[i]
+		if w == 0 {
+			continue
+		}
+		bj := sc.basis[i]
+		for k := sc.colStart[bj]; k < sc.colStart[bj+1]; k++ {
+			acc[sc.rowIdx[k]] += sc.aval[k] * w
+		}
+	}
+	for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+		acc[sc.rowIdx[k]] -= sc.aval[k]
+	}
+	for i := 0; i < sc.m; i++ {
+		if math.Abs(acc[i]) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyRow checks that rho really is row r of B⁻¹ by testing
+// rho·a_{B(i)} = δ_ri over the true matrix — the guard a
+// dual-infeasibility claim must pass, since it rests entirely on one
+// pricing row.  alpha must hold rho·A for all columns.
+func (sc *sparseCore) verifyRow(r int) bool {
+	for i := 0; i < sc.m; i++ {
+		want := 0.0
+		if i == r {
+			want = 1
+		}
+		if math.Abs(sc.alpha[sc.basis[i]]-want) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// dualReoptimize is the sparse warm path: sync bounds, flip nonbasic
+// rest sides per reduced-cost sign, recompute xB, then bounded-variable
+// dual simplex.  Outcomes mirror the dense warm(): dualOptimal and
+// dualInfeasible are verified terminal answers, dualStalled sends the
+// caller to a cold solve.
+func (sc *sparseCore) dualReoptimize(p *Problem, cap int) (dualOutcome, int) {
+	sc.aborted = false
+	sc.refreshD()
+	for j := 0; j < sc.nStruct; j++ {
+		sc.lo[j], sc.hi[j] = p.lo[j], p.hi[j]
+		if sc.status[j] == inBasis {
+			continue
+		}
+		if !sc.restSide(j) {
+			return dualStalled, 0
+		}
+	}
+	sc.computeXB()
+	limit := cap
+	if limit == 0 {
+		limit = 20*(sc.m+sc.nStruct) + 200
+	}
+	for iter := 0; ; iter++ {
+		if sc.abort != nil && iter%abortCheckInterval == 0 && sc.abort() {
+			sc.aborted = true
+			return dualStalled, iter
+		}
+		r := -1
+		worst := eps
+		var delta float64
+		for i := 0; i < sc.m; i++ {
+			bv := sc.basis[i]
+			if v := sc.lo[bv] - sc.xB[i]; v > worst {
+				r, worst, delta = i, v, sc.xB[i]-sc.lo[bv]
+			}
+			if v := sc.xB[i] - sc.hi[bv]; v > worst {
+				r, worst, delta = i, v, sc.xB[i]-sc.hi[bv]
+			}
+		}
+		if r < 0 {
+			sc.refreshD()
+			if !sc.verifyState(1e-6) {
+				return dualStalled, iter
+			}
+			return dualOptimal, iter
+		}
+		if iter >= limit {
+			return dualStalled, iter
+		}
+		// Pricing row r: rho = e_r·B⁻¹, alpha = rho·A.
+		rho := sc.rho
+		for i := 0; i < sc.m; i++ {
+			rho[i] = 0
+		}
+		rho[r] = 1
+		sc.btranDense(rho)
+		for j := 0; j < sc.n; j++ {
+			a := 0.0
+			for k := sc.colStart[j]; k < sc.colStart[j+1]; k++ {
+				a += rho[sc.rowIdx[k]] * sc.aval[k]
+			}
+			sc.alpha[j] = a
+		}
+		sc.refreshD()
+		j := sc.dualEntering(delta)
+		if j < 0 {
+			// The claim rests on the pricing row and the reduced-cost
+			// signs; verify both against the true matrix, and the basic
+			// values the violation was read from.
+			if !sc.verifyRow(r) {
+				return dualStalled, iter
+			}
+			sc.computeXB()
+			bv := sc.basis[r]
+			if sc.xB[r] >= sc.lo[bv]-1e-7 && sc.xB[r] <= sc.hi[bv]+1e-7 {
+				return dualStalled, iter
+			}
+			return dualInfeasible, iter
+		}
+		sc.ftranCol(j)
+		aj := sc.work[r]
+		if math.Abs(aj-sc.alpha[j]) > 1e-6*(1+math.Abs(aj)) || math.Abs(aj) <= pivotEps {
+			// FTRAN and BTRAN disagree about the pivot element: drift.
+			return dualStalled, iter
+		}
+		step := delta / aj
+		for _, i := range sc.wpat[:sc.wn] {
+			if int(i) == r {
+				continue
+			}
+			sc.xB[i] -= sc.work[i] * step
+		}
+		leaving := sc.basis[r]
+		if delta < 0 {
+			sc.status[leaving] = atLower
+		} else {
+			sc.status[leaving] = atUpper
+		}
+		enterVal := sc.nonbasicValue(j) + step
+		sc.appendEta(int32(r), aj)
+		sc.basis[r] = j
+		sc.status[j] = inBasis
+		sc.xB[r] = enterVal
+		sc.iters++
+		sc.pivotsSince++
+		if sc.needRefactor() {
+			if !sc.factorize() {
+				return dualStalled, iter
+			}
+			sc.computeXB()
+		}
+	}
+}
+
+// restSide is tableau.restSide for the sparse core.
+func (sc *sparseCore) restSide(j int) bool {
+	d := sc.d[j]
+	lo, hi := sc.lo[j], sc.hi[j]
+	switch {
+	case lo == hi:
+		sc.status[j] = atLower
+	case d > eps:
+		if math.IsInf(lo, -1) {
+			return false
+		}
+		sc.status[j] = atLower
+	case d < -eps:
+		if math.IsInf(hi, 1) {
+			return false
+		}
+		sc.status[j] = atUpper
+	default:
+		switch {
+		case sc.status[j] == atLower && !math.IsInf(lo, -1):
+		case sc.status[j] == atUpper && !math.IsInf(hi, 1):
+		case !math.IsInf(lo, -1):
+			sc.status[j] = atLower
+		case !math.IsInf(hi, 1):
+			sc.status[j] = atUpper
+		default:
+			sc.status[j] = atFree
+		}
+	}
+	return true
+}
+
+// dualEntering is the bounded-variable dual ratio test over the
+// pricing row in alpha.
+func (sc *sparseCore) dualEntering(delta float64) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	var bestAbs float64
+	for j := 0; j < sc.n; j++ {
+		st := sc.status[j]
+		if st == inBasis || sc.lo[j] == sc.hi[j] {
+			continue
+		}
+		a := sc.alpha[j]
+		abs := a
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs <= pivotEps {
+			continue
+		}
+		eligible := st == atFree
+		switch st {
+		case atLower:
+			eligible = (delta < 0 && a < 0) || (delta > 0 && a > 0)
+		case atUpper:
+			eligible = (delta < 0 && a > 0) || (delta > 0 && a < 0)
+		}
+		if !eligible {
+			continue
+		}
+		ratio := sc.d[j] / a
+		if ratio < 0 {
+			ratio = -ratio
+		}
+		if ratio < bestRatio-1e-9 || (ratio < bestRatio+1e-9 && abs > bestAbs) {
+			best, bestRatio, bestAbs = j, ratio, abs
+		}
+	}
+	return best
+}

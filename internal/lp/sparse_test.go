@@ -1,0 +1,337 @@
+package lp
+
+// Tests for the sparse revised-simplex core: the dense tableau is the
+// reference, so every sparse answer — status and objective — must
+// agree with it, on feasible, degenerate and infeasible instances, on
+// cold solves and on branch-and-bound-shaped warm reoptimizations.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/stage"
+)
+
+// randomSparseLP builds a random LP whose rows each touch only a few
+// variables — the regime the sparse core exists for, scaled down so
+// the dense reference stays fast.  Roughly a third of the instances
+// are infeasible (contradictory equalities), and duplicate terms and
+// fixed variables appear so the degenerate paths get exercised.
+func randomSparseLP(rng *rand.Rand, n, m int) *Problem {
+	p := NewProblem()
+	for j := 0; j < n; j++ {
+		switch rng.Intn(10) {
+		case 0:
+			v := rng.Float64()
+			p.AddVariable(rng.Float64()*4-2, v, v) // fixed
+		case 1:
+			p.AddVariable(rng.Float64()*4-2, 0, Inf)
+		default:
+			p.AddVariable(rng.Float64()*4-2, 0, 1)
+		}
+	}
+	for i := 0; i < m; i++ {
+		k := 1 + rng.Intn(4)
+		terms := make([]Term, 0, k+1)
+		mid := 0.0
+		for t := 0; t < k; t++ {
+			j := rng.Intn(n)
+			c := float64(rng.Intn(7) - 3)
+			if c == 0 {
+				c = 1
+			}
+			terms = append(terms, Term{j, c})
+			mid += c * math.Min(p.hi[j], math.Max(p.lo[j], 0.5))
+		}
+		if rng.Intn(8) == 0 { // duplicate term, additive semantics
+			terms = append(terms, terms[0])
+			mid += terms[0].Coeff * math.Min(p.hi[terms[0].Var], math.Max(p.lo[terms[0].Var], 0.5))
+		}
+		switch rng.Intn(4) {
+		case 0:
+			p.AddConstraint(terms, LE, mid+rng.Float64())
+		case 1:
+			p.AddConstraint(terms, GE, mid-rng.Float64())
+		case 2:
+			p.AddConstraint(terms, EQ, mid)
+		default:
+			// Possibly contradictory: equality at a point that may lie
+			// outside the reachable range.
+			p.AddConstraint(terms, EQ, mid+float64(rng.Intn(9)-4))
+		}
+	}
+	return p
+}
+
+// solveForced solves p cold under the given mode in a fresh workspace.
+func solveForced(t *testing.T, p *Problem, mode Mode) *Solution {
+	t.Helper()
+	ws := NewWorkspace()
+	ws.Mode = mode
+	sol, err := ws.Solve(p, nil)
+	if err != nil {
+		t.Fatalf("mode %v: %v", mode, err)
+	}
+	return sol
+}
+
+// TestQuickSparseVsDense is the cross-check property test: on random
+// sparse LPs the forced-sparse and forced-dense answers agree in
+// status and objective, and the sparse point is primal feasible.
+func TestQuickSparseVsDense(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		m := 1 + rng.Intn(12)
+		p := randomSparseLP(rng, n, m)
+		ds := solveForced(t, p.Clone(), ForceDense)
+		sp := solveForced(t, p, ForceSparse)
+		if sp.Status != ds.Status {
+			t.Logf("seed %d: sparse %v, dense %v", seed, sp.Status, ds.Status)
+			return false
+		}
+		if sp.Status != Optimal {
+			return true
+		}
+		if !feasible(p, sp.X, 1e-6) {
+			t.Logf("seed %d: sparse point infeasible", seed)
+			return false
+		}
+		if !approx(sp.Objective, ds.Objective, 1e-6*(1+math.Abs(ds.Objective))) {
+			t.Logf("seed %d: sparse obj %v, dense %v", seed, sp.Objective, ds.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSparseReoptimize drives the sparse warm path through random
+// single-variable bound changes — the branch-and-bound access pattern —
+// cross-checking every answer against a from-scratch dense solve.
+func TestQuickSparseReoptimize(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := randomMixedLP(rng, n, m)
+		ws := NewWorkspace()
+		ws.Mode = ForceSparse
+		sol, err := ws.Solve(p, nil)
+		if err != nil {
+			t.Logf("seed %d: cold: %v", seed, err)
+			return false
+		}
+		if !checkAgainstCold(t, "sparse cold", p, sol) {
+			return false
+		}
+		for step := 0; step < 12; step++ {
+			v := rng.Intn(n)
+			var lo, hi float64
+			switch rng.Intn(4) {
+			case 0:
+				lo, hi = 0, 0
+			case 1:
+				lo, hi = 1, 1
+			case 2:
+				lo, hi = 0, 1
+			default:
+				lo = rng.Float64() * 0.5
+				hi = lo + rng.Float64()*(1-lo)
+			}
+			sol, err = ws.ReoptimizeBounds(p, v, lo, hi, nil)
+			if err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			if !checkAgainstCold(t, "sparse reopt", p, sol) {
+				t.Logf("seed %d step %d: var %d -> [%v,%v]", seed, step, v, lo, hi)
+				return false
+			}
+		}
+		if ws.Sparse == 0 {
+			t.Logf("seed %d: no solve went through the sparse core", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSparseUnbounded checks the Unbounded claim survives its column
+// verification on both cores.
+func TestSparseUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(-1, 0, Inf)
+	y := p.AddVariable(0, 0, 1)
+	p.AddConstraint([]Term{{x, -1}, {y, 1}}, LE, 3)
+	if sol := solveForced(t, p.Clone(), ForceDense); sol.Status != Unbounded {
+		t.Fatalf("dense: %v", sol.Status)
+	}
+	if sol := solveForced(t, p, ForceSparse); sol.Status != Unbounded {
+		t.Fatalf("sparse: %v", sol.Status)
+	}
+}
+
+// TestAutoModeRouting checks the density/size heuristic: small
+// problems stay dense, large sparse ones route to the sparse core.
+func TestAutoModeRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	small := randomSparseLP(rng, 8, 8)
+	ws := NewWorkspace()
+	if _, err := ws.Solve(small, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Sparse != 0 {
+		t.Errorf("small LP routed to the sparse core")
+	}
+	// A large chain LP: ~1000 rows, 2 terms each — far past the cell
+	// threshold, far under the density ceiling.
+	big := NewProblem()
+	nv := 1100
+	for j := 0; j < nv; j++ {
+		big.AddVariable(float64(j%7)-3, 0, 1)
+	}
+	for j := 0; j+1 < nv; j++ {
+		big.AddConstraint([]Term{{j, 1}, {j + 1, 1}}, GE, 0.5)
+	}
+	ws2 := NewWorkspace()
+	sol, err := ws2.Solve(big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws2.Sparse != 1 {
+		t.Errorf("large sparse LP did not route to the sparse core (Sparse=%d)", ws2.Sparse)
+	}
+	ref := solveForced(t, big.Clone(), ForceDense)
+	if sol.Status != ref.Status || !approx(sol.Objective, ref.Objective, 1e-6*(1+math.Abs(ref.Objective))) {
+		t.Errorf("sparse %v/%v, dense %v/%v", sol.Status, sol.Objective, ref.Status, ref.Objective)
+	}
+}
+
+// TestColdResolveAllocFree pins the cross-size reuse contract of the
+// dense workspace: after warm-up, cold re-solves allocate nothing —
+// including a smaller problem following a larger one, which must
+// reslice the tableau, not regrow it.
+func TestColdResolveAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	big := randomBoxLP(rng, 24, 18)
+	small := randomBoxLP(rng, 5, 4)
+	ws := NewWorkspace()
+	ws.Mode = ForceDense
+	if _, err := ws.Solve(big, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ws.Solve(big, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ws.Solve(small, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("cold big+small re-solve pair allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestSparseWarmReoptimizeAllocFree pins the sparse workspace's
+// steady-state allocation contract the same way
+// TestWarmReoptimizeAllocFree does for dense: once the buffers and the
+// eta file capacity exist, warm reoptimization allocates nothing.
+func TestSparseWarmReoptimizeAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomBoxLP(rng, 8, 8)
+	ws := NewWorkspace()
+	ws.Mode = ForceSparse
+	if _, err := ws.Solve(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Stabilize eta-file capacity across the flip cycle before measuring.
+	for i := 0; i < 4; i++ {
+		for v := 0; v < 8; v++ {
+			if _, err := ws.ReoptimizeBounds(p, v, 1, 1, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ws.ReoptimizeBounds(p, v, 0, 1, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	v := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ws.ReoptimizeBounds(p, v, 1, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ws.ReoptimizeBounds(p, v, 0, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		v = (v + 1) % 8
+	})
+	if allocs > 0 {
+		t.Errorf("sparse reoptimization allocates %.1f objects per round, want 0", allocs)
+	}
+}
+
+// TestLPFactorizeFaultFallback sweeps the lp-factorize chaos site with
+// the sparse mode forced: every action must yield the dense reference
+// answer — a refactorization fault may cost the sparse path, never
+// correctness.
+func TestLPFactorizeFaultFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := randomSparseLP(rng, 10, 10)
+	ref := solveForced(t, p.Clone(), ForceDense)
+	for _, action := range fault.Actions {
+		t.Run(action.String(), func(t *testing.T) {
+			plan := fault.NewPlan(42).Arm(stage.LPFactorize, fault.Rule{Action: action})
+			ws := NewWorkspace()
+			ws.Mode = ForceSparse
+			ws.Fault = plan
+			var sol *Solution
+			var err error
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						// A Panic rule unwinds to the caller's recovery
+						// boundary (core's, in production); re-solve dense
+						// to stand in for it here.
+						if _, ok := r.(*fault.Error); !ok {
+							panic(r)
+						}
+						ws.Mode = ForceDense
+						ws.Fault = nil
+						sol, err = ws.Solve(p, nil)
+					}
+				}()
+				sol, err = ws.Solve(p, nil)
+			}()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Fired(stage.LPFactorize) == 0 {
+				t.Fatalf("armed %v rule never fired", action)
+			}
+			if sol.Status != ref.Status {
+				t.Fatalf("status %v under %v fault, dense says %v", sol.Status, action, ref.Status)
+			}
+			if sol.Status == Optimal {
+				if !approx(sol.Objective, ref.Objective, 1e-6*(1+math.Abs(ref.Objective))) {
+					t.Fatalf("objective %v under %v fault, dense says %v", sol.Objective, action, ref.Objective)
+				}
+				if !feasible(p, sol.X, 1e-6) {
+					t.Fatalf("infeasible point under %v fault", action)
+				}
+			}
+			if action == fault.Fail && ws.Sparse != 0 {
+				t.Errorf("Fail rule did not force the dense fallback")
+			}
+		})
+	}
+}

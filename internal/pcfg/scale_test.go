@@ -1,0 +1,93 @@
+package pcfg
+
+import (
+	"testing"
+
+	"repro/internal/fortran"
+)
+
+// buildScale renders, parses and builds one scale-family member.
+func buildScale(t *testing.T, family ScaleFamily, phases int) *Graph {
+	t.Helper()
+	src, err := ScaleProgram(family, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, aerr := fortran.Analyze(fortran.MustParse(src))
+	if aerr != nil {
+		t.Fatalf("%s/%d: %v", family, phases, aerr)
+	}
+	g, gerr := Build(u, Options{})
+	if gerr != nil {
+		t.Fatalf("%s/%d: %v", family, phases, gerr)
+	}
+	return g
+}
+
+func TestScaleStencilDeepIsPath(t *testing.T) {
+	for _, phases := range []int{2, 100, 250, 500} {
+		g := buildScale(t, StencilDeep, phases)
+		if len(g.Phases) != phases {
+			t.Fatalf("phases=%d: built %d phases", phases, len(g.Phases))
+		}
+		if len(g.Edges) != phases-1 {
+			t.Fatalf("phases=%d: %d edges, want the path's %d", phases, len(g.Edges), phases-1)
+		}
+		for _, e := range g.Edges {
+			if e.To != e.From+1 {
+				t.Fatalf("phases=%d: edge %d->%d breaks the path", phases, e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestScaleConflictRingHasCycle(t *testing.T) {
+	for _, phases := range []int{3, 100, 500} {
+		g := buildScale(t, ConflictRing, phases)
+		if len(g.Phases) != phases {
+			t.Fatalf("phases=%d: built %d phases", phases, len(g.Phases))
+		}
+		back := 0
+		for _, e := range g.Edges {
+			if e.To <= e.From {
+				back++
+			}
+		}
+		if back == 0 {
+			t.Fatalf("phases=%d: no back edge; the ring did not close", phases)
+		}
+		// Ring phases repeat niter times; the init phase runs once.
+		if g.Phases[0].Freq != 1 || g.Phases[1].Freq != 10 {
+			t.Fatalf("phases=%d: freqs init=%v body=%v, want 1 and 10",
+				phases, g.Phases[0].Freq, g.Phases[1].Freq)
+		}
+	}
+}
+
+func TestScaleProgramDeterministic(t *testing.T) {
+	for _, family := range ScaleFamilies {
+		a, err := ScaleProgram(family, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ScaleProgram(family, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s: two renders of the same size differ", family)
+		}
+	}
+}
+
+func TestScaleProgramRejectsBadSizes(t *testing.T) {
+	if _, err := ScaleProgram(StencilDeep, 1); err == nil {
+		t.Fatal("accepted 1 phase")
+	}
+	if _, err := ScaleProgram(StencilDeep, 1001); err == nil {
+		t.Fatal("accepted 1001 phases")
+	}
+	if _, err := ScaleProgram(ScaleFamily("nope"), 100); err == nil {
+		t.Fatal("accepted unknown family")
+	}
+}
